@@ -1,0 +1,59 @@
+"""Theorem 3.2 / 3.3 ablation: measured substeps and steps vs the bounds.
+
+The paper proves (Thm 3.2) at most k+2 substeps per step when
+r(v) ≤ r̄_k(v), and (Thm 3.3) at most ⌈n/ρ⌉(1+⌈log₂ ρL⌉) steps when
+|B(v, r(v))| ≥ ρ.  §5.3 then observes the measured step count sits far
+below the bound on real graphs.  This bench preprocesses with every
+heuristic, runs the solver, and asserts both bounds hold with slack —
+plus certifies one configuration per heuristic with the exact
+(brute-force) (k,ρ)-graph verifier.
+"""
+
+import pytest
+
+from repro.experiments.bounds_check import render_bounds, run_bounds_check
+from repro.graphs.generators import grid_2d
+from repro.graphs.weights import random_integer_weights
+from repro.preprocess import build_kr_graph, verify_kr_graph
+
+pytestmark = pytest.mark.paper_artifact("Theorems 3.2/3.3 (ablation)")
+
+
+def test_bounds_ablation(benchmark, tiny_scale, report_sink):
+    points = benchmark.pedantic(
+        run_bounds_check,
+        args=(tiny_scale,),
+        kwargs=dict(
+            datasets=("road-pa", "web-st", "grid2d"),
+            ks=(1, 2, 3),
+            rhos=(5, 10, 20),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert points, "ablation must produce configurations"
+    for p in points:
+        assert p.holds, (
+            f"{p.dataset} k={p.k} rho={p.rho} {p.heuristic}: "
+            f"substeps {p.worst_substeps}/{p.substep_bound}, "
+            f"steps {p.mean_steps}/{p.step_bound}"
+        )
+    # §5.3's empirical claim: measured steps sit well below the bound.
+    slacks = [p.step_slack for p in points]
+    assert sum(slacks) / len(slacks) < 0.5
+    report_sink.append(("Thm 3.2/3.3 ablation", render_bounds(points)))
+
+
+@pytest.mark.parametrize("heuristic,k", [("full", 1), ("greedy", 2), ("dp", 3)])
+def test_exact_kr_certificate(benchmark, heuristic, k):
+    """Brute-force certificate: the preprocessing output is a genuine
+    (k,ρ)-graph by Definition 4, not merely bound-satisfying by luck."""
+    g = random_integer_weights(grid_2d(7, 7), low=1, high=50, seed=k)
+    pre = benchmark.pedantic(
+        build_kr_graph,
+        args=(g, k, 8),
+        kwargs=dict(heuristic=heuristic),
+        rounds=1,
+        iterations=1,
+    )
+    assert verify_kr_graph(pre.graph, pre.radii, k, 8).ok

@@ -1,0 +1,57 @@
+"""Figure 2: the pathological graph where ball search costs Ω(d²) edges.
+
+§4.1 warns that even on a sparse unweighted graph a BFS may scan O(ρ²)
+edges to reach ρ vertices, and Figure 2 constructs the witness: a cycle
+of bicliques where any source must cross a d×d biclique to collect ~3d
+vertices.  The bench measures `edges_scanned` of the truncated-Dijkstra
+ball search on that construction and asserts the quadratic growth — plus
+the contrast case (constant-degree grid) where the same search is linear,
+matching "if the input graph has constant degree … the work for this
+step is O(nρ)".
+"""
+
+import pytest
+
+from repro.graphs.generators import figure2_graph, grid_2d
+from repro.preprocess import ball_search
+
+pytestmark = pytest.mark.paper_artifact("Figure 2")
+
+
+@pytest.mark.parametrize("d", [4, 8, 16])
+def test_fig2_quadratic_edge_visits(benchmark, d, report_sink):
+    g = figure2_graph(d)
+    rho = 3 * d + 1
+    ball = benchmark.pedantic(
+        ball_search, args=(g, 0, rho), rounds=3, iterations=1
+    )
+    assert len(ball) >= rho
+    # Crossing one biclique already costs ~d^2 edge scans.
+    assert ball.edges_scanned >= d * d
+    report_sink.append(
+        (
+            f"Figure 2 (d={d})",
+            f"rho={rho}: visited {len(ball)} vertices, "
+            f"scanned {ball.edges_scanned} edges (d^2={d * d})",
+        )
+    )
+
+
+def test_fig2_quadratic_growth_in_d():
+    """Doubling d roughly quadruples the scanned edges."""
+    scans = {}
+    for d in (6, 12, 24):
+        scans[d] = ball_search(figure2_graph(d), 0, 3 * d + 1).edges_scanned
+    assert scans[12] >= 2.5 * scans[6]
+    assert scans[24] >= 2.5 * scans[12]
+
+
+def test_constant_degree_contrast(benchmark):
+    """On a constant-degree grid the scan stays ~linear in rho."""
+    g = grid_2d(30, 30)
+    rho = 73
+    ball = benchmark.pedantic(
+        ball_search, args=(g, 465, rho), rounds=3, iterations=1
+    )
+    # 4-regular grid: edges scanned ~ 4x vertices settled, far below rho^2.
+    assert ball.edges_scanned <= 10 * rho

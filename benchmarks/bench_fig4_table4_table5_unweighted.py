@@ -1,0 +1,62 @@
+"""Figure 4 + Tables 4/5: unweighted Radius-Stepping steps vs ρ.
+
+Paper reference: on a log-log scale the average step count falls roughly
+linearly as ρ grows (steps ∝ 1/ρ), the ρ=1 row *is* standard BFS, and
+webgraphs start from far fewer rounds than road maps / grids because hubs
+keep the hop diameter tiny (28–109 vs 619–1504 rounds at paper scale).
+The bench regenerates all three artifacts at tiny scale and asserts those
+shapes.
+"""
+
+import pytest
+
+from repro.experiments.steps import (
+    render_reduction_table,
+    render_steps_figure,
+    render_steps_table,
+    run_steps_suite,
+)
+
+pytestmark = pytest.mark.paper_artifact("Figure 4, Table 4, Table 5")
+
+RHOS = (1, 2, 5, 10, 20, 50)
+
+
+@pytest.fixture(scope="module")
+def suite(tiny_scale):
+    return run_steps_suite(tiny_scale, weighted=False, rhos=RHOS)
+
+
+def test_fig4_table4_unweighted_suite(benchmark, suite, tiny_scale, report_sink):
+    bench_suite = benchmark.pedantic(
+        run_steps_suite,
+        args=(tiny_scale,),
+        kwargs=dict(weighted=False, rhos=RHOS, datasets=("road-pa", "web-st")),
+        rounds=1,
+        iterations=1,
+    )
+    for name in ("road-pa", "web-st"):
+        ds = bench_suite.results[name]
+        steps = [ds.mean_steps(r) for r in RHOS]
+        # steps fall monotonically (up to ties) as rho grows
+        assert all(a >= b - 1e-9 for a, b in zip(steps, steps[1:])), (name, steps)
+        # the rho=1 row is standard BFS (r_1 = 0 under self-counting)
+        assert ds.mean_steps(1) == pytest.approx(ds.bfs_rounds)
+    # hubs: the webgraph needs far fewer rounds than the road map
+    assert (
+        bench_suite.results["web-st"].mean_steps(1)
+        < bench_suite.results["road-pa"].mean_steps(1)
+    )
+    # render the full six-dataset artifacts from the session fixture
+    report_sink.append(("Figure 4 (unweighted)", render_steps_figure(suite)))
+    report_sink.append(("Table 4 (unweighted rounds)", render_steps_table(suite)))
+    report_sink.append(("Table 5 (reduction vs BFS)", render_reduction_table(suite)))
+
+
+def test_table4_table5_all_datasets(suite):
+    """Full six-dataset Tables 4 and 5 at tiny scale, with the paper's
+    reduction shape: ρ=10 cuts rounds by ≥2x on road maps and grids."""
+    for name in ("road-pa", "road-tx", "grid2d", "grid3d"):
+        ds = suite.results[name]
+        assert ds.reduction(10) >= 2.0, (name, ds.reduction(10))
+        assert ds.reduction(50) >= ds.reduction(10) - 1e-9

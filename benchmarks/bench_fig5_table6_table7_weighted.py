@@ -1,0 +1,58 @@
+"""Figure 5 + Tables 6/7: weighted Radius-Stepping steps vs ρ.
+
+Paper reference: with weights U{1..10^4} almost every vertex has a
+distinct distance, so ρ=1 (batched Dijkstra) needs nearly n steps — and
+even tiny ρ slashes the count (1000x at ρ=10 on million-vertex road maps;
+proportionally smaller on smaller graphs).  Reduction factors on
+webgraphs trail road maps / grids because hubs already keep the baseline
+round count low.  The bench regenerates the figure and both tables at
+tiny scale and asserts the monotone-decay and near-n-baseline shapes.
+"""
+
+import pytest
+
+from repro.experiments.steps import (
+    render_reduction_table,
+    render_steps_figure,
+    render_steps_table,
+    run_steps_suite,
+)
+
+pytestmark = pytest.mark.paper_artifact("Figure 5, Table 6, Table 7")
+
+RHOS = (1, 2, 5, 10, 20, 50)
+
+
+@pytest.fixture(scope="module")
+def suite(tiny_scale):
+    return run_steps_suite(tiny_scale, weighted=True, rhos=RHOS)
+
+
+def test_fig5_weighted_suite(benchmark, suite, tiny_scale, report_sink):
+    bench_suite = benchmark.pedantic(
+        run_steps_suite,
+        args=(tiny_scale,),
+        kwargs=dict(weighted=True, rhos=RHOS, datasets=("road-pa", "grid2d")),
+        rounds=1,
+        iterations=1,
+    )
+    for name in ("road-pa", "grid2d"):
+        ds = bench_suite.results[name]
+        steps = [ds.mean_steps(r) for r in RHOS]
+        assert all(a >= b - 1e-9 for a, b in zip(steps, steps[1:])), (name, steps)
+        # distinct weights: the rho=1 baseline needs nearly one step per vertex
+        assert ds.mean_steps(1) >= 0.5 * ds.n
+    # render the full six-dataset artifacts from the session fixture
+    report_sink.append(("Figure 5 (weighted)", render_steps_figure(suite)))
+    report_sink.append(("Table 6 (weighted rounds)", render_steps_table(suite)))
+    report_sink.append(
+        ("Table 7 (reduction vs rho=1 Dijkstra)", render_reduction_table(suite))
+    )
+
+
+def test_table6_table7_all_datasets(suite):
+    for name, ds in suite.results.items():
+        # even rho=10 pays off substantially on every dataset
+        assert ds.reduction(10) >= 3.0, (name, ds.reduction(10))
+        # and the reduction keeps growing with rho
+        assert ds.reduction(50) >= ds.reduction(10) - 1e-9

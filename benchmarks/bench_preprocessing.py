@@ -1,0 +1,79 @@
+"""Preprocessing ablation: heuristic cost and quality (Section 4).
+
+Times `build_kr_graph` per heuristic on one road-map workload and asserts
+the quality ordering the paper proves per tree: DP never selects more
+shortcuts than greedy, and 'full' (the (1,ρ) strategy) is the
+k-independent upper envelope.  Also times the two fidelity knobs of the
+ball search (ties, lightest-edge restriction) that Lemma 4.2's cost
+analysis is about.
+"""
+
+import pytest
+
+from repro.graphs.generators import road_network, scale_free
+from repro.graphs.weights import random_integer_weights
+from repro.preprocess import (
+    ball_search,
+    build_kr_graph,
+    sort_adjacency_by_weight,
+)
+
+pytestmark = pytest.mark.paper_artifact("preprocessing ablation")
+
+K, RHO = 3, 16
+
+
+@pytest.fixture(scope="module")
+def road():
+    g, _coords = road_network(700, seed=1)
+    return random_integer_weights(g, low=1, high=100, seed=2)
+
+
+@pytest.mark.parametrize("heuristic", ["full", "greedy", "dp"])
+def test_build_kr_graph_heuristics(benchmark, road, heuristic, report_sink):
+    k = 1 if heuristic == "full" else K
+    pre = benchmark.pedantic(
+        build_kr_graph,
+        args=(road, k, RHO),
+        kwargs=dict(heuristic=heuristic),
+        rounds=2,
+        iterations=1,
+    )
+    report_sink.append(
+        (
+            f"preprocessing ({heuristic})",
+            f"k={k} rho={RHO}: {pre.added_edges} selections, "
+            f"{pre.new_edges} new edges ({pre.edge_factor:.2f}x m)",
+        )
+    )
+
+
+def test_dp_beats_greedy_at_same_k(road):
+    greedy = build_kr_graph(road, K, RHO, heuristic="greedy")
+    dp = build_kr_graph(road, K, RHO, heuristic="dp")
+    assert dp.added_edges <= greedy.added_edges
+
+
+def test_dp_gap_explodes_on_scale_free():
+    """§5.2: hubs off the (ki+1)-layer make greedy pay, DP does not."""
+    web = scale_free(600, attach=4, seed=9)
+    greedy = build_kr_graph(web, K, 32, heuristic="greedy")
+    dp = build_kr_graph(web, K, 32, heuristic="dp")
+    assert dp.added_edges * 2 <= greedy.added_edges
+
+
+def test_ball_search_plain(benchmark, road):
+    ball = benchmark(ball_search, road, 0, 32)
+    assert len(ball) >= 32
+
+
+def test_ball_search_lightest_edges(benchmark, road):
+    """Lemma 4.2's lightest-ρ-edge restriction: correct ball interior at
+    reduced scan cost on weight-sorted adjacency."""
+    sorted_road = sort_adjacency_by_weight(road)
+    ball = benchmark(
+        ball_search, sorted_road, 0, 32, lightest_edges=True, weight_sorted=True
+    )
+    full = ball_search(road, 0, 32)
+    assert ball.edges_scanned <= full.edges_scanned
+    assert ball.r_rho(32) >= full.r_rho(32)  # restriction can only lose ties

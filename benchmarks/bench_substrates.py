@@ -1,0 +1,79 @@
+"""Substrate microbenchmarks: treap set operations and the CSR kernel.
+
+The paper's Section 3.3 costs rest on two substrates: balanced-BST
+split/union/difference (refs [3,21,22,23]) and the data-parallel frontier
+gather (the CRCW relaxation).  These benches time both and sanity-check
+the treap's expected O(log n) height — the property every cost bound
+charges for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bfs import gather_frontier_arcs
+from repro.graphs.generators import grid_2d
+from repro.pram import treap
+from repro.pram.ordered_set import VertexKeyedSet
+
+pytestmark = pytest.mark.paper_artifact("substrates")
+
+N = 2000
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(0)
+    vals = rng.permutation(N).astype(float)
+    return [(float(v), i) for i, v in enumerate(vals)]
+
+
+def test_treap_build_and_height(benchmark, keys):
+    def build():
+        t = None
+        for key in keys:
+            t = treap.insert(t, key)
+        return t
+
+    t = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert treap.size(t) == N
+    # expected height ~ 3 log2 n for random priorities
+    assert treap.height(t) <= 6 * np.log2(N)
+
+
+def test_treap_union(benchmark, keys):
+    a = treap.from_sorted(sorted(keys[: N // 2]))
+    b = treap.from_sorted(sorted(keys[N // 2 :]))
+    out = benchmark(treap.union, a, b)
+    assert treap.size(out) == N
+
+
+def test_treap_split(benchmark, keys):
+    t = treap.from_sorted(sorted(keys))
+    mid = sorted(keys)[N // 2]
+    lo, found, hi = benchmark(treap.split, t, mid)
+    assert found
+    assert treap.size(lo) + treap.size(hi) == N - 1
+
+
+def test_vertex_set_solver_pattern(benchmark):
+    """The Q-set workload of one Algorithm-2 step: bulk union, then
+    split-min, then bulk difference."""
+    rng = np.random.default_rng(1)
+
+    def step():
+        q = VertexKeyedSet()
+        q.union_values((int(v), float(d)) for v, d in enumerate(rng.random(500)))
+        taken = q.split_leq(0.25)
+        q.difference_vertices(v for _, v in taken)
+        return len(q)
+
+    remaining = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert 0 < remaining < 500
+
+
+def test_csr_frontier_gather(benchmark):
+    g = grid_2d(60, 60)
+    frontier = np.arange(0, g.n, 7, dtype=np.int64)
+    arcpos, tails = benchmark(gather_frontier_arcs, g, frontier)
+    assert len(arcpos) == len(tails)
+    assert len(arcpos) == int(np.sum(g.degrees()[frontier]))

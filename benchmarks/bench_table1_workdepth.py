@@ -1,0 +1,51 @@
+"""Table 1: measured PRAM work/depth of the Algorithm-2 engine.
+
+The paper's Table 1 is analytic — O((m + nρ) log n) work and
+O((n/ρ) log n log ρL) depth for this work.  The bench runs the BST engine
+with a cost ledger on preprocessed grids of growing size and asserts the
+measured totals track the bounds: the work ratio stays O(1) across sizes
+and the depth ratio stays O(1) across ρ (both would diverge if the
+implementation lost a factor somewhere).
+"""
+
+import pytest
+
+from repro.experiments.workdepth import (
+    render_table1,
+    render_workdepth,
+    run_workdepth,
+)
+
+pytestmark = pytest.mark.paper_artifact("Table 1")
+
+SIDES = (8, 12, 16)
+RHOS = (4, 8, 16)
+
+
+def test_table1_workdepth(benchmark, report_sink):
+    points = benchmark.pedantic(
+        run_workdepth,
+        kwargs=dict(sides=SIDES, rhos=RHOS, k=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(points) == len(SIDES) * len(RHOS)
+    work_ratios = [p.work_ratio for p in points]
+    depth_ratios = [p.depth_ratio for p in points]
+    # Work-efficiency: measured work / (k m log n) bounded, not growing
+    # systematically with n (allow 3x drift across a 4x size range).
+    assert max(work_ratios) <= 3.0 * min(work_ratios)
+    assert max(work_ratios) < 50.0
+    # Depth tracks (n/rho) log n log(rho L): bounded ratio across the sweep.
+    assert max(depth_ratios) <= 5.0 * min(depth_ratios)
+    # More processors help more at larger rho: depth falls as rho rises
+    # within each graph size.
+    for side in SIDES:
+        per_size = [p for p in points if p.n >= side * side]
+        by_rho = {p.rho: p.depth for p in per_size if p.n == per_size[0].n}
+        rhos = sorted(by_rho)
+        assert all(
+            by_rho[a] >= by_rho[b] * 0.8 for a, b in zip(rhos, rhos[1:])
+        ), by_rho
+    report_sink.append(("Table 1 (paper bounds)", render_table1()))
+    report_sink.append(("Table 1 (measured ledger)", render_workdepth(points)))

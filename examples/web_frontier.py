@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Webgraph analysis: hubs, heuristics, and the §5.2/§5.3 story.
+
+On scale-free graphs (webgraphs, social networks) the paper observes two
+things this example reproduces end to end:
+
+* the greedy shortcut heuristic adds orders of magnitude more edges than
+  the DP heuristic, because hubs rarely sit at exactly the (ki+1)-th tree
+  layer (§5.2) — DP "can discover the hubs accurately";
+* once the hubs are inside the enclosed balls, Radius-Stepping needs very
+  few steps even at modest ρ (§5.3).
+
+The workload is a Barabási–Albert graph — the reference the paper itself
+cites for the scale-free property of webgraphs.
+
+Run:  python examples/web_frontier.py
+"""
+
+import numpy as np
+
+from repro import generators, radius_stepping
+from repro.core import bfs
+from repro.preprocess import compute_radii_sweep, count_shortcuts_sweep
+
+N, ATTACH = 1200, 4
+RHOS = (4, 8, 16, 32, 64)
+
+
+def main(n: int = N, attach: int = ATTACH, rhos: tuple = RHOS) -> None:
+    web = generators.scale_free(n, attach=attach, seed=3)
+    degrees = web.degrees()
+    print(
+        f"webgraph: {web.n} vertices, {web.m} edges; "
+        f"max degree {degrees.max()} vs median {int(np.median(degrees))} "
+        "(the 'super stars')"
+    )
+
+    # -- §5.2: greedy vs DP shortcut counts ----------------------------------
+    mid, big = rhos[len(rhos) // 2], rhos[-1]
+    counts = count_shortcuts_sweep(
+        web, ks=(3,), rhos=(mid, big), heuristics=("greedy", "dp")
+    )
+    print("\nshortcut edges needed for a (3,ρ)-graph (factors of m):")
+    print(f"{'rho':>5} {'greedy':>9} {'dp':>9} {'greedy/dp':>10}")
+    for rho in (mid, big):
+        gf = counts.factor("greedy", 3, rho)
+        df = counts.factor("dp", 3, rho)
+        print(f"{rho:>5} {gf:>9.3f} {df:>9.3f} {gf / max(df, 1e-9):>9.1f}x")
+
+    # -- §5.3: steps vs rho on the unweighted metric -------------------------
+    radii_by_rho = compute_radii_sweep(web, rhos)
+    sources = [0, n // 3, 2 * n // 3]
+    bfs_rounds = np.mean([bfs(web, s).steps for s in sources])
+    print(f"\nBFS baseline: {bfs_rounds:.1f} rounds (the ρ=1 row of Table 4)")
+    print(f"{'rho':>5} {'steps':>7} {'vs BFS':>7}")
+    for rho in rhos:
+        steps = np.mean(
+            [radius_stepping(web, s, radii_by_rho[rho]).steps for s in sources]
+        )
+        print(f"{rho:>5} {steps:>7.1f} {bfs_rounds / steps:>6.1f}x")
+
+    print(
+        "\nhubs collapse the frontier: a handful of steps suffice once the\n"
+        "balls reach the high-degree vertices — with DP adding only a\n"
+        "fraction of m in shortcuts (the paper's recommended operating point)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build; ``python setup.py develop``
+installs the same editable egg-link without needing wheels.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    entry_points={
+        "console_scripts": ["radius-stepping=repro.experiments.runner:main"]
+    },
+)

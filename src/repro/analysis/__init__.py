@@ -1,0 +1,38 @@
+"""Analysis utilities: theory bounds, multi-source stats, tables, plots."""
+
+from .ascii_plot import loglog_plot
+from .figure1 import render_annuli
+from .fitting import PowerLawFit, fit_power_law
+from .stats import StepStats, aggregate_over_sources, pick_sources
+from .tables import format_number, render_kv, render_table
+from .theory import (
+    TABLE1_ROWS,
+    Table1Row,
+    max_steps_bound,
+    max_substeps_bound,
+    preprocessing_depth,
+    preprocessing_work,
+    radius_stepping_depth,
+    radius_stepping_work,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "StepStats",
+    "TABLE1_ROWS",
+    "Table1Row",
+    "aggregate_over_sources",
+    "fit_power_law",
+    "format_number",
+    "loglog_plot",
+    "max_steps_bound",
+    "max_substeps_bound",
+    "pick_sources",
+    "preprocessing_depth",
+    "preprocessing_work",
+    "radius_stepping_depth",
+    "radius_stepping_work",
+    "render_annuli",
+    "render_kv",
+    "render_table",
+]

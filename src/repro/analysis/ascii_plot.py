@@ -1,0 +1,71 @@
+"""ASCII log-log plots — the library's "figures".
+
+The paper's Figures 3–5 are log-log line plots (added-edge factors and
+step counts vs ρ).  Without a display or matplotlib in this environment,
+we render the same series as terminal scatter plots with logarithmic
+axes; the shapes (downward-linear ≈ inverse proportionality, greedy/DP
+separation) read off directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["loglog_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _log(v: float) -> float:
+    return math.log10(v) if v > 0 else float("-inf")
+
+
+def loglog_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 20,
+    xlabel: str = "rho",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series on a shared log-log canvas.
+
+    Non-positive values are dropped (cannot appear on a log axis).
+    Returns a multi-line string; each series gets a marker from a fixed
+    cycle, shown in the legend.
+    """
+    pts: dict[str, list[tuple[float, float]]] = {
+        name: [(x, y) for x, y in data if x > 0 and y > 0]
+        for name, data in series.items()
+    }
+    all_pts = [p for data in pts.values() for p in data]
+    if not all_pts:
+        return (title + "\n" if title else "") + "(no positive data)"
+    xs = [_log(x) for x, _ in all_pts]
+    ys = [_log(y) for _, y in all_pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 - x0 < 1e-9:
+        x1 = x0 + 1.0
+    if y1 - y0 < 1e-9:
+        y1 = y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend: list[str] = []
+    for idx, (name, data) in enumerate(pts.items()):
+        mark = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{mark} = {name}")
+        for x, y in data:
+            cx = int(round((_log(x) - x0) / (x1 - x0) * (width - 1)))
+            cy = int(round((_log(y) - y0) / (y1 - y0) * (height - 1)))
+            grid[height - 1 - cy][cx] = mark
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"log10({ylabel or 'y'}): {y1:.2f} (top) .. {y0:.2f} (bottom)")
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" log10({xlabel}): {x0:.2f} (left) .. {x1:.2f} (right)")
+    lines.append(" legend: " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Paper-style text tables.
+
+Renders the rows of Tables 2–7 in the same layout the paper uses so that
+EXPERIMENTS.md's paper-vs-measured comparison is a visual diff.  Number
+formatting follows the paper: two decimals for factors, "986K"-style
+abbreviations for large step counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_number", "render_table", "render_kv"]
+
+
+def format_number(x: float, *, decimals: int = 2) -> str:
+    """Paper-style numeric formatting (K/M suffixes past 100k)."""
+    if x != x:  # NaN
+        return "-"
+    if x == float("inf"):
+        return "inf"
+    ax = abs(x)
+    if ax >= 1_000_000:
+        return f"{x / 1_000_000:.0f}M"
+    if ax >= 100_000:
+        return f"{x / 1_000:.0f}K"
+    if float(x).is_integer() and ax >= 1000:
+        return f"{int(x)}"
+    return f"{x:.{decimals}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str = "",
+    decimals: int = 2,
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    srows: list[list[str]] = []
+    for row in rows:
+        srows.append(
+            [
+                cell if isinstance(cell, str) else format_number(cell, decimals=decimals)
+                for cell in row
+            ]
+        )
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != cols:
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple[str, object]], *, title: str = "") -> str:
+    """Simple aligned key/value block for experiment headers."""
+    pairs = list(pairs)
+    width = max((len(k) for k, _ in pairs), default=0)
+    lines = [title] if title else []
+    for k, v in pairs:
+        lines.append(f"  {k.ljust(width)} : {v}")
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Theoretical bounds from the paper, as executable formulas.
+
+Used three ways: (a) tests assert the measured step/substep counts respect
+Theorems 3.2/3.3, (b) the work/depth benchmark fits ledger measurements
+against Theorem 1.1's asymptotics, and (c) the Table 1 report prints the
+cost expressions of every algorithm the paper compares against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "max_substeps_bound",
+    "max_steps_bound",
+    "radius_stepping_work",
+    "radius_stepping_depth",
+    "preprocessing_work",
+    "preprocessing_depth",
+    "TABLE1_ROWS",
+    "Table1Row",
+]
+
+
+def max_substeps_bound(k: int) -> int:
+    """Theorem 3.2: at most ``k + 2`` substeps per step when
+    ``r(v) ≤ r̄_k(v)``."""
+    if k < 0:
+        raise ValueError("k >= 0 required")
+    return k + 2
+
+
+def max_steps_bound(n: int, rho: int, L: float) -> int:
+    """Theorem 3.3: ``⌈n/ρ⌉ (1 + ⌈log₂ ρL⌉)`` steps when
+    ``|B(v, r(v))| ≥ ρ``."""
+    if n < 1 or rho < 1 or L <= 0:
+        raise ValueError("need n >= 1, rho >= 1, L > 0")
+    log_term = max(0, math.ceil(math.log2(max(1.0, rho * L))))
+    return math.ceil(n / rho) * (1 + log_term)
+
+
+def radius_stepping_work(n: int, m: int, k: int = 1) -> float:
+    """Lemma 3.9 work: O(k m log n) (constants dropped — these formulas
+    are fit targets, not predictions)."""
+    return k * m * math.log2(max(2, n))
+
+
+def radius_stepping_depth(n: int, rho: int, L: float, k: int = 1) -> float:
+    """Lemma 3.9 depth: O(k (n/ρ) log n log ρL)."""
+    return (
+        k
+        * (n / rho)
+        * math.log2(max(2, n))
+        * math.log2(max(2.0, rho * L))
+    )
+
+
+def preprocessing_work(n: int, m: int, rho: int, *, bst: bool = False) -> float:
+    """Lemma 4.2 work: O(m log n + nρ²) (Fibonacci-heap variant) or
+    O(m log n + nρ² log ρ) (BST variant)."""
+    base = m * math.log2(max(2, n)) + n * rho * rho
+    if bst:
+        base += n * rho * rho * (math.log2(max(2, rho)) - 1)
+    return base
+
+
+def preprocessing_depth(rho: int, *, bst: bool = False) -> float:
+    """Lemma 4.2 depth: O(ρ²), or O(ρ log ρ) with BST priority queues."""
+    if bst:
+        return rho * math.log2(max(2, rho))
+    return float(rho * rho)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1 (cost bounds of exact SSSP)."""
+
+    setting: str
+    algorithm: str
+    work: str
+    depth: str
+    parameters: str = ""
+
+
+#: The paper's Table 1, verbatim, for the report generator.
+TABLE1_ROWS: tuple[Table1Row, ...] = (
+    Table1Row("Unweighted (BFS)", "Standard BFS", "O(m + n)", "O(n)"),
+    Table1Row(
+        "Unweighted (BFS)",
+        "Ullman and Yannakakis",
+        "~O(m sqrt(n) + nm/t + n^3/t^4)",
+        "~O(t)",
+        "t <= sqrt(n)",
+    ),
+    Table1Row(
+        "Unweighted (BFS)",
+        "Spencer",
+        "O(m log p + n p^2 log^2 p)",
+        "O((n/p) log^2 p)",
+        "sqrt(m/n) <= p <= n",
+    ),
+    Table1Row(
+        "Unweighted (BFS)",
+        "This work",
+        "O(m + n p)",
+        "O((n/p) log p log* p)",
+        "preproc: O(n p^2) work, O(p log* p) depth",
+    ),
+    Table1Row("Weighted SSSP", "Parallel Dijkstra [20]", "O(m + n log n)", "O(n log n)"),
+    Table1Row("Weighted SSSP", "Parallel Dijkstra [4]", "O(m log n + n)", "O(n)"),
+    Table1Row(
+        "Weighted SSSP",
+        "Klein and Subramanian",
+        "O(m sqrt(n) log K log n)",
+        "O(sqrt(n) log K log n)",
+        "K = max dist from s",
+    ),
+    Table1Row(
+        "Weighted SSSP",
+        "Spencer",
+        "O((n p^2 log p + m) log(n p L))",
+        "O((n/p) log n log(p L))",
+        "log(pL) <= p <= n",
+    ),
+    Table1Row(
+        "Weighted SSSP",
+        "Shi and Spencer",
+        "O((n^3/p^2) log n log(n/p) + m log n)",
+        "O(p log n)",
+    ),
+    Table1Row("Weighted SSSP", "Cohen", "O(n^2 + n^3/p^2)", "O(p polylog(n))"),
+    Table1Row(
+        "Weighted SSSP",
+        "This work",
+        "O((m + n p) log n)",
+        "O((n/p) log n log(p L))",
+        "preproc: O(m log n + n p^2) work, O(p^2) depth",
+    ),
+)

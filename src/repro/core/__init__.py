@@ -1,0 +1,34 @@
+"""SSSP solvers: Radius-Stepping (both engines) and the baselines."""
+
+from .bellman_ford import bellman_ford
+from .bfs import bfs, bfs_levels, gather_frontier_arcs
+from .delta_stepping import delta_stepping, suggest_delta
+from .dijkstra import dijkstra, dijkstra_minhop, dijkstra_steps
+from .landmark import hop_limited_distances, landmark_sssp, sample_landmarks
+from .radius_stepping import as_radii, radius_stepping
+from .radius_stepping_bst import radius_stepping_bst
+from .radius_stepping_unweighted import radius_stepping_unweighted
+from .result import SsspResult, StepTrace
+from .solver import PreprocessedSSSP
+
+__all__ = [
+    "PreprocessedSSSP",
+    "SsspResult",
+    "StepTrace",
+    "as_radii",
+    "bellman_ford",
+    "bfs",
+    "bfs_levels",
+    "delta_stepping",
+    "dijkstra",
+    "dijkstra_minhop",
+    "dijkstra_steps",
+    "gather_frontier_arcs",
+    "hop_limited_distances",
+    "landmark_sssp",
+    "radius_stepping",
+    "sample_landmarks",
+    "radius_stepping_bst",
+    "radius_stepping_unweighted",
+    "suggest_delta",
+]

@@ -1,0 +1,168 @@
+"""Radius-Stepping specialized for unweighted graphs (Section 3.4).
+
+On an unweighted graph every tentative distance in a step's frontier is an
+integer, and §3.4 observes that the ordered sets Q and R of Algorithm 2
+are unnecessary: "all vertices in the frontier have the same tentative
+distances … a similar approach to parallel BFS can be directly used", for
+O(m + n) work and O((n/ρ) log ρ log*ρ) depth (Lemma 3.10).
+
+This engine is that specialization: the unsettled-reached frontier lives
+in a flat vertex array, the round distance ``d_i`` is one priority-write
+(a vectorized min of ``δ(v) + r(v)`` over the frontier), and each substep
+is one BFS-style CSR gather + scatter-min.  No heap, no tree, no per-edge
+Python.
+
+It must agree *exactly* — distances, steps, substeps — with the general
+engine run on the same unit-weight graph; the cross-validation lives in
+``tests/core/test_radius_stepping_unweighted.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .bfs import gather_frontier_arcs
+from .radius_stepping import as_radii
+from .result import SsspResult, StepTrace
+
+__all__ = ["radius_stepping_unweighted"]
+
+
+def radius_stepping_unweighted(
+    graph: CSRGraph,
+    source: int,
+    radii: float | np.ndarray | None,
+    *,
+    track_trace: bool = False,
+    ledger=None,
+) -> SsspResult:
+    """Run the §3.4 BFS-style Radius-Stepping from ``source``.
+
+    Parameters
+    ----------
+    graph: validated undirected CSR graph with **unit weights** (raises
+        ``ValueError`` otherwise — use :func:`repro.graphs.unit_weights`
+        to strip weights first).
+    source: source vertex id.
+    radii: per-vertex radius ``r(·)`` on the hop metric (see
+        :func:`repro.core.radius_stepping.as_radii`).
+    track_trace: record a per-step :class:`StepTrace`.
+    ledger: optional :class:`repro.pram.ledger.Ledger`; charges the
+        unweighted costs of Lemma 3.10 — O(n') work and O(log* n') depth
+        per round instead of the weighted engine's O(log n) tree factors.
+
+    Returns
+    -------
+    :class:`SsspResult` with hop distances (``inf`` when unreachable).
+    """
+    n = graph.n
+    if not (0 <= source < n):
+        raise ValueError(f"source {source} out of range [0, {n})")
+    if not graph.is_unweighted:
+        raise ValueError(
+            "radius_stepping_unweighted requires unit weights; "
+            "see repro.graphs.unit_weights"
+        )
+    r = as_radii(graph, radii)
+    indices = graph.indices
+    # log*: effectively <= 5 for any feasible n; charged as a constant.
+    log_star = 5.0 if n > 65536 else 4.0
+
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    settled = np.zeros(n, dtype=bool)
+    settled[source] = True
+    settled_count = 1
+
+    # Line 2: relax N(s).  On the unit metric every neighbor lands at 1.
+    nbrs = np.unique(graph.neighbors(source))
+    nbrs = nbrs[nbrs != source]
+    dist[nbrs] = np.minimum(dist[nbrs], 1.0)
+    frontier = nbrs  # reached, unsettled vertices (always deduplicated)
+    relaxations = graph.degree(source)
+    if ledger is not None:
+        ledger.charge(work=float(graph.degree(source)), depth=log_star, label="init")
+
+    steps = substeps_total = max_substeps = 0
+    trace: list[StepTrace] | None = [] if track_trace else None
+
+    while settled_count < n and len(frontier):
+        # ---- Line 4: d_i by one priority-write over the frontier --------
+        d_i = float(np.min(dist[frontier] + r[frontier]))
+        if ledger is not None:
+            ledger.charge(work=float(len(frontier)), depth=log_star, label="round min")
+
+        active_mask = dist[frontier] <= d_i
+        changed = frontier[active_mask]
+        step_settles = [changed]
+        step_relax = 0
+        substeps = 0
+
+        # ---- Lines 5–9: BFS-style substeps until stable ≤ d_i ------------
+        while len(changed):
+            substeps += 1
+            arcpos, tails = gather_frontier_arcs(graph, changed)
+            if len(arcpos):
+                keep = ~settled[indices[arcpos]]
+                arcpos = arcpos[keep]
+                tails = tails[keep]
+            step_relax += len(arcpos)
+            if ledger is not None:
+                ledger.charge(
+                    work=float(max(1, len(arcpos))),
+                    depth=log_star,
+                    label="substep relax",
+                )
+            if len(arcpos) == 0:
+                break
+            targets = indices[arcpos]
+            cand = dist[tails] + 1.0
+            uniq = np.unique(targets)
+            before = dist[uniq].copy()
+            np.minimum.at(dist, targets, cand)  # CRCW priority-write
+            improved_mask = dist[uniq] < before
+            improved = uniq[improved_mask]
+            # frontier bookkeeping: first-touch vertices enter the frontier
+            first_touch = uniq[improved_mask & np.isinf(before)]
+            if len(first_touch):
+                frontier = np.union1d(frontier, first_touch)
+            within = improved[dist[improved] <= d_i]
+            changed = within
+            if len(within):
+                step_settles.append(within)
+
+        # ---- Line 10: settle S_i -----------------------------------------
+        newly = np.unique(np.concatenate(step_settles)) if step_settles else np.empty(0, np.int64)
+        newly = newly[~settled[newly]]
+        settled[newly] = True
+        settled_count += len(newly)
+        frontier = frontier[~settled[frontier]]
+        steps += 1
+        substeps_total += substeps
+        max_substeps = max(max_substeps, substeps)
+        relaxations += step_relax
+        if trace is not None:
+            trace.append(
+                StepTrace(
+                    step=steps - 1,
+                    radius=d_i,
+                    substeps=substeps,
+                    settled=len(newly),
+                    relaxations=step_relax,
+                )
+            )
+        if len(newly) == 0:
+            raise RuntimeError("radius-stepping made no progress (empty step)")
+
+    return SsspResult(
+        dist=dist,
+        parent=None,
+        steps=steps,
+        substeps=substeps_total,
+        max_substeps=max_substeps,
+        relaxations=relaxations,
+        algorithm="radius-stepping-unweighted",
+        params={"source": source},
+        trace=trace,
+    )

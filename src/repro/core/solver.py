@@ -1,0 +1,169 @@
+"""High-level amortized SSSP interface: preprocess once, query many.
+
+The paper's operating model (§5.4): "since preprocessing is only run
+once, if Sssp will be run from multiple sources, we suggest increasing ρ
+and decreasing k: the cost for preprocessing is amortized over more
+sources."  :class:`PreprocessedSSSP` packages that workflow — it owns the
+(k,ρ)-graph and radii produced by :func:`repro.preprocess.build_kr_graph`
+and answers any number of single-source queries against them, picking the
+right engine per graph kind.
+
+This is the API a routing service or graph-analytics pipeline would
+embed; the lower-level pieces stay available for research use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..preprocess.pipeline import PreprocessResult, build_kr_graph
+from .radius_stepping import radius_stepping
+from .radius_stepping_bst import radius_stepping_bst
+from .radius_stepping_unweighted import radius_stepping_unweighted
+from .result import SsspResult
+
+__all__ = ["PreprocessedSSSP"]
+
+Engine = Literal["auto", "vectorized", "bst", "unweighted"]
+
+
+class PreprocessedSSSP:
+    """Amortized many-source shortest paths via Radius-Stepping.
+
+    Parameters
+    ----------
+    graph: undirected, non-negatively weighted input graph.
+    k: substep budget — each query step runs at most ``k + 2`` substeps
+        (Theorem 3.2).  Small constants (2–4) per §5.4.
+    rho: ball size — queries take O((n/ρ) log ρL) steps (Theorem 3.3).
+        Larger ρ = fewer steps but more preprocessing and shortcut edges.
+    heuristic: shortcut selector — ``"dp"`` (recommended, §4.2.2),
+        ``"greedy"`` (§4.2.1), or ``"full"`` ((1,ρ), ignores ``k``).
+    n_jobs: worker processes for the preprocessing phase.
+
+    Examples
+    --------
+    >>> from repro import generators
+    >>> from repro.core.solver import PreprocessedSSSP
+    >>> sp = PreprocessedSSSP(generators.grid_2d(12, 12), k=2, rho=16)
+    >>> res = sp.solve(0)
+    >>> float(res.dist[143])
+    22.0
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        k: int = 2,
+        rho: int = 32,
+        heuristic: str = "dp",
+        n_jobs: int = 1,
+    ) -> None:
+        self._input = graph
+        self._pre: PreprocessResult = build_kr_graph(
+            graph, k, rho, heuristic=heuristic, n_jobs=n_jobs
+        )
+        self._queries = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> CSRGraph:
+        """The augmented (k,ρ)-graph queries actually run on."""
+        return self._pre.graph
+
+    @property
+    def radii(self) -> np.ndarray:
+        """The per-vertex radii r_ρ(·) driving the step schedule."""
+        return self._pre.radii
+
+    @property
+    def preprocessing(self) -> PreprocessResult:
+        """Full preprocessing record (edge counts, configuration)."""
+        return self._pre
+
+    @property
+    def queries_answered(self) -> int:
+        """Number of solve() calls so far — the amortization denominator."""
+        return self._queries
+
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        source: int,
+        *,
+        engine: Engine = "auto",
+        track_parents: bool = False,
+        track_trace: bool = False,
+        ledger=None,
+    ) -> SsspResult:
+        """Exact shortest paths from ``source`` on the preprocessed graph.
+
+        ``engine="auto"`` uses the §3.4 BFS-style engine when the
+        *augmented* graph still has unit weights, else the vectorized
+        general engine.  ``"bst"`` forces the faithful Algorithm-2
+        reference (slow; for validation and PRAM accounting).
+
+        Distances returned are distances in the *input* graph: shortcuts
+        carry exact shortest-path weights, so augmentation never changes
+        the metric (Lemma 4.1 discussion).
+        """
+        self._queries += 1
+        if engine == "auto":
+            engine = "unweighted" if self.graph.is_unweighted else "vectorized"
+        if engine == "vectorized":
+            return radius_stepping(
+                self.graph,
+                source,
+                self.radii,
+                track_parents=track_parents,
+                track_trace=track_trace,
+                ledger=ledger,
+            )
+        if engine == "unweighted":
+            if track_parents:
+                raise ValueError("the unweighted engine does not track parents")
+            return radius_stepping_unweighted(
+                self.graph,
+                source,
+                self.radii,
+                track_trace=track_trace,
+                ledger=ledger,
+            )
+        if engine == "bst":
+            if track_parents:
+                raise ValueError("the BST engine does not track parents")
+            return radius_stepping_bst(
+                self.graph,
+                source,
+                self.radii,
+                track_trace=track_trace,
+                ledger=ledger,
+            )
+        raise ValueError(f"unknown engine {engine!r}")
+
+    def distances(self, source: int) -> np.ndarray:
+        """Just the distance vector from ``source``."""
+        return self.solve(source).dist
+
+    def solve_many(
+        self, sources: Iterable[int], *, engine: Engine = "auto"
+    ) -> list[SsspResult]:
+        """Answer a batch of queries; one result per source, input order."""
+        return [self.solve(int(s), engine=engine) for s in sources]
+
+    def mean_steps(self, sources: Iterable[int]) -> float:
+        """Average step count over ``sources`` — the §5.3 metric."""
+        results = self.solve_many(sources)
+        return float(np.mean([r.steps for r in results]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = self._pre
+        return (
+            f"PreprocessedSSSP(k={p.k}, rho={p.rho}, heuristic={p.heuristic!r}, "
+            f"n={self.graph.n}, m={self.graph.m}, "
+            f"+{p.new_edges} shortcut edges, {self._queries} queries)"
+        )

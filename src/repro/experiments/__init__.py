@@ -1,0 +1,59 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation."""
+
+from .bounds_check import BoundsPoint, render_bounds, run_bounds_check
+from .config import SCALES, ScaleConfig, get_scale
+from .datasets import DATASET_NAMES, Dataset, make_all_datasets, make_dataset
+from .shortcut_edges import (
+    FIG3_DATASETS,
+    ShortcutSuite,
+    render_factor_table,
+    render_fig3,
+    run_shortcut_suite,
+)
+from .steps import (
+    DatasetSteps,
+    StepsSuite,
+    render_reduction_table,
+    render_steps_figure,
+    render_steps_table,
+    run_steps_for_dataset,
+    run_steps_suite,
+)
+from .workdepth import (
+    WorkDepthPoint,
+    render_table1,
+    render_workdepth,
+    run_workdepth,
+)
+from .runner import EXPERIMENTS, main
+
+__all__ = [
+    "BoundsPoint",
+    "DATASET_NAMES",
+    "Dataset",
+    "DatasetSteps",
+    "EXPERIMENTS",
+    "FIG3_DATASETS",
+    "SCALES",
+    "ScaleConfig",
+    "ShortcutSuite",
+    "StepsSuite",
+    "WorkDepthPoint",
+    "get_scale",
+    "main",
+    "make_all_datasets",
+    "make_dataset",
+    "render_bounds",
+    "render_factor_table",
+    "render_fig3",
+    "render_reduction_table",
+    "render_steps_figure",
+    "render_steps_table",
+    "render_table1",
+    "render_workdepth",
+    "run_bounds_check",
+    "run_shortcut_suite",
+    "run_steps_for_dataset",
+    "run_steps_suite",
+    "run_workdepth",
+]

@@ -1,0 +1,122 @@
+"""Scale presets for the experiment drivers.
+
+The paper runs ~1M-vertex graphs with 1000 sample sources and ρ up to
+10,000.  Pure-Python substrates cannot match that wall-clock, so every
+experiment takes a *scale* preset that shrinks graph sizes, source counts,
+and ρ-sweeps together while preserving every qualitative shape (steps ∝
+1/ρ, greedy≫DP on scale-free graphs, etc.).  ``tiny`` is wired into the
+pytest-benchmark suite; ``small``/``medium`` are interactive CLI scales;
+``large`` approaches paper shapes and runs in tens of minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ScaleConfig", "SCALES", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Sizes and sweeps for one scale preset.
+
+    Attributes
+    ----------
+    name: preset name.
+    road_n / web_n / grid2d_side / grid3d_side: dataset sizes.
+    web_attach: Barabási–Albert attachment counts (NotreDame-like,
+        Stanford-like).
+    num_sources: sample sources for step experiments (paper: 1000).
+    steps_rhos: ρ-sweep for Figures 4/5 and Tables 4–7.
+    shortcut_rhos: ρ-sweep for Figure 3 and Tables 2/3 (paper: 10..1000).
+    shortcut_ks: k-sweep for Tables 2/3 (paper: 2..5).
+    shortcut_sources: sampled sources for shortcut counting (None = all).
+    """
+
+    name: str
+    road_n: tuple[int, int]
+    web_n: tuple[int, int]
+    web_attach: tuple[int, int]
+    grid2d_side: int
+    grid3d_side: int
+    num_sources: int
+    steps_rhos: tuple[int, ...]
+    shortcut_rhos: tuple[int, ...]
+    shortcut_ks: tuple[int, ...] = (2, 3, 4, 5)
+    shortcut_sources: int | None = None
+    seed: int = 20160614  # SPAA'16 conference date
+
+    def describe(self) -> dict[str, object]:
+        """Plain dict for report headers."""
+        return {
+            "scale": self.name,
+            "road_n": self.road_n,
+            "web_n": self.web_n,
+            "grid2d": f"{self.grid2d_side}x{self.grid2d_side}",
+            "grid3d": f"{self.grid3d_side}^3",
+            "sources": self.num_sources,
+        }
+
+
+SCALES: dict[str, ScaleConfig] = {
+    "tiny": ScaleConfig(
+        name="tiny",
+        road_n=(900, 1100),
+        web_n=(800, 700),
+        web_attach=(3, 5),
+        grid2d_side=30,
+        grid3d_side=10,
+        num_sources=3,
+        steps_rhos=(1, 2, 5, 10, 20, 50),
+        shortcut_rhos=(5, 10, 20, 50),
+        shortcut_ks=(2, 3),
+        shortcut_sources=40,
+    ),
+    "small": ScaleConfig(
+        name="small",
+        road_n=(2200, 2600),
+        web_n=(1800, 1500),
+        web_attach=(4, 7),
+        grid2d_side=48,
+        grid3d_side=13,
+        num_sources=5,
+        steps_rhos=(1, 2, 5, 10, 20, 50, 100),
+        shortcut_rhos=(10, 20, 50, 100),
+        shortcut_ks=(2, 3, 4, 5),
+        shortcut_sources=120,
+    ),
+    "medium": ScaleConfig(
+        name="medium",
+        road_n=(9000, 11000),
+        web_n=(7000, 6000),
+        web_attach=(5, 9),
+        grid2d_side=100,
+        grid3d_side=22,
+        num_sources=10,
+        steps_rhos=(1, 2, 5, 10, 20, 50, 100, 200),
+        shortcut_rhos=(10, 20, 50, 100, 200),
+        shortcut_ks=(2, 3, 4, 5),
+        shortcut_sources=300,
+    ),
+    "large": ScaleConfig(
+        name="large",
+        road_n=(40000, 50000),
+        web_n=(30000, 25000),
+        web_attach=(6, 12),
+        grid2d_side=200,
+        grid3d_side=34,
+        num_sources=25,
+        steps_rhos=(1, 2, 5, 10, 20, 50, 100, 200, 500, 1000),
+        shortcut_rhos=(10, 20, 50, 100, 200, 500, 1000),
+        shortcut_ks=(2, 3, 4, 5),
+        shortcut_sources=500,
+    ),
+}
+
+
+def get_scale(name: str) -> ScaleConfig:
+    """Look up a preset; raises with the available names on a typo."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(f"unknown scale {name!r}; choose from {sorted(SCALES)}") from None

@@ -1,0 +1,93 @@
+"""The six evaluation graphs (§5.1) at configurable scale.
+
+Paper datasets → our substitutes (see DESIGN.md §2):
+
+====================== =============================================
+roadNet-PA (1.09M/3.08M)  ``road-pa``: thinned Delaunay, avg deg ≈ 2.8
+roadNet-TX (1.39M/3.84M)  ``road-tx``: same family, different size/seed
+web-NotreDame (325k/2.2M) ``web-nd``: Barabási–Albert, lower attachment
+web-Stanford (281k/3.98M) ``web-st``: Barabási–Albert, higher attachment
+2D grid (1M/2M)           ``grid2d``
+3D grid (1M/5.94M)        ``grid3d``
+====================== =============================================
+
+Weighted variants assign U{1..10^4} integer weights (§5.1) with a seed
+derived from the scale seed, identical across experiments — the paper uses
+the same sources and weights throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.csr import CSRGraph
+from ..graphs.generators import grid_2d, grid_3d, road_network, scale_free
+from ..graphs.weights import random_integer_weights
+from .config import ScaleConfig
+
+__all__ = ["Dataset", "DATASET_NAMES", "make_dataset", "make_all_datasets"]
+
+DATASET_NAMES: tuple[str, ...] = (
+    "road-pa",
+    "road-tx",
+    "web-nd",
+    "web-st",
+    "grid2d",
+    "grid3d",
+)
+
+#: Display names matching the paper's table headers.
+PAPER_NAMES: dict[str, str] = {
+    "road-pa": "Road map of Pennsylvania (synthetic)",
+    "road-tx": "Road map of Texas (synthetic)",
+    "web-nd": "Webgraph of Notre Dame (synthetic)",
+    "web-st": "Webgraph of Stanford (synthetic)",
+    "grid2d": "2D-grid",
+    "grid3d": "3D-grid",
+}
+
+
+@dataclass
+class Dataset:
+    """One named evaluation graph, unweighted + weighted variants."""
+
+    name: str
+    unweighted: CSRGraph
+    weighted: CSRGraph
+
+    @property
+    def n(self) -> int:
+        return self.unweighted.n
+
+    @property
+    def m(self) -> int:
+        return self.unweighted.m
+
+
+def make_dataset(name: str, scale: ScaleConfig) -> Dataset:
+    """Build one dataset deterministically from the scale preset."""
+    seed = scale.seed
+    if name == "road-pa":
+        g, _ = road_network(scale.road_n[0], seed=seed + 1)
+    elif name == "road-tx":
+        g, _ = road_network(scale.road_n[1], seed=seed + 2)
+    elif name == "web-nd":
+        g = scale_free(scale.web_n[0], scale.web_attach[0], seed=seed + 3)
+    elif name == "web-st":
+        g = scale_free(scale.web_n[1], scale.web_attach[1], seed=seed + 4)
+    elif name == "grid2d":
+        g = grid_2d(scale.grid2d_side, scale.grid2d_side)
+    elif name == "grid3d":
+        side = scale.grid3d_side
+        g = grid_3d(side, side, side)
+    else:
+        raise ValueError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    weighted = random_integer_weights(g, seed=seed + 97)
+    return Dataset(name=name, unweighted=g, weighted=weighted)
+
+
+def make_all_datasets(
+    scale: ScaleConfig, names: tuple[str, ...] = DATASET_NAMES
+) -> dict[str, Dataset]:
+    """All requested datasets, keyed by name."""
+    return {name: make_dataset(name, scale) for name in names}

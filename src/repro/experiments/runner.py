@@ -1,0 +1,167 @@
+"""Command-line experiment runner.
+
+Regenerates every table and figure of the paper's evaluation at a chosen
+scale::
+
+    radius-stepping fig4 --scale small
+    radius-stepping table2 table3 --scale medium --n-jobs 4
+    radius-stepping all --scale tiny
+
+(or ``python -m repro.experiments ...``).  Output is plain text — the same
+renderers the benchmark suite and EXPERIMENTS.md use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Sequence
+
+from ..analysis.tables import render_kv
+from .bounds_check import render_bounds, run_bounds_check
+from .config import SCALES, get_scale
+from .shortcut_edges import render_factor_table, render_fig3, run_shortcut_suite
+from .steps import (
+    render_reduction_table,
+    render_steps_figure,
+    render_steps_table,
+    run_steps_suite,
+)
+from .workdepth import render_table1, render_workdepth, run_workdepth
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _fig1_report(args: argparse.Namespace) -> str:
+    """Figure 1: the annuli of one measured Radius-Stepping run."""
+    from ..analysis.figure1 import render_annuli
+    from ..core.radius_stepping import radius_stepping
+    from ..graphs.generators import grid_2d
+    from ..graphs.weights import random_integer_weights
+    from ..preprocess.pipeline import build_kr_graph
+
+    g = random_integer_weights(grid_2d(24, 24), low=1, high=100, seed=1)
+    pre = build_kr_graph(g, k=2, rho=24, heuristic="dp")
+    res = radius_stepping(pre.graph, 0, pre.radii, track_trace=True)
+    return render_annuli(res.trace)
+
+
+def _fig2_report(args: argparse.Namespace) -> str:
+    """Figure 2: ball search needs Ω(d²) edge scans for ~3d vertices."""
+    from ..graphs.generators import figure2_graph
+    from ..preprocess.ball import ball_search
+
+    lines = [
+        "Figure 2 check: cycle-of-bicliques where reaching rho ~ 3d vertices",
+        "scans O(d^2) edges (Lemma 4.2 worst case).",
+        "",
+        f"{'d':>4} {'rho':>5} {'visited':>8} {'edges_scanned':>14} {'d^2':>7}",
+    ]
+    for d in (4, 8, 16, 32):
+        g = figure2_graph(d)
+        rho = 3 * d + 1
+        ball = ball_search(g, 0, rho)
+        lines.append(
+            f"{d:>4} {rho:>5} {len(ball):>8} {ball.edges_scanned:>14} {d * d:>7}"
+        )
+    return "\n".join(lines)
+
+
+def _steps_reports(weighted: bool, what: str) -> Callable[[argparse.Namespace], str]:
+    def run(args: argparse.Namespace) -> str:
+        suite = run_steps_suite(
+            args.scale, weighted=weighted, n_jobs=args.n_jobs
+        )
+        if what == "figure":
+            return render_steps_figure(suite)
+        if what == "steps":
+            return render_steps_table(suite)
+        return render_reduction_table(suite)
+
+    return run
+
+
+def _shortcut_reports(what: str) -> Callable[[argparse.Namespace], str]:
+    def run(args: argparse.Namespace) -> str:
+        suite = run_shortcut_suite(
+            args.scale, with_rounds=(what != "fig3"), n_jobs=args.n_jobs
+        )
+        if what == "fig3":
+            return render_fig3(suite, k=3 if 3 in suite.ks else suite.ks[0])
+        return render_factor_table(suite, "greedy" if what == "table2" else "dp")
+
+    return run
+
+
+def _workdepth_report(args: argparse.Namespace) -> str:
+    points = run_workdepth()
+    return render_table1() + "\n\n" + render_workdepth(points)
+
+
+def _bounds_report(args: argparse.Namespace) -> str:
+    points = run_bounds_check(args.scale, n_jobs=args.n_jobs)
+    return render_bounds(points)
+
+
+#: experiment name -> report function
+EXPERIMENTS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig1": _fig1_report,
+    "fig2": _fig2_report,
+    "fig3": _shortcut_reports("fig3"),
+    "table2": _shortcut_reports("table2"),
+    "table3": _shortcut_reports("table3"),
+    "fig4": _steps_reports(weighted=False, what="figure"),
+    "table4": _steps_reports(weighted=False, what="steps"),
+    "table5": _steps_reports(weighted=False, what="reduction"),
+    "fig5": _steps_reports(weighted=True, what="figure"),
+    "table6": _steps_reports(weighted=True, what="steps"),
+    "table7": _steps_reports(weighted=True, what="reduction"),
+    "table1": lambda args: render_table1(),
+    "workdepth": _workdepth_report,
+    "bounds": _bounds_report,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="radius-stepping",
+        description="Regenerate the tables and figures of 'Parallel "
+        "Shortest-Paths Using Radius Stepping' (SPAA 2016).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="problem-size preset (default: small)",
+    )
+    parser.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes for preprocessing (default 1; 0 = all cores)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    cfg = get_scale(args.scale)
+    print(render_kv(sorted(cfg.describe().items()), title="# configuration"))
+    for name in wanted:
+        t0 = time.perf_counter()
+        print(f"\n===== {name} =====")
+        print(EXPERIMENTS[name](args))
+        print(f"[{name}: {time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

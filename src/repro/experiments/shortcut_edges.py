@@ -1,0 +1,151 @@
+"""Shortcut-edge experiments — Figure 3 and Tables 2/3 (§5.2).
+
+How many edges do the greedy and DP heuristics add to make each graph a
+(k,ρ)-graph?  The paper uses three representative graphs (roadNet-PA,
+web-Stanford, the 2D grid) on the *unweighted* versions ("the performance
+of the heuristics is independent of edge weights" — §5.2), sweeping
+k ∈ {2..5} and ρ ∈ {10..1000}, reporting added edges as a fraction of m.
+
+Tables 2/3 also carry a "red. rounds" column — the unweighted step
+reduction at that ρ (same quantity as Table 5) — reproduced here when
+``with_rounds`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.ascii_plot import loglog_plot
+from ..analysis.stats import aggregate_over_sources, pick_sources
+from ..analysis.tables import render_table
+from ..core.radius_stepping import radius_stepping
+from ..preprocess.count import ShortcutCounts, count_shortcuts_sweep
+from ..preprocess.radii import compute_radii_sweep
+from .config import ScaleConfig, get_scale
+from .datasets import Dataset, make_all_datasets
+
+__all__ = [
+    "ShortcutSuite",
+    "FIG3_DATASETS",
+    "run_shortcut_suite",
+    "render_factor_table",
+    "render_fig3",
+]
+
+#: The paper's three representative graphs for this experiment.
+FIG3_DATASETS: tuple[str, ...] = ("road-pa", "web-st", "grid2d")
+
+
+@dataclass
+class ShortcutSuite:
+    """Edge-factor sweep results for several datasets."""
+
+    ks: tuple[int, ...]
+    rhos: tuple[int, ...]
+    counts: dict[str, ShortcutCounts]
+    rounds_reduction: dict[str, dict[int, float]]  # dataset -> rho -> factor
+
+    def factor(self, dataset: str, heuristic: str, k: int, rho: int) -> float:
+        """Added-edge factor (added / m) for one configuration."""
+        return self.counts[dataset].factor(heuristic, k, rho)
+
+
+def _rounds_reduction(
+    dataset: Dataset, rhos: Sequence[int], num_sources: int, seed: int, n_jobs: int
+) -> dict[int, float]:
+    """Unweighted step-reduction factors vs ρ=1 (the "red. rounds" column)."""
+    graph = dataset.unweighted
+    sweep = tuple(sorted({1, *map(int, rhos)}))
+    radii_by_rho = compute_radii_sweep(graph, sweep, n_jobs=n_jobs)
+    sources = pick_sources(graph.n, num_sources, seed=seed)
+    means: dict[int, float] = {}
+    for rho in sweep:
+        radii = radii_by_rho[rho]
+        means[rho] = aggregate_over_sources(
+            graph, lambda g, s: radius_stepping(g, s, radii), sources
+        ).mean_steps
+    base = means[1]
+    return {rho: (base / means[rho] if means[rho] else float("inf")) for rho in rhos}
+
+
+def run_shortcut_suite(
+    scale: ScaleConfig | str,
+    *,
+    datasets: Sequence[str] = FIG3_DATASETS,
+    ks: Sequence[int] | None = None,
+    rhos: Sequence[int] | None = None,
+    heuristics: Sequence[str] = ("greedy", "dp"),
+    with_rounds: bool = True,
+    n_jobs: int = 1,
+) -> ShortcutSuite:
+    """Run the Figure 3 / Tables 2–3 sweep at the given scale."""
+    cfg = get_scale(scale) if isinstance(scale, str) else scale
+    ks = tuple(ks) if ks is not None else cfg.shortcut_ks
+    rhos = tuple(rhos) if rhos is not None else cfg.shortcut_rhos
+    data = make_all_datasets(cfg, tuple(datasets))
+    counts: dict[str, ShortcutCounts] = {}
+    rounds: dict[str, dict[int, float]] = {}
+    for name, ds in data.items():
+        counts[name] = count_shortcuts_sweep(
+            ds.unweighted,
+            ks=ks,
+            rhos=rhos,
+            heuristics=heuristics,
+            num_sources=cfg.shortcut_sources,
+            seed=cfg.seed,
+            n_jobs=n_jobs,
+        )
+        if with_rounds:
+            rounds[name] = _rounds_reduction(
+                ds, rhos, cfg.num_sources, cfg.seed, n_jobs
+            )
+    return ShortcutSuite(ks=ks, rhos=rhos, counts=counts, rounds_reduction=rounds)
+
+
+def render_factor_table(suite: ShortcutSuite, heuristic: str) -> str:
+    """Table 2 (greedy) / Table 3 (DP): factors per dataset, k, and ρ."""
+    blocks: list[str] = []
+    which = {"greedy": "Table 2 (greedy heuristic)", "dp": "Table 3 (DP heuristic)"}
+    title = which.get(heuristic, f"Shortcut factors ({heuristic})")
+    for name, counts in suite.counts.items():
+        headers = ["rho"] + [f"k={k}" for k in suite.ks]
+        has_rounds = name in suite.rounds_reduction
+        if has_rounds:
+            headers.append("red. rounds")
+        rows = []
+        for rho in suite.rhos:
+            row: list[object] = [str(rho)]
+            row += [counts.factor(heuristic, k, rho) for k in suite.ks]
+            if has_rounds:
+                row.append(suite.rounds_reduction[name][rho])
+            rows.append(row)
+        blocks.append(
+            render_table(
+                headers,
+                rows,
+                title=f"{title} — {name} "
+                f"(n={counts.n}, m={counts.m}, {counts.num_sources} sources)",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def render_fig3(suite: ShortcutSuite, *, k: int = 3) -> str:
+    """Figure 3: greedy-vs-DP added-edge factor at k=3, log-log in ρ."""
+    blocks: list[str] = []
+    for name, counts in suite.counts.items():
+        if k not in suite.ks:
+            raise ValueError(f"k={k} not in the sweep {suite.ks}")
+        series = {
+            h: [(rho, counts.factor(h, k, rho)) for rho in suite.rhos]
+            for h in counts.totals
+        }
+        blocks.append(
+            loglog_plot(
+                series,
+                title=f"Figure 3 — {name}: factor of additional edges (k={k})",
+                ylabel="factor",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,202 @@
+"""Step-count experiments — Figures 4/5 and Tables 4/5/6/7 (§5.3).
+
+For each dataset and each ρ, run Radius-Stepping with radii ``r_ρ(·)``
+from a seeded source sample and report the mean number of steps.  Key
+facts this driver exploits (both §5.3):
+
+* "the number of steps is independent of k and is only affected by ρ" —
+  shortcuts never change distances or the d_i sequence, so no shortcut
+  materialization is needed here, only radii;
+* ρ = 1 gives the baselines for the reduction tables: BFS rounds
+  (unweighted, Table 5) and batched Dijkstra (weighted, Table 7) — both
+  are Radius-Stepping with r ≡ 0, which is exactly r_1 under the paper's
+  self-counting convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.ascii_plot import loglog_plot
+from ..analysis.stats import StepStats, aggregate_over_sources, pick_sources
+from ..analysis.tables import render_table
+from ..core.bfs import bfs
+from ..core.radius_stepping import radius_stepping
+from ..preprocess.radii import compute_radii_sweep
+from .config import ScaleConfig, get_scale
+from .datasets import DATASET_NAMES, Dataset, make_all_datasets
+
+__all__ = [
+    "DatasetSteps",
+    "StepsSuite",
+    "run_steps_for_dataset",
+    "run_steps_suite",
+    "render_steps_table",
+    "render_reduction_table",
+    "render_steps_figure",
+]
+
+#: Figure panel grouping, as in the paper: (a) road maps, (b) webgraphs,
+#: (c) grids.
+PANELS: tuple[tuple[str, tuple[str, str]], ...] = (
+    ("Road maps", ("road-pa", "road-tx")),
+    ("Webgraphs", ("web-nd", "web-st")),
+    ("Grids", ("grid2d", "grid3d")),
+)
+
+
+@dataclass
+class DatasetSteps:
+    """Mean step counts for one dataset across the ρ-sweep."""
+
+    name: str
+    n: int
+    m: int
+    weighted: bool
+    rhos: tuple[int, ...]
+    stats: dict[int, StepStats]
+    bfs_rounds: float | None = None  # unweighted cross-check
+
+    def mean_steps(self, rho: int) -> float:
+        return self.stats[rho].mean_steps
+
+    def reduction(self, rho: int) -> float:
+        """Step-reduction factor vs ρ=1 (Tables 5 and 7)."""
+        base = self.mean_steps(min(self.rhos))
+        cur = self.mean_steps(rho)
+        return base / cur if cur else float("inf")
+
+
+@dataclass
+class StepsSuite:
+    """All datasets for one weighted/unweighted experiment."""
+
+    weighted: bool
+    rhos: tuple[int, ...]
+    num_sources: int
+    results: dict[str, DatasetSteps]
+
+
+def run_steps_for_dataset(
+    dataset: Dataset,
+    rhos: Sequence[int],
+    num_sources: int,
+    *,
+    weighted: bool,
+    seed: int = 0,
+    n_jobs: int = 1,
+) -> DatasetSteps:
+    """Radii sweep + multi-source step statistics for one dataset."""
+    graph = dataset.weighted if weighted else dataset.unweighted
+    rhos = tuple(sorted(set(int(r) for r in rhos)))
+    radii_by_rho = compute_radii_sweep(graph, rhos, n_jobs=n_jobs)
+    sources = pick_sources(graph.n, num_sources, seed=seed)
+    stats: dict[int, StepStats] = {}
+    for rho in rhos:
+        radii = radii_by_rho[rho]
+        stats[rho] = aggregate_over_sources(
+            graph, lambda g, s: radius_stepping(g, s, radii), sources
+        )
+    bfs_rounds = None
+    if not weighted:
+        bfs_rounds = float(np.mean([bfs(graph, int(s)).steps for s in sources]))
+    return DatasetSteps(
+        name=dataset.name,
+        n=graph.n,
+        m=graph.m,
+        weighted=weighted,
+        rhos=rhos,
+        stats=stats,
+        bfs_rounds=bfs_rounds,
+    )
+
+
+def run_steps_suite(
+    scale: ScaleConfig | str,
+    *,
+    weighted: bool,
+    datasets: Sequence[str] = DATASET_NAMES,
+    rhos: Sequence[int] | None = None,
+    num_sources: int | None = None,
+    n_jobs: int = 1,
+) -> StepsSuite:
+    """Run the full Figure 4 (unweighted) or Figure 5 (weighted) suite."""
+    cfg = get_scale(scale) if isinstance(scale, str) else scale
+    rhos = tuple(rhos) if rhos is not None else cfg.steps_rhos
+    num_sources = num_sources if num_sources is not None else cfg.num_sources
+    data = make_all_datasets(cfg, tuple(datasets))
+    results = {
+        name: run_steps_for_dataset(
+            ds, rhos, num_sources, weighted=weighted, seed=cfg.seed, n_jobs=n_jobs
+        )
+        for name, ds in data.items()
+    }
+    return StepsSuite(
+        weighted=weighted,
+        rhos=tuple(sorted(set(int(r) for r in rhos))),
+        num_sources=num_sources,
+        results=results,
+    )
+
+
+def render_steps_table(suite: StepsSuite) -> str:
+    """Table 4 (unweighted) / Table 6 (weighted): mean rounds per ρ."""
+    names = list(suite.results)
+    headers = ["rho"] + names
+    size_rows = [
+        ["vertices"] + [f"{suite.results[n].n}" for n in names],
+        ["edges"] + [f"{suite.results[n].m}" for n in names],
+    ]
+    rows = size_rows + [
+        [str(rho)] + [suite.results[n].mean_steps(rho) for n in names]
+        for rho in suite.rhos
+    ]
+    which = "6 (weighted)" if suite.weighted else "4 (unweighted)"
+    return render_table(
+        headers,
+        rows,
+        title=f"Table {which}: average Radius-Stepping rounds vs rho "
+        f"({suite.num_sources} sources)",
+    )
+
+
+def render_reduction_table(suite: StepsSuite) -> str:
+    """Table 5 / Table 7: reduction factor vs ρ=1."""
+    names = list(suite.results)
+    headers = ["rho"] + names
+    rows = [
+        [str(rho)] + [suite.results[n].reduction(rho) for n in names]
+        for rho in suite.rhos
+        if rho > min(suite.rhos)
+    ]
+    which = "7 (vs Dijkstra)" if suite.weighted else "5 (vs BFS)"
+    return render_table(
+        headers, rows, title=f"Table {which}: round-reduction factor vs rho=1"
+    )
+
+
+def render_steps_figure(suite: StepsSuite) -> str:
+    """Figure 4 / Figure 5: three log-log panels of steps vs ρ."""
+    blocks: list[str] = []
+    fig = "Figure 5 (weighted)" if suite.weighted else "Figure 4 (unweighted)"
+    for panel_name, names in PANELS:
+        series = {
+            name: [
+                (rho, suite.results[name].mean_steps(rho)) for rho in suite.rhos
+            ]
+            for name in names
+            if name in suite.results
+        }
+        if not series:
+            continue
+        blocks.append(
+            loglog_plot(
+                series,
+                title=f"{fig} — {panel_name}",
+                ylabel="avg steps",
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,57 @@
+"""Graph substrate: CSR kernel, builders, generators, weights, and I/O."""
+
+from .csr import CSRGraph
+from .build import (
+    add_shortcuts,
+    connected_components,
+    from_adjacency,
+    from_arc_arrays,
+    from_edge_list,
+    induced_subgraph,
+    is_connected,
+    largest_connected_component,
+    reweighted,
+)
+from .validate import (
+    GraphValidationError,
+    check_min_weight_normalized,
+    normalize_weights,
+    validate_graph,
+)
+from .weights import (
+    PAPER_WEIGHT_HIGH,
+    PAPER_WEIGHT_LOW,
+    euclidean_weights,
+    random_integer_weights,
+    uniform_weights,
+    unit_weights,
+)
+from . import generators
+from .io import load_snap_graph, read_edge_list, write_edge_list
+
+__all__ = [
+    "CSRGraph",
+    "GraphValidationError",
+    "PAPER_WEIGHT_HIGH",
+    "PAPER_WEIGHT_LOW",
+    "add_shortcuts",
+    "check_min_weight_normalized",
+    "connected_components",
+    "euclidean_weights",
+    "from_adjacency",
+    "from_arc_arrays",
+    "from_edge_list",
+    "generators",
+    "induced_subgraph",
+    "is_connected",
+    "largest_connected_component",
+    "load_snap_graph",
+    "normalize_weights",
+    "random_integer_weights",
+    "read_edge_list",
+    "reweighted",
+    "unit_weights",
+    "uniform_weights",
+    "validate_graph",
+    "write_edge_list",
+]

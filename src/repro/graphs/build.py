@@ -1,0 +1,227 @@
+"""Graph construction and transformation helpers.
+
+All constructors produce validated, simple, undirected
+:class:`~repro.graphs.csr.CSRGraph` objects.  Duplicate edges are collapsed
+keeping the minimum weight (the only weight that can ever matter for
+shortest paths), which is also exactly what the paper's shortcut insertion
+needs: a shortcut ``(u, v, d(u, v))`` never exceeds an existing edge weight
+unless the existing edge is already the shortest path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "from_edge_list",
+    "from_arc_arrays",
+    "from_adjacency",
+    "add_shortcuts",
+    "reweighted",
+    "connected_components",
+    "largest_connected_component",
+    "induced_subgraph",
+    "is_connected",
+]
+
+
+def _dedup_min(us: np.ndarray, vs: np.ndarray, ws: np.ndarray):
+    """Collapse duplicate (u, v) arcs keeping the minimum weight."""
+    if len(us) == 0:
+        return us, vs, ws
+    order = np.lexsort((ws, vs, us))
+    us, vs, ws = us[order], vs[order], ws[order]
+    first = np.ones(len(us), dtype=bool)
+    first[1:] = (us[1:] != us[:-1]) | (vs[1:] != vs[:-1])
+    return us[first], vs[first], ws[first]
+
+
+def from_arc_arrays(
+    n: int,
+    us: np.ndarray,
+    vs: np.ndarray,
+    ws: np.ndarray | None = None,
+    *,
+    symmetrize: bool = True,
+    validate: bool = True,
+) -> CSRGraph:
+    """Build a graph from parallel arc arrays.
+
+    Parameters
+    ----------
+    n: number of vertices (ids must be in ``[0, n)``).
+    us, vs: arc tail / head arrays.  Self loops are dropped.
+    ws: arc weights; defaults to all ones (unweighted).
+    symmetrize: also insert the reversed arcs (callers passing an already
+        symmetric arc list may set ``False``).
+    """
+    us = np.asarray(us, dtype=np.int64)
+    vs = np.asarray(vs, dtype=np.int64)
+    if ws is None:
+        ws = np.ones(len(us), dtype=np.float64)
+    ws = np.asarray(ws, dtype=np.float64)
+    if not (len(us) == len(vs) == len(ws)):
+        raise ValueError("us, vs, ws must have equal length")
+    keep = us != vs  # drop self loops
+    us, vs, ws = us[keep], vs[keep], ws[keep]
+    if symmetrize:
+        us, vs, ws = (
+            np.concatenate([us, vs]),
+            np.concatenate([vs, us]),
+            np.concatenate([ws, ws]),
+        )
+    us, vs, ws = _dedup_min(us, vs, ws)
+    counts = np.bincount(us, minlength=n).astype(np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    # us is sorted, so vs/ws are already grouped by tail in CSR order.
+    return CSRGraph(indptr, vs, ws, validate=validate)
+
+
+def from_edge_list(
+    n: int,
+    edges: Iterable[tuple] | Sequence[tuple],
+    *,
+    validate: bool = True,
+) -> CSRGraph:
+    """Build from an iterable of ``(u, v)`` or ``(u, v, w)`` tuples."""
+    edges = list(edges)
+    if not edges:
+        return CSRGraph(
+            np.zeros(n + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            validate=validate,
+        )
+    us = np.array([e[0] for e in edges], dtype=np.int64)
+    vs = np.array([e[1] for e in edges], dtype=np.int64)
+    if len(edges[0]) >= 3:
+        ws = np.array([e[2] for e in edges], dtype=np.float64)
+    else:
+        ws = None
+    return from_arc_arrays(n, us, vs, ws, validate=validate)
+
+
+def from_adjacency(adj: Mapping[int, Mapping[int, float] | Iterable[int]]) -> CSRGraph:
+    """Build from ``{u: {v: w}}`` or ``{u: [v, ...]}`` adjacency mappings."""
+    n = 0
+    edges: list[tuple[int, int, float]] = []
+    for u, nbrs in adj.items():
+        n = max(n, u + 1)
+        if isinstance(nbrs, Mapping):
+            for v, w in nbrs.items():
+                n = max(n, v + 1)
+                edges.append((u, v, float(w)))
+        else:
+            for v in nbrs:
+                n = max(n, v + 1)
+                edges.append((u, v, 1.0))
+    return from_edge_list(n, edges)
+
+
+def add_shortcuts(
+    graph: CSRGraph,
+    src: np.ndarray,
+    dst: np.ndarray,
+    w: np.ndarray,
+    *,
+    validate: bool = False,
+) -> CSRGraph:
+    """Return ``graph`` plus the undirected shortcut edges ``(src, dst, w)``.
+
+    Shortcut weights are exact shortest-path distances, so merging with
+    min-weight dedup preserves every pairwise distance (a shortcut can never
+    shorten a path below the true distance).  Used by the preprocessing
+    pipeline of Section 4.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    w = np.asarray(w, dtype=np.float64)
+    tails = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees())
+    us = np.concatenate([tails, src, dst])
+    vs = np.concatenate([graph.indices, dst, src])
+    ws = np.concatenate([graph.weights, w, w])
+    return from_arc_arrays(graph.n, us, vs, ws, symmetrize=False, validate=validate)
+
+
+def reweighted(graph: CSRGraph, weights: np.ndarray) -> CSRGraph:
+    """Same topology, new arc weights (must be symmetric per edge)."""
+    return CSRGraph(graph.indptr, graph.indices, weights, validate=True)
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Label array: ``labels[v]`` is the component id of ``v`` (0-based,
+    in order of discovery).  Iterative frontier BFS — no recursion."""
+    n = graph.n
+    labels = np.full(n, -1, dtype=np.int64)
+    comp = 0
+    for seed in range(n):
+        if labels[seed] >= 0:
+            continue
+        labels[seed] = comp
+        frontier = np.array([seed], dtype=np.int64)
+        while len(frontier):
+            starts = graph.indptr[frontier]
+            ends = graph.indptr[frontier + 1]
+            total = int((ends - starts).sum())
+            if total == 0:
+                break
+            nbrs = np.empty(total, dtype=np.int64)
+            pos = 0
+            for s, e in zip(starts, ends):
+                nbrs[pos : pos + (e - s)] = graph.indices[s:e]
+                pos += e - s
+            fresh = nbrs[labels[nbrs] < 0]
+            if len(fresh) == 0:
+                break
+            fresh = np.unique(fresh)
+            labels[fresh] = comp
+            frontier = fresh
+        comp += 1
+    return labels
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    """True when the graph has exactly one connected component."""
+    if graph.n == 0:
+        return True
+    labels = connected_components(graph)
+    return bool(labels.max() == 0)
+
+
+def induced_subgraph(graph: CSRGraph, vertices: np.ndarray) -> tuple[CSRGraph, np.ndarray]:
+    """Subgraph induced by ``vertices``.
+
+    Returns ``(subgraph, original_ids)`` where ``original_ids[i]`` is the
+    original label of new vertex ``i``.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=np.int64))
+    remap = np.full(graph.n, -1, dtype=np.int64)
+    remap[vertices] = np.arange(len(vertices), dtype=np.int64)
+    tails = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees())
+    keep = (remap[tails] >= 0) & (remap[graph.indices] >= 0)
+    sub = from_arc_arrays(
+        len(vertices),
+        remap[tails[keep]],
+        remap[graph.indices[keep]],
+        graph.weights[keep],
+        symmetrize=False,
+        validate=False,
+    )
+    return sub, vertices
+
+
+def largest_connected_component(graph: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+    """Restrict to the largest connected component (paper WLOG: connected).
+
+    Returns ``(subgraph, original_ids)``.
+    """
+    labels = connected_components(graph)
+    if graph.n == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    big = np.bincount(labels).argmax()
+    return induced_subgraph(graph, np.flatnonzero(labels == big))

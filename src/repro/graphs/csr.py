@@ -1,0 +1,188 @@
+"""Compressed-sparse-row (CSR) graph kernel.
+
+Every graph in this library is an undirected, simple, weighted graph stored
+in CSR form: for each vertex ``u`` the arcs ``(u, v, w)`` occupy the slice
+``indptr[u]:indptr[u+1]`` of the ``indices`` / ``weights`` arrays.  An
+undirected edge ``{u, v}`` is stored as the two arcs ``(u, v)`` and
+``(v, u)`` with identical weight, so ``len(indices) == 2 * m``.
+
+The CSR layout is the cache-friendly, vectorizable representation the
+hpc-parallel guides call for: neighbor scans are contiguous reads, and the
+solvers gather whole frontier adjacency blocks with NumPy fancy indexing
+instead of per-edge Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """An immutable undirected weighted graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; monotone, ``indptr[0] == 0``.
+    indices:
+        ``int64`` array of arc heads, length ``indptr[-1]``.
+    weights:
+        ``float64`` array of arc weights, same length as ``indices``.
+        Weights must be non-negative (SSSP with non-negative weights).
+    validate:
+        When true (default) run structural validation.  Construction from
+        trusted internal code may pass ``False`` to skip the O(m) checks.
+
+    Notes
+    -----
+    The arrays are stored read-only; use :mod:`repro.graphs.build` helpers
+    to derive modified graphs (e.g. adding shortcut edges).
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "_min_pos_weight", "_max_weight")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if validate:
+            from .validate import validate_csr_arrays
+
+            validate_csr_arrays(indptr, indices, weights)
+        for arr in (indptr, indices, weights):
+            arr.setflags(write=False)
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self._min_pos_weight: float | None = None
+        self._max_weight: float | None = None
+
+    # ------------------------------------------------------------------ #
+    # Size properties
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed arcs stored (``2 m`` for an undirected graph)."""
+        return len(self.indices)
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges."""
+        return self.num_arcs // 2
+
+    # ------------------------------------------------------------------ #
+    # Weight summaries (paper conventions: min nonzero weight 1, L = max)
+    # ------------------------------------------------------------------ #
+    @property
+    def min_positive_weight(self) -> float:
+        """Smallest strictly positive edge weight (``inf`` if none)."""
+        if self._min_pos_weight is None:
+            pos = self.weights[self.weights > 0]
+            self._min_pos_weight = float(pos.min()) if len(pos) else float("inf")
+        return self._min_pos_weight
+
+    @property
+    def max_weight(self) -> float:
+        """Largest edge weight — the paper's ``L`` (0.0 for an edgeless graph)."""
+        if self._max_weight is None:
+            self._max_weight = float(self.weights.max()) if len(self.weights) else 0.0
+        return self._max_weight
+
+    @property
+    def is_unweighted(self) -> bool:
+        """True when every edge has weight exactly 1."""
+        return bool(len(self.weights) == 0 or np.all(self.weights == 1.0))
+
+    # ------------------------------------------------------------------ #
+    # Local structure
+    # ------------------------------------------------------------------ #
+    def degree(self, u: int) -> int:
+        """Degree of vertex ``u``."""
+        return int(self.indptr[u + 1] - self.indptr[u])
+
+    def degrees(self) -> np.ndarray:
+        """Array of all vertex degrees."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Read-only view of the neighbor ids of ``u``."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def neighbor_weights(self, u: int) -> np.ndarray:
+        """Read-only view of the arc weights out of ``u`` (parallel to
+        :meth:`neighbors`)."""
+        return self.weights[self.indptr[u] : self.indptr[u + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the undirected edge ``{u, v}`` exists."""
+        return bool(np.any(self.neighbors(u) == v))
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of edge ``{u, v}``; raises ``KeyError`` if absent.
+
+        If parallel arcs exist (they should not on a validated graph) the
+        minimum weight is returned.
+        """
+        nbrs = self.neighbors(u)
+        hit = nbrs == v
+        if not hit.any():
+            raise KeyError(f"no edge ({u}, {v})")
+        return float(self.neighbor_weights(u)[hit].min())
+
+    # ------------------------------------------------------------------ #
+    # Iteration / export
+    # ------------------------------------------------------------------ #
+    def iter_edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield each undirected edge once as ``(u, v, w)`` with ``u < v``."""
+        for u in range(self.n):
+            lo, hi = self.indptr[u], self.indptr[u + 1]
+            for j in range(lo, hi):
+                v = int(self.indices[j])
+                if u < v:
+                    yield u, v, float(self.weights[j])
+
+    def edge_array(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized export: arrays ``(us, vs, ws)`` with ``us < vs``,
+        one entry per undirected edge."""
+        tails = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees())
+        keep = tails < self.indices
+        return tails[keep], self.indices[keep], self.weights[keep]
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the CSR arrays."""
+        return self.indptr.nbytes + self.indices.nbytes + self.weights.nbytes
+
+    # ------------------------------------------------------------------ #
+    # Dunder
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "unweighted" if self.is_unweighted else "weighted"
+        return f"CSRGraph(n={self.n}, m={self.m}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.weights, other.weights)
+        )
+
+    def __hash__(self) -> int:  # CSRGraph is immutable; hash on sizes only
+        return hash((self.n, self.num_arcs))

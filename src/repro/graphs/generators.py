@@ -1,0 +1,310 @@
+"""Deterministic graph generators.
+
+These provide the paper's synthetic workloads (2D/3D grids) and offline
+substitutes for its SNAP datasets (road networks, webgraphs) — see
+DESIGN.md §2 for the substitution rationale.  All generators are seeded and
+return simple undirected unit-weight :class:`CSRGraph` objects; apply a
+model from :mod:`repro.graphs.weights` for the weighted experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+from .build import from_arc_arrays, from_edge_list
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "binary_tree",
+    "grid_2d",
+    "grid_3d",
+    "erdos_renyi",
+    "scale_free",
+    "road_network",
+    "random_geometric",
+    "figure2_graph",
+    "greedy_bad_tree",
+]
+
+
+# --------------------------------------------------------------------- #
+# Elementary graphs (tests and pathological cases)
+# --------------------------------------------------------------------- #
+def path_graph(n: int) -> CSRGraph:
+    """Path 0 - 1 - ... - (n-1)."""
+    if n < 1:
+        raise ValueError("n >= 1 required")
+    us = np.arange(n - 1, dtype=np.int64)
+    return from_arc_arrays(n, us, us + 1)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    us = np.arange(n, dtype=np.int64)
+    return from_arc_arrays(n, us, (us + 1) % n)
+
+
+def star_graph(leaves: int) -> CSRGraph:
+    """Star: vertex 0 joined to ``leaves`` leaves."""
+    if leaves < 1:
+        raise ValueError("leaves >= 1 required")
+    vs = np.arange(1, leaves + 1, dtype=np.int64)
+    return from_arc_arrays(leaves + 1, np.zeros(leaves, dtype=np.int64), vs)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Complete graph K_n."""
+    if n < 2:
+        raise ValueError("n >= 2 required")
+    us, vs = np.triu_indices(n, k=1)
+    return from_arc_arrays(n, us.astype(np.int64), vs.astype(np.int64))
+
+
+def binary_tree(depth: int) -> CSRGraph:
+    """Complete binary tree of the given depth (root = 0)."""
+    if depth < 0:
+        raise ValueError("depth >= 0 required")
+    n = 2 ** (depth + 1) - 1
+    kids = np.arange(1, n, dtype=np.int64)
+    return from_arc_arrays(n, (kids - 1) // 2, kids)
+
+
+# --------------------------------------------------------------------- #
+# The paper's synthetic grids ("structured and unstructured grids")
+# --------------------------------------------------------------------- #
+def grid_2d(rows: int, cols: int, *, diagonals: bool = False) -> CSRGraph:
+    """``rows x cols`` 2D grid (4-neighbor; 8-neighbor with ``diagonals``).
+
+    The paper's "2D-grid" dataset is 1000x1000; pass smaller sides for the
+    scaled-down experiments.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows, cols >= 1 required")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    us = [ids[:, :-1].ravel(), ids[:-1, :].ravel()]
+    vs = [ids[:, 1:].ravel(), ids[1:, :].ravel()]
+    if diagonals:
+        us += [ids[:-1, :-1].ravel(), ids[:-1, 1:].ravel()]
+        vs += [ids[1:, 1:].ravel(), ids[1:, :-1].ravel()]
+    return from_arc_arrays(rows * cols, np.concatenate(us), np.concatenate(vs))
+
+
+def grid_3d(nx: int, ny: int, nz: int) -> CSRGraph:
+    """``nx x ny x nz`` 3D grid, 6-neighbor connectivity."""
+    if min(nx, ny, nz) < 1:
+        raise ValueError("all sides >= 1 required")
+    ids = np.arange(nx * ny * nz, dtype=np.int64).reshape(nx, ny, nz)
+    us = [ids[:-1, :, :].ravel(), ids[:, :-1, :].ravel(), ids[:, :, :-1].ravel()]
+    vs = [ids[1:, :, :].ravel(), ids[:, 1:, :].ravel(), ids[:, :, 1:].ravel()]
+    return from_arc_arrays(nx * ny * nz, np.concatenate(us), np.concatenate(vs))
+
+
+# --------------------------------------------------------------------- #
+# Random models
+# --------------------------------------------------------------------- #
+def erdos_renyi(n: int, m: int, *, seed: int = 0, connect: bool = True) -> CSRGraph:
+    """G(n, m): ``m`` distinct uniform edges; optionally force connectivity
+    by first threading a random spanning path (adds < n edges).
+
+    ``m`` is clamped to the simple-graph maximum C(n, 2): asking for more
+    edges than can exist returns the complete graph rather than looping
+    in rejection sampling forever.  Near the clamp the rejection loop
+    degenerates into coupon collecting, so dense requests switch to an
+    explicit sample without replacement over edge ids.
+    """
+    if n < 2:
+        raise ValueError("n >= 2 required")
+    max_edges = n * (n - 1) // 2
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    if connect:
+        perm = rng.permutation(n)
+        for a, b in zip(perm[:-1], perm[1:]):
+            edges.add((min(a, b), max(a, b)))
+    target = min(max(m, len(edges)), max_edges)
+    if target > max_edges // 2:
+        # Dense regime: enumerate the missing pairs and sample directly.
+        missing = [
+            (a, b)
+            for a in range(n)
+            for b in range(a + 1, n)
+            if (a, b) not in edges
+        ]
+        take = target - len(edges)
+        idx = rng.choice(len(missing), size=take, replace=False)
+        edges.update(missing[int(i)] for i in idx)
+    else:
+        while len(edges) < target:
+            batch = rng.integers(0, n, size=(2 * (target - len(edges)) + 8, 2))
+            for a, b in batch:
+                if a != b:
+                    edges.add((min(int(a), int(b)), max(int(a), int(b))))
+                if len(edges) >= target:
+                    break
+    arr = np.array(sorted(edges), dtype=np.int64)
+    return from_arc_arrays(n, arr[:, 0], arr[:, 1])
+
+
+def scale_free(n: int, attach: int = 2, *, seed: int = 0) -> CSRGraph:
+    """Barabási–Albert preferential attachment — the webgraph substitute.
+
+    Every new vertex attaches to ``attach`` existing vertices chosen with
+    probability proportional to degree (the repeated-endpoints trick).
+    Produces the skewed, hub-dominated degree distribution the paper
+    attributes the webgraph behaviour to (their ref [1]).
+    """
+    if n < attach + 1:
+        raise ValueError("n must exceed attach")
+    if attach < 1:
+        raise ValueError("attach >= 1 required")
+    rng = np.random.default_rng(seed)
+    # Seed clique of (attach + 1) vertices keeps early degrees positive.
+    us_l: list[int] = []
+    vs_l: list[int] = []
+    repeated: list[int] = []
+    for i in range(attach + 1):
+        for j in range(i + 1, attach + 1):
+            us_l.append(i)
+            vs_l.append(j)
+            repeated += [i, j]
+    for v in range(attach + 1, n):
+        chosen: set[int] = set()
+        while len(chosen) < attach:
+            pick = repeated[int(rng.integers(0, len(repeated)))]
+            chosen.add(pick)
+        for u in chosen:
+            us_l.append(u)
+            vs_l.append(v)
+            repeated += [u, v]
+    return from_arc_arrays(
+        n, np.array(us_l, dtype=np.int64), np.array(vs_l, dtype=np.int64)
+    )
+
+
+def random_geometric(n: int, radius: float, *, seed: int = 0) -> tuple[CSRGraph, np.ndarray]:
+    """Random geometric graph on the unit square; returns (graph, coords)."""
+    from scipy.spatial import cKDTree
+
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    tree = cKDTree(pts)
+    pairs = tree.query_pairs(r=radius, output_type="ndarray")
+    if len(pairs) == 0:
+        raise ValueError("radius too small: no edges")
+    g = from_arc_arrays(n, pairs[:, 0].astype(np.int64), pairs[:, 1].astype(np.int64))
+    return g, pts
+
+
+def road_network(
+    n: int, *, avg_degree: float = 2.8, seed: int = 0
+) -> tuple[CSRGraph, np.ndarray]:
+    """Synthetic road map — substitute for SNAP roadNet-PA / roadNet-TX.
+
+    Delaunay triangulation of ``n`` uniform points (planar, avg degree ~6)
+    thinned to ``avg_degree`` by keeping a random spanning tree plus random
+    extra edges.  Matches the structural profile of real road networks:
+    planar, small constant degree (~2.8 in roadNet-PA), hop diameter
+    Θ(sqrt(n)).  Returns ``(graph, coords)`` so callers can use Euclidean
+    weights.
+    """
+    from scipy.spatial import Delaunay
+
+    if n < 4:
+        raise ValueError("n >= 4 required")
+    if avg_degree < 2.0:
+        raise ValueError("avg_degree >= 2 needed for connectivity headroom")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2))
+    tri = Delaunay(pts)
+    sims = tri.simplices
+    cand = np.concatenate([sims[:, [0, 1]], sims[:, [1, 2]], sims[:, [0, 2]]])
+    lo = np.minimum(cand[:, 0], cand[:, 1])
+    hi = np.maximum(cand[:, 0], cand[:, 1])
+    uniq = np.unique(lo.astype(np.int64) * n + hi.astype(np.int64))
+    eu = (uniq // n).astype(np.int64)
+    ev = (uniq % n).astype(np.int64)
+
+    # Random spanning tree via union-find over shuffled Delaunay edges.
+    order = rng.permutation(len(eu))
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:  # path compression
+            parent[x], x = root, parent[x]
+        return root
+
+    in_tree = np.zeros(len(eu), dtype=bool)
+    joined = 0
+    for idx in order:
+        ra, rb = find(int(eu[idx])), find(int(ev[idx]))
+        if ra != rb:
+            parent[ra] = rb
+            in_tree[idx] = True
+            joined += 1
+            if joined == n - 1:
+                break
+    target_m = int(round(avg_degree * n / 2))
+    extra_needed = max(0, target_m - int(in_tree.sum()))
+    rest = np.flatnonzero(~in_tree)
+    rng.shuffle(rest)
+    chosen = np.concatenate([np.flatnonzero(in_tree), rest[:extra_needed]])
+    g = from_arc_arrays(n, eu[chosen], ev[chosen])
+    return g, pts
+
+
+# --------------------------------------------------------------------- #
+# Pathological constructions from the paper
+# --------------------------------------------------------------------- #
+def figure2_graph(d: int, *, groups: int | None = None) -> CSRGraph:
+    """The paper's Figure 2: a sparse graph where reaching ~3d vertices
+    from any vertex forces Ω(d^2) edge inspections.
+
+    Realized as a cycle of ``groups`` vertex groups of size ``d`` with a
+    complete bipartite join between consecutive groups: every vertex's
+    2-hop ball spans ~3 groups but the search must scan the ~2 d^2 arcs of
+    the adjacent bicliques.  With ``d = floor(ρ/3) - 1`` this exhibits the
+    O(ρ^2) ball-search work of Lemma 4.2's worst case.
+    """
+    if d < 1:
+        raise ValueError("d >= 1 required")
+    if groups is None:
+        groups = max(4, d)
+    if groups < 3:
+        raise ValueError("groups >= 3 required")
+    n = groups * d
+    block = np.arange(d, dtype=np.int64)
+    us_parts = []
+    vs_parts = []
+    for gidx in range(groups):
+        a = gidx * d + block
+        b = ((gidx + 1) % groups) * d + block
+        uu = np.repeat(a, d)
+        vv = np.tile(b, d)
+        us_parts.append(uu)
+        vs_parts.append(vv)
+    return from_arc_arrays(n, np.concatenate(us_parts), np.concatenate(vs_parts))
+
+
+def greedy_bad_tree(k: int, leaves: int) -> CSRGraph:
+    """The §4.2.1 adversarial tree for the greedy heuristic.
+
+    A chain of length ``k`` hangs from the source (vertex 0), and all
+    ``leaves`` remaining vertices attach to the chain's end, landing at
+    depth ``k+1``.  Greedy shortcuts every leaf (≈ ``leaves`` edges); the
+    optimum (found by DP) shortcuts the single chain end (1 edge).
+    """
+    if k < 1 or leaves < 1:
+        raise ValueError("k >= 1 and leaves >= 1 required")
+    edges = [(i, i + 1) for i in range(k)]  # chain 0..k
+    n = k + 1 + leaves
+    edges += [(k, k + 1 + j) for j in range(leaves)]
+    return from_edge_list(n, edges)

@@ -1,0 +1,61 @@
+"""Structure-preserving graph transformations.
+
+Utilities for relabeling and perturbing graphs without touching their
+metric structure.  Their main consumer is the test suite: every solver in
+the library must be *equivariant* under vertex relabeling (distances
+permute with the vertices) and *invariant* under uniform weight scaling
+(distances scale by the same factor) — two properties that catch a large
+class of indexing bugs that value-level unit tests miss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["permute_vertices", "random_permutation", "scale_weights"]
+
+
+def random_permutation(n: int, *, seed: int = 0) -> np.ndarray:
+    """Seeded permutation of ``range(n)`` (``perm[old] = new``)."""
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n).astype(np.int64)
+
+
+def permute_vertices(graph: CSRGraph, perm: np.ndarray) -> CSRGraph:
+    """Relabel vertices: new id of ``v`` is ``perm[v]``.
+
+    The result is the same metric graph under new names: for all u, v,
+    ``d_new(perm[u], perm[v]) == d_old(u, v)``.  Adjacency is rebuilt in
+    one vectorized pass (argsort on the permuted tails).
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    n = graph.n
+    if perm.shape != (n,) or not np.array_equal(np.sort(perm), np.arange(n)):
+        raise ValueError("perm must be a permutation of range(n)")
+    tails = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
+    new_tails = perm[tails]
+    new_heads = perm[graph.indices]
+    order = np.argsort(new_tails, kind="stable")
+    counts = np.bincount(new_tails, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(
+        indptr, new_heads[order], graph.weights[order], validate=False
+    )
+
+
+def scale_weights(graph: CSRGraph, factor: float) -> CSRGraph:
+    """Multiply every edge weight by ``factor`` (> 0).
+
+    Shortest paths are scale-invariant: the tree is unchanged and all
+    distances multiply by ``factor``.  Note the paper's normalization
+    (min nonzero weight = 1) is deliberately *not* re-applied — callers
+    exploring L-sensitivity (the log ρL terms) handle that explicitly.
+    """
+    if not (factor > 0) or not np.isfinite(factor):
+        raise ValueError("factor must be positive and finite")
+    return CSRGraph(
+        graph.indptr, graph.indices, graph.weights * factor, validate=False
+    )

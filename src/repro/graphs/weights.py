@@ -1,0 +1,103 @@
+"""Edge-weight models.
+
+The paper's weighted experiments assign "a random integer between 1 and
+10,000" to every edge of an otherwise unweighted graph (Section 5.1).
+Weights must be symmetric per undirected edge, so every generator here keys
+the random draw on the canonical ``(min(u,v), max(u,v))`` edge id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+from .build import reweighted
+
+__all__ = [
+    "unit_weights",
+    "random_integer_weights",
+    "uniform_weights",
+    "euclidean_weights",
+    "PAPER_WEIGHT_LOW",
+    "PAPER_WEIGHT_HIGH",
+]
+
+#: The paper's weighted-experiment range (Section 5.1): U{1, ..., 10^4}.
+PAPER_WEIGHT_LOW = 1
+PAPER_WEIGHT_HIGH = 10_000
+
+
+def _canonical_edge_ids(graph: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Map each arc to a dense id shared with its reverse arc.
+
+    Returns ``(arc_to_edge, num_edges)`` where ``arc_to_edge[j]`` indexes
+    the undirected edge of arc ``j``.
+    """
+    tails = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees())
+    heads = graph.indices
+    lo = np.minimum(tails, heads)
+    hi = np.maximum(tails, heads)
+    key = lo * graph.n + hi
+    uniq, arc_to_edge = np.unique(key, return_inverse=True)
+    return arc_to_edge, len(uniq)
+
+
+def unit_weights(graph: CSRGraph) -> CSRGraph:
+    """All edge weights set to 1 (the unweighted / BFS setting)."""
+    return reweighted(graph, np.ones(graph.num_arcs, dtype=np.float64))
+
+
+def random_integer_weights(
+    graph: CSRGraph,
+    *,
+    low: int = PAPER_WEIGHT_LOW,
+    high: int = PAPER_WEIGHT_HIGH,
+    seed: int = 0,
+) -> CSRGraph:
+    """Independent uniform integer weights in ``[low, high]`` per edge.
+
+    This is the paper's weighted workload; with the defaults the longest
+    edge ``L`` is (almost surely) ``10^4`` and the lightest is 1, matching
+    the normalization assumed by Theorem 3.3's ``log(ρ L)`` term.
+    """
+    if not (0 < low <= high):
+        raise ValueError("need 0 < low <= high")
+    arc_to_edge, num_edges = _canonical_edge_ids(graph)
+    rng = np.random.default_rng(seed)
+    per_edge = rng.integers(low, high + 1, size=num_edges).astype(np.float64)
+    return reweighted(graph, per_edge[arc_to_edge])
+
+
+def uniform_weights(
+    graph: CSRGraph, *, low: float = 1.0, high: float = 2.0, seed: int = 0
+) -> CSRGraph:
+    """Continuous uniform weights in ``[low, high]`` per edge."""
+    if not (0 <= low <= high):
+        raise ValueError("need 0 <= low <= high")
+    arc_to_edge, num_edges = _canonical_edge_ids(graph)
+    rng = np.random.default_rng(seed)
+    per_edge = rng.uniform(low, high, size=num_edges)
+    return reweighted(graph, per_edge[arc_to_edge])
+
+
+def euclidean_weights(
+    graph: CSRGraph, coords: np.ndarray, *, normalize: bool = True
+) -> CSRGraph:
+    """Weights equal to Euclidean distance between embedded endpoints.
+
+    Used with :func:`repro.graphs.generators.road_network`, whose vertices
+    carry planar coordinates — road-map distances are near-Euclidean.  With
+    ``normalize`` the weights are scaled so the minimum is 1 (paper WLOG).
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape[0] != graph.n:
+        raise ValueError("coords must have one row per vertex")
+    tails = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees())
+    diffs = coords[tails] - coords[graph.indices]
+    w = np.sqrt((diffs * diffs).sum(axis=1))
+    if normalize and len(w):
+        pos = w[w > 0]
+        if len(pos):
+            w = w / pos.min()
+        w = np.maximum(w, 1.0)  # collapse zero-length edges up to the floor
+    return reweighted(graph, w)

@@ -1,0 +1,34 @@
+"""Deterministic work partitioning for the process pool."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["split_evenly", "resolve_jobs"]
+
+
+def split_evenly(items: Sequence | np.ndarray, parts: int) -> list[np.ndarray]:
+    """Split ``items`` into ``parts`` nearly equal contiguous chunks.
+
+    Deterministic (no interleaving), never returns empty chunks, and the
+    concatenation of the chunks equals the input order — so results are
+    reproducible regardless of worker count.
+    """
+    if parts < 1:
+        raise ValueError("parts >= 1 required")
+    arr = np.asarray(items)
+    if len(arr) == 0:
+        return []
+    parts = min(parts, len(arr))
+    return [chunk for chunk in np.array_split(arr, parts) if len(chunk)]
+
+
+def resolve_jobs(n_jobs: int) -> int:
+    """Normalize an ``n_jobs`` request: 0 / negative → all cores."""
+    import os
+
+    if n_jobs >= 1:
+        return n_jobs
+    return max(1, os.cpu_count() or 1)

@@ -1,0 +1,29 @@
+"""Simulated-PRAM substrate: cost ledger, primitives, and parallel BSTs."""
+
+from .brent import (
+    BrentBounds,
+    MachinePoint,
+    brent_bounds,
+    simulated_time,
+    speedup_curve,
+)
+from .ledger import Ledger, ParallelBlock
+from .ordered_set import VertexKeyedSet
+from .primitives import pack, parallel_for_cost, prefix_sum, write_min
+from . import treap
+
+__all__ = [
+    "BrentBounds",
+    "Ledger",
+    "MachinePoint",
+    "ParallelBlock",
+    "VertexKeyedSet",
+    "brent_bounds",
+    "pack",
+    "parallel_for_cost",
+    "prefix_sum",
+    "simulated_time",
+    "speedup_curve",
+    "treap",
+    "write_min",
+]

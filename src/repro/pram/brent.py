@@ -1,0 +1,119 @@
+"""Simulated p-processor execution of a ledgered algorithm (Brent).
+
+The paper argues its value through the parallelism factor P = W/D: "the
+parallelism factor P indicates how well the algorithm will scale with
+processors" (§1).  This module turns a :class:`~repro.pram.ledger.Ledger`
+into concrete scale-up predictions via Brent's scheduling theorem: a
+computation of ``W`` work and ``D`` depth runs on ``p`` processors in
+
+    max(W/p, D)  <=  T_p  <=  W/p + D.
+
+When the ledger recorded per-phase charges (``Ledger(record_phases=True)``)
+a sharper point estimate is available: every phase this library charges is
+one bulk-synchronous data-parallel operation (a substep relaxation, a tree
+split, ...), whose p-processor time is ``max(W_i/p, D_i)`` — it can finish
+no faster than its span and no faster than its share of work, and its work
+is evenly divisible across processors by construction.  The sum of these
+per-phase times always lies between Brent's two bounds.
+
+CPython cannot run the PRAM — the GIL serializes shared-memory threads —
+so these predictions are the honest substitute: they are *measured* from
+the operation stream of the real implementation, not asserted from the
+paper's formulas, and the benchmark suite checks that the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .ledger import Ledger
+
+__all__ = [
+    "BrentBounds",
+    "MachinePoint",
+    "brent_bounds",
+    "simulated_time",
+    "speedup_curve",
+]
+
+
+@dataclass(frozen=True)
+class BrentBounds:
+    """Brent's-theorem bounds on the p-processor execution time.
+
+    Attributes
+    ----------
+    processors: the simulated machine size p.
+    lower: ``max(W/p, D)`` — no schedule beats both limits.
+    upper: ``W/p + D`` — greedy scheduling guarantees it.
+    """
+
+    processors: int
+    lower: float
+    upper: float
+
+    @property
+    def midpoint(self) -> float:
+        """Geometric midpoint — a scale-free point estimate of T_p."""
+        return (self.lower * self.upper) ** 0.5
+
+
+@dataclass(frozen=True)
+class MachinePoint:
+    """One point on a speedup curve (times from :func:`simulated_time`)."""
+
+    processors: int
+    time: float
+    speedup: float
+    efficiency: float
+
+
+def brent_bounds(ledger: Ledger, processors: int) -> BrentBounds:
+    """Brent's-theorem time bounds for running ``ledger`` on ``p`` procs."""
+    if processors < 1:
+        raise ValueError("processors >= 1 required")
+    w, d = ledger.work, ledger.depth
+    return BrentBounds(
+        processors=processors, lower=max(w / processors, d), upper=w / processors + d
+    )
+
+
+def simulated_time(ledger: Ledger, processors: int) -> float:
+    """Simulated bulk-synchronous execution time on ``p`` processors.
+
+    Phase-accurate ledgers give ``sum_i max(W_i/p, D_i)`` (each charged
+    phase is one data-parallel superstep); totals-only ledgers fall back
+    to the conservative Brent upper bound ``W/p + D``.  Either way the
+    result satisfies ``brent_bounds(ledger, p).lower <= t <=
+    brent_bounds(ledger, p).upper``.
+    """
+    if processors < 1:
+        raise ValueError("processors >= 1 required")
+    if ledger.phases is not None:
+        return sum(max(w / processors, d) for w, d in ledger.phases)
+    return ledger.work / processors + ledger.depth
+
+
+def speedup_curve(
+    ledger: Ledger, processor_counts: Sequence[int]
+) -> list[MachinePoint]:
+    """Predicted speedup/efficiency across machine sizes.
+
+    Speedup is measured against the 1-processor simulated time, so the
+    curve starts at ~1.0 and saturates near the parallelism factor W/D —
+    the quantity Table 1 trades off against work.
+    """
+    t1 = simulated_time(ledger, 1)
+    points: list[MachinePoint] = []
+    for p in processor_counts:
+        tp = simulated_time(ledger, p)
+        points.append(
+            MachinePoint(
+                processors=p,
+                time=tp,
+                speedup=t1 / tp if tp > 0 else float("inf"),
+                efficiency=t1 / (tp * p) if tp > 0 else float("inf"),
+            )
+        )
+    return points

@@ -1,0 +1,134 @@
+"""PRAM work/depth cost ledger.
+
+The paper analyzes algorithms on the PRAM in terms of *work* (total
+operations) and *depth* (longest chain of dependent operations) [JáJá 92].
+CPython cannot run a PRAM, but the costs are perfectly measurable: every
+bulk operation in the library charges the work/depth the paper's analysis
+assigns to it, and the ledger accumulates them compositionally.
+
+Sequential composition adds both work and depth; parallel composition adds
+work but takes the maximum depth (``parallel()`` context).  This makes the
+asymptotic claims of Theorem 1.1 *testable*: benchmarks fit the measured
+ledger totals against O(m log n) work and O((n/ρ) log n log ρL) depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Ledger", "ParallelBlock"]
+
+
+@dataclass
+class _Charge:
+    work: float = 0.0
+    depth: float = 0.0
+
+
+class ParallelBlock:
+    """Collects charges from logically concurrent tasks.
+
+    Work adds across tasks, depth is the maximum over tasks.  Obtained via
+    :meth:`Ledger.parallel`; on exit the combined charge posts to the
+    owning ledger as one sequential phase.
+    """
+
+    def __init__(self, ledger: "Ledger", label: str = "") -> None:
+        self._ledger = ledger
+        self._label = label
+        self._work = 0.0
+        self._max_depth = 0.0
+
+    def task(self, work: float, depth: float) -> None:
+        """Charge one parallel task (e.g. one vertex's local computation)."""
+        if work < 0 or depth < 0:
+            raise ValueError("work/depth must be non-negative")
+        self._work += work
+        self._max_depth = max(self._max_depth, depth)
+
+    def __enter__(self) -> "ParallelBlock":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._ledger.charge(
+                work=self._work, depth=self._max_depth, label=self._label
+            )
+
+
+@dataclass
+class Ledger:
+    """Accumulates PRAM work and depth with per-label breakdowns.
+
+    Attributes
+    ----------
+    work: total operations charged so far.
+    depth: total span charged so far (sequential phases add).
+    by_label: per-label ``[work, depth]`` totals for profiling which part
+        of an algorithm dominates (the guides' "no optimization without
+        measuring" applied to the cost model).
+    phases: per-charge ``(work, depth)`` history, kept only when the
+        ledger was built with ``record_phases=True`` — the granularity a
+        Brent-style machine simulation needs (see
+        :mod:`repro.pram.brent`).
+    """
+
+    work: float = 0.0
+    depth: float = 0.0
+    by_label: dict[str, list[float]] = field(default_factory=dict)
+    record_phases: bool = False
+    phases: list[tuple[float, float]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.record_phases and self.phases is None:
+            self.phases = []
+
+    def charge(self, *, work: float, depth: float, label: str = "") -> None:
+        """Post one sequential phase of ``work`` operations spanning
+        ``depth`` dependent steps."""
+        if work < 0 or depth < 0:
+            raise ValueError("work/depth must be non-negative")
+        self.work += work
+        self.depth += depth
+        if self.phases is not None:
+            self.phases.append((work, depth))
+        if label:
+            acc = self.by_label.setdefault(label, [0.0, 0.0])
+            acc[0] += work
+            acc[1] += depth
+
+    def parallel(self, label: str = "") -> ParallelBlock:
+        """Open a parallel composition block (see :class:`ParallelBlock`)."""
+        return ParallelBlock(self, label)
+
+    def merge_parallel(self, other: "Ledger") -> None:
+        """Fold another ledger in as if it ran concurrently with everything
+        charged so far: work adds, depth takes the max.
+
+        Used by the preprocessing pipeline, whose n ball searches are
+        independent PRAM tasks (Lemma 4.2's O(ρ²) depth comes from each
+        search, not their number).
+        """
+        self.work += other.work
+        self.depth = max(self.depth, other.depth)
+        for label, (w, d) in other.by_label.items():
+            acc = self.by_label.setdefault(label, [0.0, 0.0])
+            acc[0] += w
+            acc[1] = max(acc[1], d)
+
+    @property
+    def parallelism(self) -> float:
+        """The paper's P = W / D (∞ when depth is zero)."""
+        return self.work / self.depth if self.depth > 0 else float("inf")
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict summary for reports."""
+        return {"work": self.work, "depth": self.depth, "parallelism": self.parallelism}
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.work = 0.0
+        self.depth = 0.0
+        self.by_label.clear()
+        if self.phases is not None:
+            self.phases.clear()

@@ -1,0 +1,141 @@
+"""Vertex-keyed ordered sets on treaps — Algorithm 2's Q and R.
+
+A :class:`VertexKeyedSet` stores at most one entry per vertex, ordered by a
+``(value, vertex)`` key (the paper's lexicographic ordering: "the current
+tentative distance of u as the first key, and the vertex label of u as the
+second key").  It supports the exact operation set Algorithm 2 uses —
+``min``, ``split_leq`` (Line 7), ``remove`` (Lines 12–13), ``decrease_key``
+(Lines 17–18), and bulk ``union_values`` / ``difference_vertices`` for the
+parallel batch maintenance of Section 3.3 — charging each operation's PRAM
+cost to an optional ledger.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from . import treap
+from .ledger import Ledger
+
+__all__ = ["VertexKeyedSet"]
+
+
+def _log2(n: int) -> float:
+    return math.log2(n) if n >= 2 else 1.0
+
+
+class VertexKeyedSet:
+    """Ordered set of ``(value, vertex)`` with vertex-indexed lookup."""
+
+    def __init__(self, *, ledger: Ledger | None = None, label: str = "set") -> None:
+        self._root: treap.Treap = None
+        self._value: dict[int, float] = {}
+        self._ledger = ledger
+        self._label = label
+
+    # ------------------------------------------------------------------ #
+    def _charge(self, work: float, depth: float) -> None:
+        if self._ledger is not None:
+            self._ledger.charge(work=work, depth=depth, label=self._label)
+
+    def __len__(self) -> int:
+        return len(self._value)
+
+    def __contains__(self, vertex: int) -> bool:
+        return vertex in self._value
+
+    def value_of(self, vertex: int) -> float:
+        """Current key value of ``vertex`` (KeyError if absent)."""
+        return self._value[vertex]
+
+    # ------------------------------------------------------------------ #
+    def insert(self, vertex: int, value: float) -> None:
+        """Insert or overwrite the entry for ``vertex``."""
+        logn = _log2(len(self._value) + 1)
+        if vertex in self._value:
+            self._root = treap.delete(self._root, (self._value[vertex], vertex))
+            self._charge(logn, logn)
+        self._root = treap.insert(self._root, (value, vertex))
+        self._value[vertex] = value
+        self._charge(logn, logn)
+
+    def remove(self, vertex: int) -> None:
+        """Remove ``vertex`` (no-op when absent)."""
+        if vertex not in self._value:
+            return
+        logn = _log2(len(self._value))
+        self._root = treap.delete(self._root, (self._value.pop(vertex), vertex))
+        self._charge(logn, logn)
+
+    def decrease_key(self, vertex: int, value: float) -> None:
+        """Lower the key of ``vertex`` to ``value`` (must not increase)."""
+        old = self._value.get(vertex)
+        if old is not None and value > old:
+            raise ValueError(f"decrease_key would increase key of {vertex}")
+        self.insert(vertex, value)
+
+    # ------------------------------------------------------------------ #
+    def min(self) -> tuple[float, int]:
+        """Smallest ``(value, vertex)`` — Algorithm 2's R.extract-min peek."""
+        key = treap.find_min(self._root)
+        self._charge(_log2(max(1, len(self._value))), _log2(max(1, len(self._value))))
+        return key
+
+    def split_leq(self, value: float) -> list[tuple[float, int]]:
+        """Remove and return all entries with key value ≤ ``value``
+        (ties in value are all taken, any vertex id) — Q.split(d_i)."""
+        bound = (value, float("inf"))  # above every vertex id at this value
+        low, high = treap.split_leq(self._root, bound)
+        self._root = high
+        taken = treap.to_list(low)
+        for _, v in taken:
+            del self._value[v]
+        n = max(1, len(self._value) + len(taken))
+        self._charge(max(1.0, len(taken)) * _log2(n), _log2(n))
+        return taken
+
+    # ------------------------------------------------------------------ #
+    # Bulk parallel maintenance (Section 3.3): the substep builds a BST of
+    # successful relaxations, then difference removes out-of-date keys and
+    # union inserts the new ones.
+    # ------------------------------------------------------------------ #
+    def difference_vertices(self, vertices: Iterable[int]) -> None:
+        """Bulk-remove the current entries of ``vertices``."""
+        keys = sorted(
+            (self._value[v], v) for v in set(vertices) if v in self._value
+        )
+        if not keys:
+            return
+        b = treap.from_sorted(keys)
+        self._root = treap.difference(self._root, b)
+        for _, v in keys:
+            del self._value[v]
+        n = max(2, len(self._value) + len(keys))
+        self._charge(len(keys) * _log2(n), _log2(n))
+
+    def union_values(self, entries: Iterable[tuple[int, float]]) -> None:
+        """Bulk-insert ``(vertex, value)`` entries; overwrites stale keys
+        via a difference pass first (the paper's out-of-date-key removal).
+        Duplicate vertices within one batch collapse last-wins (the same
+        semantics as ``dict(entries)``), keeping the one-entry-per-vertex
+        invariant even for adversarial inputs.
+        """
+        merged: dict[int, float] = {}
+        for v, value in entries:
+            merged[v] = value
+        if not merged:
+            return
+        self.difference_vertices(merged)
+        keys = sorted((value, v) for v, value in merged.items())
+        b = treap.from_sorted(keys)
+        self._root = treap.union(self._root, b)
+        for value, v in keys:
+            self._value[v] = value
+        n = max(2, len(self._value))
+        self._charge(len(keys) * _log2(n), _log2(n))
+
+    # ------------------------------------------------------------------ #
+    def items_sorted(self) -> list[tuple[float, int]]:
+        """All entries in key order (for tests)."""
+        return treap.to_list(self._root)

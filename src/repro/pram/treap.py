@@ -1,0 +1,224 @@
+"""Join-based balanced treaps — the paper's ordered-set substrate.
+
+Algorithm 2 stores the tentative-distance sets Q and R in balanced BSTs
+supporting *split*, *union*, and *difference* in O(|A| log |B|) work and
+O(log |B|) depth (their refs [3, 21, 22, 23]; "Parallel ordered sets using
+join" [2]).  This module implements the join-based formulation on treaps:
+every operation is expressed through ``split`` and ``join``, which is the
+decomposition that parallelizes (the two recursive calls of union/
+difference are independent).
+
+Nodes are immutable (persistent): operations return new roots and share
+subtrees, exactly like the parallel versions in the literature.  Priorities
+are a deterministic hash of the key, so structures are reproducible.
+
+Keys may be any totally ordered Python values (the solvers use
+``(distance, vertex)`` pairs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "TreapNode",
+    "size",
+    "insert",
+    "delete",
+    "split",
+    "split_leq",
+    "join",
+    "join2",
+    "union",
+    "difference",
+    "find",
+    "find_min",
+    "find_max",
+    "iter_keys",
+    "to_list",
+    "from_sorted",
+    "height",
+]
+
+
+class TreapNode:
+    """One immutable treap node (max-heap on ``prio``, BST on ``key``)."""
+
+    __slots__ = ("key", "prio", "left", "right", "count")
+
+    def __init__(
+        self,
+        key: Any,
+        prio: int,
+        left: Optional["TreapNode"],
+        right: Optional["TreapNode"],
+    ) -> None:
+        self.key = key
+        self.prio = prio
+        self.left = left
+        self.right = right
+        self.count = 1 + size(left) + size(right)
+
+
+Treap = Optional[TreapNode]
+
+
+def _priority(key: Any) -> int:
+    """Deterministic pseudo-random priority derived from the key."""
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def _node(key: Any, prio: int, left: Treap, right: Treap) -> TreapNode:
+    return TreapNode(key, prio, left, right)
+
+
+def size(t: Treap) -> int:
+    """Number of keys in the treap (O(1) via size augmentation)."""
+    return t.count if t is not None else 0
+
+
+def height(t: Treap) -> int:
+    """Tree height (O(n); for tests of the O(log n) expectation)."""
+    if t is None:
+        return 0
+    return 1 + max(height(t.left), height(t.right))
+
+
+def split(t: Treap, key: Any) -> tuple[Treap, bool, Treap]:
+    """Split into ``(keys < key, key present?, keys > key)``."""
+    if t is None:
+        return None, False, None
+    if key < t.key:
+        l, found, r = split(t.left, key)
+        return l, found, _node(t.key, t.prio, r, t.right)
+    if t.key < key:
+        l, found, r = split(t.right, key)
+        return _node(t.key, t.prio, t.left, l), found, r
+    return t.left, True, t.right
+
+
+def split_leq(t: Treap, key: Any) -> tuple[Treap, Treap]:
+    """Split into ``(keys <= key, keys > key)`` — Algorithm 2's Q.split(d_i)."""
+    l, found, r = split(t, key)
+    if found:
+        l = join2(l, _node(key, _priority(key), None, None))
+    return l, r
+
+
+def join2(l: Treap, r: Treap) -> Treap:
+    """Join two treaps with all keys of ``l`` below all keys of ``r``."""
+    if l is None:
+        return r
+    if r is None:
+        return l
+    if l.prio >= r.prio:
+        return _node(l.key, l.prio, l.left, join2(l.right, r))
+    return _node(r.key, r.prio, join2(l, r.left), r.right)
+
+
+def join(l: Treap, key: Any, r: Treap) -> Treap:
+    """Three-way join: ``l < key < r``."""
+    return join2(l, join2(_node(key, _priority(key), None, None), r))
+
+
+def insert(t: Treap, key: Any) -> Treap:
+    """Insert ``key`` (idempotent on duplicates)."""
+    l, _, r = split(t, key)
+    return join(l, key, r)
+
+
+def delete(t: Treap, key: Any) -> Treap:
+    """Delete ``key`` if present."""
+    l, _, r = split(t, key)
+    return join2(l, r)
+
+
+def find(t: Treap, key: Any) -> bool:
+    """Membership test."""
+    while t is not None:
+        if key < t.key:
+            t = t.left
+        elif t.key < key:
+            t = t.right
+        else:
+            return True
+    return False
+
+
+def find_min(t: Treap) -> Any:
+    """Smallest key; raises ``KeyError`` on an empty treap."""
+    if t is None:
+        raise KeyError("empty treap")
+    while t.left is not None:
+        t = t.left
+    return t.key
+
+
+def find_max(t: Treap) -> Any:
+    """Largest key; raises ``KeyError`` on an empty treap."""
+    if t is None:
+        raise KeyError("empty treap")
+    while t.right is not None:
+        t = t.right
+    return t.key
+
+
+def union(a: Treap, b: Treap) -> Treap:
+    """Set union; O(|A| log |B|) work, O(log |B|) depth in parallel form.
+
+    The recursion on (a.left ∪ l) and (a.right ∪ r) is independent — the
+    parallel version forks them; here they run sequentially and the caller
+    charges the parallel cost to a ledger.
+    """
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a.prio < b.prio:
+        a, b = b, a
+    l, _, r = split(b, a.key)
+    return _node(a.key, a.prio, union(a.left, l), union(a.right, r))
+
+
+def difference(a: Treap, b: Treap) -> Treap:
+    """Keys of ``a`` not in ``b`` (same parallel cost story as union)."""
+    if a is None or b is None:
+        return a
+    l, _, r = split(a, b.key)
+    return join2(difference(l, b.left), difference(r, b.right))
+
+
+def to_list(t: Treap) -> list:
+    """In-order key list (sorted)."""
+    out: list = []
+    stack: list[TreapNode] = []
+    while t is not None or stack:
+        while t is not None:
+            stack.append(t)
+            t = t.left
+        t = stack.pop()
+        out.append(t.key)
+        t = t.right
+    return out
+
+
+def iter_keys(t: Treap) -> Iterator:
+    """Lazy in-order iteration."""
+    stack: list[TreapNode] = []
+    while t is not None or stack:
+        while t is not None:
+            stack.append(t)
+            t = t.left
+        t = stack.pop()
+        yield t.key
+        t = t.right
+
+
+def from_sorted(keys: list) -> Treap:
+    """Build from a sorted, duplicate-free key list (O(n log n) expected)."""
+    t: Treap = None
+    for key in keys:  # priorities randomize structure; repeated join2 is fine
+        t = join2(t, _node(key, _priority(key), None, None))
+    return t

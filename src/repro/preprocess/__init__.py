@@ -1,0 +1,44 @@
+"""Preprocessing (Section 4): balls, radii, and (k,ρ)-shortcutting."""
+
+from .ball import BallSearchResult, ball_search, sort_adjacency_by_weight
+from .count import ShortcutCounts, count_shortcuts_sweep, sample_sources
+from .dp import dp_count, dp_select, dp_table
+from .exact import (
+    KrReport,
+    k_radii,
+    k_radius,
+    rho_nearest_distance,
+    verify_kr_graph,
+)
+from .greedy import greedy_count, greedy_select
+from .pipeline import HEURISTICS, PreprocessResult, build_kr_graph
+from .radii import compute_radii, compute_radii_sweep
+from .shortcut_one import full_select
+from .tree import BallTree, build_ball_tree
+
+__all__ = [
+    "BallSearchResult",
+    "BallTree",
+    "HEURISTICS",
+    "KrReport",
+    "PreprocessResult",
+    "ShortcutCounts",
+    "ball_search",
+    "build_ball_tree",
+    "build_kr_graph",
+    "compute_radii",
+    "compute_radii_sweep",
+    "count_shortcuts_sweep",
+    "dp_count",
+    "dp_select",
+    "dp_table",
+    "full_select",
+    "greedy_count",
+    "greedy_select",
+    "k_radii",
+    "k_radius",
+    "rho_nearest_distance",
+    "sample_sources",
+    "sort_adjacency_by_weight",
+    "verify_kr_graph",
+]

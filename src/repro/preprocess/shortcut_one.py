@@ -1,0 +1,30 @@
+"""(1,ρ)-ball construction (§4.1).
+
+"All the ρ-closest vertices from a vertex u are directly added to u's
+neighbor list with edge weight d(u, ·)."  This needs no heuristic: every
+ball member beyond hop 1 gets a direct shortcut, for up to n(ρ-1) added
+arcs — the baseline the (k,ρ) heuristics of §4.2 improve on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tree import BallTree
+
+__all__ = ["full_select"]
+
+
+def full_select(tree: BallTree, k: int = 1) -> np.ndarray:
+    """Local node ids to shortcut for a (1,ρ)-ball: everything at depth
+    ≥ 2.
+
+    Depth-1 nodes are already reached by a direct shortest edge (the
+    min-hop tree puts a vertex at depth 1 exactly when its direct edge is
+    a shortest path), so no edge is added for them.  ``k`` is accepted for
+    interface uniformity; values > 1 still shortcut to depth ≥ 2 (a valid,
+    if wasteful, (k,ρ)-ball).
+    """
+    if k < 1:
+        raise ValueError("k >= 1 required")
+    return np.flatnonzero(tree.depth >= 2)

@@ -1,0 +1,101 @@
+"""Ball-local shortest-path trees.
+
+The shortcut heuristics of §4.2 operate on the min-hop shortest-path tree
+spanning one source's ρ-ball.  :class:`BallTree` re-indexes a
+:class:`~repro.preprocess.ball.BallSearchResult` prefix into dense local
+ids (0 = source, children arrays in CSR-like form) so greedy/DP run in
+O(ρ k) with no hashing in the inner loop.
+
+A key reuse property: the settle order of a ball search is prefix-closed —
+the ρ'-ball for any ρ' ≤ ρ is a prefix of the ρ-ball, and every parent
+settles before its child.  One ball search at ρ_max therefore serves a
+whole ρ-sweep (Tables 2/3 iterate ρ over 10..1000 on the same trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ball import BallSearchResult
+
+__all__ = ["BallTree", "build_ball_tree"]
+
+
+@dataclass
+class BallTree:
+    """Dense-index view of the SP tree over a ball prefix.
+
+    Attributes
+    ----------
+    source: ball center (original vertex id).
+    vertices: original vertex id per local node (``vertices[0] == source``).
+    dist: distance from the source per local node.
+    depth: tree hop depth per local node (0 for the source).
+    parent: local parent index per node (-1 for the source).
+    child_ptr / child_idx: children adjacency in CSR form, ordered so that
+        every parent precedes its children in local-id order.
+    """
+
+    source: int
+    vertices: np.ndarray
+    dist: np.ndarray
+    depth: np.ndarray
+    parent: np.ndarray
+    child_ptr: np.ndarray
+    child_idx: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def children(self, i: int) -> np.ndarray:
+        """Local ids of the children of local node ``i``."""
+        return self.child_idx[self.child_ptr[i] : self.child_ptr[i + 1]]
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest node's hop depth."""
+        return int(self.depth.max()) if len(self.depth) else 0
+
+
+def build_ball_tree(ball: BallSearchResult, size: int | None = None) -> BallTree:
+    """Build the local tree over the first ``size`` settled vertices.
+
+    ``size`` defaults to the full ball.  Any prefix is valid because
+    parents always settle before children (Dijkstra order).
+    """
+    t = len(ball.order) if size is None else size
+    if not (1 <= t <= len(ball.order)):
+        raise ValueError(f"size must be in [1, {len(ball.order)}]")
+    verts = ball.order[:t]
+    local = {int(v): i for i, v in enumerate(verts)}
+    parent = np.empty(t, dtype=np.int64)
+    parent[0] = -1
+    for i in range(1, t):
+        p = int(ball.parent[i])
+        try:
+            parent[i] = local[p]
+        except KeyError:  # cannot happen for a true Dijkstra prefix
+            raise ValueError(
+                f"parent {p} of {int(verts[i])} outside prefix; "
+                "ball order is not prefix-closed"
+            ) from None
+    counts = np.bincount(parent[1:], minlength=t)
+    child_ptr = np.zeros(t + 1, dtype=np.int64)
+    np.cumsum(counts, out=child_ptr[1:])
+    child_idx = np.empty(max(0, t - 1), dtype=np.int64)
+    cursor = child_ptr[:-1].copy()
+    for i in range(1, t):
+        p = parent[i]
+        child_idx[cursor[p]] = i
+        cursor[p] += 1
+    return BallTree(
+        source=ball.source,
+        vertices=verts.copy(),
+        dist=ball.dist[:t].copy(),
+        depth=ball.hops[:t].copy(),
+        parent=parent,
+        child_ptr=child_ptr,
+        child_idx=child_idx,
+    )

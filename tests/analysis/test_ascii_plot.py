@@ -1,0 +1,41 @@
+"""Unit tests for the ASCII log-log plotter."""
+
+from repro.analysis import loglog_plot
+
+
+class TestLogLogPlot:
+    def test_renders_markers_and_legend(self):
+        out = loglog_plot(
+            {"a": [(1, 100), (10, 10), (100, 1)], "b": [(1, 50), (100, 50)]},
+            title="T",
+        )
+        assert out.splitlines()[0] == "T"
+        assert "o = a" in out and "x = b" in out
+        assert "o" in out
+
+    def test_drops_nonpositive(self):
+        out = loglog_plot({"a": [(0, 5), (-1, 2), (3, 0)]})
+        assert "(no positive data)" in out
+
+    def test_single_point(self):
+        out = loglog_plot({"a": [(10, 10)]})
+        assert "o" in out
+
+    def test_inverse_proportional_is_descending_diagonal(self):
+        """y = 1000/x on log-log must occupy a descending diagonal: the
+        marker column increases while the row increases (lower y)."""
+        out = loglog_plot({"s": [(1, 1000), (10, 100), (100, 10), (1000, 1)]},
+                          width=40, height=10)
+        rows = [
+            (r, line.index("o"))
+            for r, line in enumerate(out.splitlines())
+            if "o" in line and line.startswith("|")
+        ]
+        cols = [c for _, c in rows]
+        assert cols == sorted(cols)
+        assert len(rows) >= 4
+
+    def test_axis_labels(self):
+        out = loglog_plot({"a": [(1, 1), (10, 10)]}, xlabel="rho", ylabel="steps")
+        assert "log10(rho)" in out
+        assert "log10(steps)" in out

@@ -1,0 +1,61 @@
+"""Tests for the measured Figure 1 (annuli strip chart)."""
+
+import pytest
+
+from repro.analysis import render_annuli
+from repro.core import radius_stepping
+from repro.core.result import StepTrace
+from repro.graphs.generators import grid_2d
+from repro.graphs.weights import random_integer_weights
+
+
+def trace_of(steps):
+    return [
+        StepTrace(step=i, radius=r, substeps=s, settled=v, relaxations=10)
+        for i, (r, s, v) in enumerate(steps)
+    ]
+
+
+class TestRender:
+    def test_empty(self):
+        assert render_annuli([]) == "(empty trace)"
+
+    def test_one_row_per_step(self):
+        out = render_annuli(trace_of([(1.0, 1, 3), (2.0, 2, 5), (4.0, 1, 7)]))
+        lines = out.splitlines()
+        assert len(lines) == 2 + 3  # header x2 + steps
+        assert "d_max = 4" in lines[0]
+
+    def test_bars_cover_axis_monotonically(self):
+        out = render_annuli(trace_of([(1.0, 1, 1), (2.0, 1, 1), (8.0, 1, 1)]))
+        rows = out.splitlines()[2:]
+        # later annuli start where earlier ones end (no overlap on the axis)
+        starts = [r.index("#") for r in rows]
+        assert starts == sorted(starts)
+        # the last bar reaches the right edge of the axis
+        assert rows[-1].split("|")[1].rstrip().endswith("#")
+
+    def test_elision_of_long_traces(self):
+        t = trace_of([(float(i + 1), 1, 1) for i in range(100)])
+        out = render_annuli(t, max_rows=10)
+        assert "elided" in out
+        assert len(out.splitlines()) < 20
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_annuli(trace_of([(1.0, 1, 1)]), width=4)
+
+
+class TestOnRealRun:
+    def test_real_trace_renders(self):
+        g = random_integer_weights(grid_2d(8, 8), low=1, high=50, seed=0)
+        res = radius_stepping(g, 0, 20.0, track_trace=True)
+        out = render_annuli(res.trace)
+        assert f"annuli of {res.steps} steps" in out
+        # settled counts in the chart sum to n - 1 (all but the source)
+        total = sum(
+            int(line.split()[-2])
+            for line in out.splitlines()[2:]
+            if line.strip() and "elided" not in line
+        )
+        assert total == g.n - 1

@@ -1,0 +1,88 @@
+"""Tests for the log-log power-law fitter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import fit_power_law
+
+
+class TestExactFits:
+    def test_inverse_proportionality(self):
+        xs = [1, 2, 5, 10, 100]
+        ys = [1000 / x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.slope == pytest.approx(-1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(50) == pytest.approx(20.0)
+
+    def test_constant_series_slope_zero(self):
+        fit = fit_power_law([1, 2, 4, 8], [7, 7, 7, 7])
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_quadratic(self):
+        xs = np.array([1.0, 3.0, 9.0, 27.0])
+        fit = fit_power_law(xs, 2.5 * xs**2)
+        assert fit.slope == pytest.approx(2.0)
+
+    @given(
+        slope=st.floats(-3, 3, allow_nan=False),
+        c=st.floats(0.1, 100, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_recovers_planted_law(self, slope, c):
+        """Noise-free data: the planted slope comes back and the fit is
+        (numerically) perfect.  Tolerances are 1e-6, not exact: slopes
+        within float-epsilon of zero leave log-variance at rounding scale
+        where R² loses a few ulps legitimately."""
+        xs = np.array([1.0, 2.0, 4.0, 8.0, 16.0])
+        fit = fit_power_law(xs, c * xs**slope)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.r_squared >= 1.0 - 1e-6
+
+
+class TestNoise:
+    def test_r_squared_degrades_with_noise(self):
+        rng = np.random.default_rng(0)
+        xs = np.logspace(0, 3, 30)
+        clean = 100 / xs
+        noisy = clean * np.exp(rng.normal(0, 0.5, size=30))
+        f_clean = fit_power_law(xs, clean)
+        f_noisy = fit_power_law(xs, noisy)
+        assert f_noisy.r_squared < f_clean.r_squared
+        assert f_noisy.slope == pytest.approx(-1.0, abs=0.5)
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 3])
+        with pytest.raises(ValueError):
+            fit_power_law([-1, 2], [1, 3])
+
+    def test_rejects_single_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([5, 5], [1, 2])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [1, 2])
+
+
+class TestOnSolverData:
+    def test_steps_decay_is_near_inverse_on_grid(self):
+        """§5.3: on grids the steps-vs-ρ decay on weighted graphs is
+        near-inverse (slope clearly negative, good linearity)."""
+        from repro.core import radius_stepping
+        from repro.graphs.generators import grid_2d
+        from repro.graphs.weights import random_integer_weights
+        from repro.preprocess import compute_radii_sweep
+
+        g = random_integer_weights(grid_2d(16, 16), low=1, high=10**4, seed=0)
+        rhos = (2, 4, 8, 16, 32)
+        radii = compute_radii_sweep(g, rhos)
+        steps = [radius_stepping(g, 0, radii[r]).steps for r in rhos]
+        fit = fit_power_law(rhos, steps)
+        assert fit.slope < -0.4
+        assert fit.r_squared > 0.8

@@ -1,0 +1,55 @@
+"""Unit tests for multi-source aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import aggregate_over_sources, pick_sources
+from repro.core import dijkstra_steps, radius_stepping
+from repro.graphs.generators import grid_2d
+
+from tests.helpers import random_connected_graph
+
+
+class TestPickSources:
+    def test_all_when_num_ge_n(self):
+        assert pick_sources(4, 10).tolist() == [0, 1, 2, 3]
+
+    def test_sample_properties(self):
+        s = pick_sources(100, 12, seed=4)
+        assert len(s) == 12
+        assert len(np.unique(s)) == 12
+
+    def test_deterministic(self):
+        assert np.array_equal(pick_sources(50, 5, seed=2), pick_sources(50, 5, seed=2))
+
+    def test_seed_matters(self):
+        assert not np.array_equal(
+            pick_sources(500, 5, seed=1), pick_sources(500, 5, seed=2)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            pick_sources(10, 0)
+
+
+class TestAggregate:
+    def test_means(self):
+        g = random_connected_graph(30, 70, seed=0)
+        stats = aggregate_over_sources(g, dijkstra_steps, [0, 5, 9])
+        assert stats.mean_steps == stats.steps.mean()
+        assert len(stats.steps) == 3
+        assert stats.worst_max_substeps >= 1
+        assert stats.mean_relaxations > 0
+        assert stats.mean_substeps >= stats.mean_steps
+
+    def test_solver_callable(self):
+        g = grid_2d(5, 5)
+        stats = aggregate_over_sources(
+            g, lambda gr, s: radius_stepping(gr, s, 1.0), [0, 12, 24]
+        )
+        assert (stats.steps > 0).all()
+
+    def test_empty_sources(self):
+        g = grid_2d(2, 2)
+        with pytest.raises(ValueError):
+            aggregate_over_sources(g, dijkstra_steps, [])

@@ -1,0 +1,58 @@
+"""Unit tests for table rendering and number formatting."""
+
+import pytest
+
+from repro.analysis import format_number, render_kv, render_table
+
+
+class TestFormatNumber:
+    def test_factors_two_decimals(self):
+        assert format_number(1.6789) == "1.68"
+        assert format_number(0.005) == "0.01"
+
+    def test_large_counts_abbreviated(self):
+        assert format_number(986_000) == "986K"
+        assert format_number(1_252_000) == "1M"
+
+    def test_mid_integers_plain(self):
+        assert format_number(1504.0) == "1504"
+
+    def test_special_values(self):
+        assert format_number(float("nan")) == "-"
+        assert format_number(float("inf")) == "inf"
+
+    def test_decimals_param(self):
+        assert format_number(2.3456, decimals=3) == "2.346"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        out = render_table(["a", "bb"], [["x", 1.0], ["yy", 22.5]])
+        lines = out.splitlines()
+        assert lines[0].split(" | ")[-1].strip() == "bb"
+        assert set(lines[1]) <= {"-", "+"}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_title(self):
+        out = render_table(["c"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_numbers_formatted(self):
+        out = render_table(["v"], [[986_000.0]])
+        assert "986K" in out
+
+
+class TestRenderKv:
+    def test_aligned(self):
+        out = render_kv([("key", 1), ("longer_key", "x")], title="H")
+        lines = out.splitlines()
+        assert lines[0] == "H"
+        assert lines[1].index(":") == lines[2].index(":")
+
+    def test_empty(self):
+        assert render_kv([]) == ""

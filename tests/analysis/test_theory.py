@@ -1,0 +1,74 @@
+"""Unit tests for the theory-bound formulas."""
+
+import pytest
+
+from repro.analysis import (
+    TABLE1_ROWS,
+    max_steps_bound,
+    max_substeps_bound,
+    preprocessing_depth,
+    preprocessing_work,
+    radius_stepping_depth,
+    radius_stepping_work,
+)
+
+
+class TestSubstepsBound:
+    def test_k_plus_2(self):
+        assert max_substeps_bound(1) == 3
+        assert max_substeps_bound(4) == 6
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            max_substeps_bound(-1)
+
+
+class TestStepsBound:
+    def test_formula(self):
+        # ceil(100/10) * (1 + ceil(log2(10*4))) = 10 * (1 + 6) = 70
+        assert max_steps_bound(100, 10, 4.0) == 70
+
+    def test_unweighted_rho1(self):
+        # ceil(n/1) * (1 + ceil(log2(1))) = n
+        assert max_steps_bound(50, 1, 1.0) == 50
+
+    def test_monotone_decreasing_in_rho(self):
+        vals = [max_steps_bound(1000, r, 100.0) for r in (1, 2, 8, 32, 128)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            max_steps_bound(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            max_steps_bound(5, 0, 1.0)
+        with pytest.raises(ValueError):
+            max_steps_bound(5, 1, 0.0)
+
+
+class TestCostFormulas:
+    def test_work_scales_with_m(self):
+        assert radius_stepping_work(100, 2000) == 2 * radius_stepping_work(100, 1000)
+
+    def test_depth_inverse_in_rho(self):
+        d1 = radius_stepping_depth(1000, 10, 100.0)
+        d2 = radius_stepping_depth(1000, 20, 100.0)
+        assert d1 > d2
+
+    def test_preprocessing_variants(self):
+        assert preprocessing_work(100, 300, 8, bst=True) >= preprocessing_work(
+            100, 300, 8
+        )
+        assert preprocessing_depth(16) == 256
+        assert preprocessing_depth(16, bst=True) == 64
+
+
+class TestTable1:
+    def test_rows_present(self):
+        algos = {r.algorithm for r in TABLE1_ROWS}
+        assert "This work" in algos
+        assert "Standard BFS" in algos
+        assert len(TABLE1_ROWS) == 11
+
+    def test_settings_partition(self):
+        settings = {r.setting for r in TABLE1_ROWS}
+        assert settings == {"Unweighted (BFS)", "Weighted SSSP"}

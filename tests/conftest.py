@@ -1,0 +1,30 @@
+"""Suite-wide pytest/hypothesis configuration.
+
+Hypothesis profiles keep the property tests' budget predictable on a
+single-core box:
+
+* ``repro`` (default): moderate example counts, no deadline (solver
+  properties legitimately vary in runtime with the generated graph).
+* ``thorough``: 10x examples for release validation —
+  ``HYPOTHESIS_PROFILE=thorough pytest tests/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    deadline=None,
+    max_examples=250,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))

@@ -1,0 +1,52 @@
+"""Unit tests for round-synchronous Bellman–Ford."""
+
+import numpy as np
+import pytest
+
+from repro.core import bellman_ford, dijkstra, dijkstra_minhop
+from repro.graphs import from_edge_list
+from repro.graphs.generators import path_graph, star_graph
+
+from tests.helpers import assert_valid_parents, random_connected_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_dijkstra(self, seed):
+        g = random_connected_graph(35, 80, seed=seed)
+        res = bellman_ford(g, 1)
+        assert np.allclose(res.dist, dijkstra(g, 1).dist)
+
+    def test_disconnected(self):
+        g = from_edge_list(4, [(0, 1, 3.0)])
+        res = bellman_ford(g, 0)
+        assert np.isinf(res.dist[2])
+
+    def test_parents(self):
+        g = random_connected_graph(20, 45, seed=9)
+        res = bellman_ford(g, 0, track_parents=True)
+        assert_valid_parents(g, res.dist, res.parent, 0)
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            bellman_ford(path_graph(3), 9)
+
+
+class TestRounds:
+    """Round convention: hop eccentricity + 1 verification round — the same
+    convention under which Thm 3.2's k+2 counts its confirming substep."""
+
+    def test_path_rounds_equal_length_plus_verify(self):
+        res = bellman_ford(path_graph(6), 0)
+        assert res.substeps == 5 + 1  # one round per hop level + verify
+        assert res.steps == 1  # Bellman–Ford is a single "step"
+
+    def test_star_one_round_plus_verify(self):
+        res = bellman_ford(star_graph(5), 0)
+        assert res.substeps == 1 + 1
+
+    def test_rounds_equal_minhop_radius_plus_one(self):
+        g = random_connected_graph(40, 90, seed=5)
+        res = bellman_ford(g, 0)
+        _, hops, _ = dijkstra_minhop(g, 0)
+        assert res.substeps == hops.max() + 1

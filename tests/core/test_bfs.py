@@ -1,0 +1,82 @@
+"""Unit tests for level-synchronous BFS and the frontier gather kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core import bfs, bfs_levels, dijkstra, gather_frontier_arcs
+from repro.graphs import from_edge_list
+from repro.graphs.generators import grid_2d, path_graph, star_graph
+
+from tests.helpers import random_connected_graph
+
+
+class TestBfsLevels:
+    def test_path(self):
+        levels, rounds = bfs_levels(path_graph(5), 0)
+        assert levels.tolist() == [0, 1, 2, 3, 4]
+        assert rounds == 4
+
+    def test_star_one_round(self):
+        levels, rounds = bfs_levels(star_graph(8), 0)
+        assert rounds == 1
+        assert (levels[1:] == 1).all()
+
+    def test_disconnected_minus_one(self):
+        g = from_edge_list(4, [(0, 1)])
+        levels, rounds = bfs_levels(g, 0)
+        assert levels.tolist() == [0, 1, -1, -1]
+
+    def test_matches_unweighted_dijkstra(self):
+        g = random_connected_graph(60, 150, seed=4, weighted=False)
+        levels, _ = bfs_levels(g, 7)
+        ref = dijkstra(g, 7).dist
+        assert np.array_equal(levels.astype(float), ref)
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            bfs_levels(path_graph(2), 2)
+
+
+class TestBfsResult:
+    def test_dist_semantics(self):
+        g = from_edge_list(4, [(0, 1), (1, 2)])
+        res = bfs(g, 0)
+        assert res.dist[2] == 2.0
+        assert np.isinf(res.dist[3])
+        assert res.algorithm == "bfs"
+
+    def test_rounds_equal_eccentricity(self):
+        g = grid_2d(4, 9)
+        res = bfs(g, 0)
+        assert res.steps == 3 + 8
+
+
+class TestGatherFrontierArcs:
+    def test_flattens_all_arcs(self):
+        g = grid_2d(3, 3)
+        frontier = np.array([0, 4], dtype=np.int64)
+        arcpos, tails = gather_frontier_arcs(g, frontier)
+        assert len(arcpos) == g.degree(0) + g.degree(4)
+        assert set(tails.tolist()) == {0, 4}
+        # arc positions point into the right adjacency slices
+        for pos, tail in zip(arcpos, tails):
+            assert g.indptr[tail] <= pos < g.indptr[tail + 1]
+
+    def test_empty_frontier(self):
+        g = grid_2d(2, 2)
+        arcpos, tails = gather_frontier_arcs(g, np.empty(0, dtype=np.int64))
+        assert len(arcpos) == 0 and len(tails) == 0
+
+    def test_isolated_vertices(self):
+        g = from_edge_list(3, [(0, 1)])
+        arcpos, tails = gather_frontier_arcs(g, np.array([2], dtype=np.int64))
+        assert len(arcpos) == 0
+
+    def test_order_matches_csr(self):
+        g = grid_2d(3, 4)
+        frontier = np.array([5, 1], dtype=np.int64)
+        arcpos, _ = gather_frontier_arcs(g, frontier)
+        expect = np.concatenate(
+            [np.arange(g.indptr[u], g.indptr[u + 1]) for u in frontier]
+        )
+        assert np.array_equal(arcpos, expect)

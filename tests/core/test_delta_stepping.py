@@ -1,0 +1,75 @@
+"""Unit tests for the ∆-stepping baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import delta_stepping, dijkstra, suggest_delta
+from repro.graphs import from_edge_list
+from repro.graphs.generators import grid_2d, path_graph
+from repro.graphs.weights import random_integer_weights
+
+from tests.helpers import random_connected_graph
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("delta", [1.0, 7.0, 100.0, None])
+    def test_matches_dijkstra(self, seed, delta):
+        g = random_connected_graph(30, 70, seed=seed, weight_high=20)
+        res = delta_stepping(g, 0, delta)
+        assert np.allclose(res.dist, dijkstra(g, 0).dist)
+
+    def test_disconnected(self):
+        g = from_edge_list(4, [(0, 1, 2.0)])
+        res = delta_stepping(g, 0, 1.0)
+        assert np.isinf(res.dist[3])
+
+    def test_unweighted(self):
+        g = grid_2d(6, 6)
+        res = delta_stepping(g, 0, 1.0)
+        assert np.allclose(res.dist, dijkstra(g, 0).dist)
+
+
+class TestParameters:
+    def test_invalid_delta(self):
+        g = path_graph(3)
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                delta_stepping(g, 0, bad)
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            delta_stepping(path_graph(3), 4, 1.0)
+
+    def test_suggest_delta_positive(self):
+        g = random_connected_graph(30, 60, seed=0)
+        assert suggest_delta(g) > 0
+
+
+class TestStepBehaviour:
+    def test_huge_delta_single_bucket(self):
+        """∆ ≥ max distance → Bellman–Ford-like single step."""
+        g = random_connected_graph(20, 50, seed=1, weight_high=5)
+        res = delta_stepping(g, 0, 1e9)
+        assert res.steps == 1
+
+    def test_small_delta_many_steps(self):
+        g = random_integer_weights(grid_2d(5, 5), low=1, high=10, seed=2)
+        fine = delta_stepping(g, 0, 1.0)
+        coarse = delta_stepping(g, 0, 50.0)
+        assert fine.steps > coarse.steps
+
+    def test_trace(self):
+        g = random_connected_graph(20, 45, seed=3, weight_high=10)
+        res = delta_stepping(g, 0, 10.0, track_trace=True)
+        assert res.trace is not None
+        assert len(res.trace) == res.steps
+        assert sum(t.substeps for t in res.trace) == res.substeps
+        assert res.max_substeps == max(t.substeps for t in res.trace)
+
+    def test_light_heavy_split(self):
+        """Heavy-only graph: each bucket needs exactly 1 light + 1 heavy
+        phase."""
+        g = from_edge_list(3, [(0, 1, 10.0), (1, 2, 10.0)])
+        res = delta_stepping(g, 0, 1.0, track_trace=True)
+        assert all(t.substeps == 2 for t in res.trace)

@@ -1,0 +1,121 @@
+"""Unit tests for Dijkstra variants (the correctness oracle itself)."""
+
+import numpy as np
+import pytest
+
+from repro.core import bfs_levels, dijkstra, dijkstra_minhop, dijkstra_steps
+from repro.graphs import from_edge_list
+from repro.graphs.generators import grid_2d, path_graph
+from repro.graphs.weights import random_integer_weights
+
+from tests.helpers import (
+    assert_valid_parents,
+    brute_force_distances,
+    random_connected_graph,
+)
+
+
+class TestDijkstra:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        g = random_connected_graph(30, 70, seed=seed)
+        res = dijkstra(g, 0)
+        assert np.allclose(res.dist, brute_force_distances(g, 0))
+
+    def test_parents_realize_distances(self):
+        g = random_connected_graph(25, 60, seed=3)
+        res = dijkstra(g, 4)
+        assert_valid_parents(g, res.dist, res.parent, 4)
+
+    def test_unreachable_inf(self):
+        g = from_edge_list(4, [(0, 1, 2.0), (2, 3, 1.0)])
+        res = dijkstra(g, 0)
+        assert res.dist[1] == 2.0
+        assert np.isinf(res.dist[2]) and np.isinf(res.dist[3])
+        assert res.reached == 2
+
+    def test_source_zero(self):
+        res = dijkstra(path_graph(4), 2)
+        assert res.dist[2] == 0.0
+
+    def test_track_parents_off(self):
+        assert dijkstra(path_graph(3), 0, track_parents=False).parent is None
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            dijkstra(path_graph(3), 5)
+
+    def test_path_reconstruction(self):
+        g = from_edge_list(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0), (2, 3, 1.0)])
+        res = dijkstra(g, 0)
+        assert res.path_to(3) == [0, 1, 2, 3]
+
+    def test_zero_weight_edges(self):
+        g = from_edge_list(3, [(0, 1, 0.0), (1, 2, 0.0)])
+        res = dijkstra(g, 0)
+        assert np.array_equal(res.dist, [0.0, 0.0, 0.0])
+
+
+class TestDijkstraMinhop:
+    def test_distances_match_plain(self):
+        g = random_connected_graph(40, 90, seed=1)
+        dist, hops, parent = dijkstra_minhop(g, 0)
+        assert np.allclose(dist, dijkstra(g, 0).dist)
+
+    def test_hops_are_minimum_over_shortest_paths(self):
+        # Two shortest paths to 3: 0-1-2-3 (3 hops) and 0-4-3 (2 hops),
+        # both weight 3.
+        g = from_edge_list(
+            5,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 4, 1.5), (4, 3, 1.5)],
+        )
+        dist, hops, parent = dijkstra_minhop(g, 0)
+        assert dist[3] == 3.0
+        assert hops[3] == 2
+        assert parent[3] == 4
+
+    def test_unweighted_hops_equal_bfs(self):
+        g = grid_2d(5, 6)
+        dist, hops, _ = dijkstra_minhop(g, 0)
+        levels, _ = bfs_levels(g, 0)
+        assert np.array_equal(hops, levels)
+
+    def test_unreachable_hops_minus_one(self):
+        g = from_edge_list(3, [(0, 1, 1.0)])
+        _, hops, _ = dijkstra_minhop(g, 0)
+        assert hops[2] == -1
+
+    def test_parent_chain_has_min_hops(self):
+        g = random_integer_weights(grid_2d(5, 5), low=1, high=3, seed=5)
+        dist, hops, parent = dijkstra_minhop(g, 0)
+        for v in range(g.n):
+            count = 0
+            u = v
+            while parent[u] >= 0:
+                u = int(parent[u])
+                count += 1
+            assert count == hops[v]
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            dijkstra_minhop(path_graph(3), -1)
+
+
+class TestDijkstraSteps:
+    def test_distances_exact(self):
+        g = random_connected_graph(30, 60, seed=2)
+        res = dijkstra_steps(g, 0)
+        assert np.allclose(res.dist, dijkstra(g, 0).dist)
+
+    def test_unweighted_steps_equal_eccentricity(self):
+        g = grid_2d(4, 7)
+        res = dijkstra_steps(g, 0)
+        _, rounds = bfs_levels(g, 0)
+        assert res.steps == rounds
+
+    def test_ties_batched(self):
+        # Star: all leaves at equal distance settle in one step.
+        from repro.graphs.generators import star_graph
+
+        res = dijkstra_steps(star_graph(6), 0)
+        assert res.steps == 1

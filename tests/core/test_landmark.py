@@ -1,0 +1,113 @@
+"""Tests for the landmark (Ullman–Yannakakis / Klein–Subramanian) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bfs,
+    dijkstra,
+    hop_limited_distances,
+    landmark_sssp,
+    sample_landmarks,
+)
+from repro.graphs.generators import grid_2d, path_graph
+
+from tests.helpers import random_connected_graph
+
+
+class TestHopLimited:
+    def test_path_truncation(self):
+        g = path_graph(8)
+        d = hop_limited_distances(g, 0, 3)
+        assert d[:4].tolist() == [0, 1, 2, 3]
+        assert np.isinf(d[4:]).all()
+
+    def test_full_hops_is_exact(self):
+        g = random_connected_graph(30, 70, seed=0)
+        d = hop_limited_distances(g, 0, g.n)
+        assert np.allclose(d, dijkstra(g, 0).dist)
+
+    def test_weighted_hop_limit_not_truncated_dijkstra(self):
+        """d_t is the min over <=t-edge paths — a 2-hop light path must
+        lose to a 1-hop heavy edge at t=1."""
+        from repro.graphs import from_edge_list
+
+        g = from_edge_list(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)])
+        d1 = hop_limited_distances(g, 0, 1)
+        assert d1[2] == 5.0  # only the direct edge fits in one hop
+        d2 = hop_limited_distances(g, 0, 2)
+        assert d2[2] == 2.0
+
+    def test_monotone_in_t(self):
+        g = random_connected_graph(25, 60, seed=1)
+        prev = hop_limited_distances(g, 0, 1)
+        for t in (2, 4, 8):
+            cur = hop_limited_distances(g, 0, t)
+            assert np.all(cur <= prev + 1e-12)
+            prev = cur
+
+
+class TestSampleLandmarks:
+    def test_source_always_included(self):
+        lm = sample_landmarks(100, 10, source=42, seed=0)
+        assert 42 in lm
+
+    def test_sorted_unique(self):
+        lm = sample_landmarks(200, 5, source=0, seed=1)
+        assert np.array_equal(lm, np.unique(lm))
+
+    def test_count_scales_inverse_t(self):
+        small_t = sample_landmarks(500, 2, source=0, seed=2)
+        big_t = sample_landmarks(500, 50, source=0, seed=2)
+        assert len(big_t) < len(small_t)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_landmarks(10, 0, source=0)
+        with pytest.raises(ValueError):
+            sample_landmarks(10, 2, source=0, oversample=0)
+
+
+class TestLandmarkSssp:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_on_weighted(self, seed):
+        g = random_connected_graph(50, 120, seed=seed, weight_high=9)
+        res = landmark_sssp(g, 0, t=6, seed=seed)
+        assert np.allclose(res.dist, dijkstra(g, 0).dist)
+
+    def test_exact_on_unweighted_grid(self):
+        g = grid_2d(8, 8)
+        res = landmark_sssp(g, 5, t=5, seed=0)
+        assert np.allclose(res.dist, bfs(g, 5).dist)
+
+    def test_depth_is_t(self):
+        g = grid_2d(6, 6)
+        res = landmark_sssp(g, 0, t=4, seed=0)
+        assert res.substeps == 4
+
+    def test_large_t_needs_few_landmarks(self):
+        """With t >= n the sample shrinks to ~oversample·ln n landmarks
+        and each hop-limited search is a full Bellman–Ford."""
+        import math
+
+        g = random_connected_graph(20, 45, seed=3)
+        res = landmark_sssp(g, 0, t=g.n, seed=0)
+        assert np.allclose(res.dist, dijkstra(g, 0).dist)
+        assert res.params["landmarks"] <= math.ceil(3 * math.log(g.n)) + 1
+
+    def test_work_depth_tradeoff_vs_radius_stepping(self):
+        """Table 1's contrast: at comparable depth the landmark family
+        pays far more work (relaxations) than Radius-Stepping."""
+        from repro.core import radius_stepping
+        from repro.preprocess import build_kr_graph
+
+        g = random_connected_graph(120, 300, seed=4, weight_high=9)
+        pre = build_kr_graph(g, k=2, rho=16, heuristic="dp")
+        rs = radius_stepping(pre.graph, 0, pre.radii)
+        lm = landmark_sssp(g, 0, t=8, seed=0)
+        assert np.allclose(lm.dist, rs.dist)
+        assert lm.relaxations > rs.relaxations
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            landmark_sssp(path_graph(4), 9, t=2)

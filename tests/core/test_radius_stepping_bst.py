@@ -1,0 +1,86 @@
+"""Cross-validation of the Algorithm-2 (BST) engine.
+
+The vectorized engine and the faithful BST engine must agree *exactly* on
+distances, steps, and total substeps — they implement the same algorithm
+with different data structures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import dijkstra, radius_stepping, radius_stepping_bst
+from repro.graphs import from_edge_list
+from repro.graphs.generators import grid_2d, path_graph
+from repro.pram import Ledger
+
+from tests.helpers import random_connected_graph
+
+
+class TestParity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_engines_agree(self, seed):
+        g = random_connected_graph(30, 70, seed=seed, weight_high=15)
+        rng = np.random.default_rng(seed)
+        radii = rng.integers(0, 12, size=g.n).astype(float)
+        a = radius_stepping(g, 0, radii)
+        b = radius_stepping_bst(g, 0, radii)
+        assert np.allclose(a.dist, b.dist)
+        assert a.steps == b.steps
+        assert a.substeps == b.substeps
+        assert a.max_substeps == b.max_substeps
+
+    @given(
+        n=st.integers(4, 20),
+        seed=st.integers(0, 10**6),
+        rmax=st.integers(0, 20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_parity_property(self, n, seed, rmax):
+        g = random_connected_graph(n, 2 * n, seed=seed, weight_high=8)
+        rng = np.random.default_rng(seed + 1)
+        radii = rng.integers(0, rmax + 1, size=g.n).astype(float)
+        a = radius_stepping(g, 0, radii)
+        b = radius_stepping_bst(g, 0, radii)
+        assert np.allclose(a.dist, b.dist)
+        assert (a.steps, a.substeps) == (b.steps, b.substeps)
+
+
+class TestStandalone:
+    def test_matches_dijkstra(self):
+        g = random_connected_graph(25, 55, seed=7)
+        res = radius_stepping_bst(g, 0, 5.0)
+        assert np.allclose(res.dist, dijkstra(g, 0).dist)
+
+    def test_disconnected(self):
+        g = from_edge_list(4, [(0, 1, 1.0)])
+        res = radius_stepping_bst(g, 0, 2.0)
+        assert np.isinf(res.dist[2])
+
+    def test_trace(self):
+        g = grid_2d(4, 4)
+        res = radius_stepping_bst(g, 0, 1.0, track_trace=True)
+        assert len(res.trace) == res.steps
+        assert sum(t.settled for t in res.trace) == g.n - 1
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            radius_stepping_bst(path_graph(3), -1, 0.0)
+
+
+class TestLedger:
+    def test_costs_charged_to_q_and_r(self):
+        g = random_connected_graph(20, 50, seed=8)
+        ledger = Ledger()
+        radius_stepping_bst(g, 0, 4.0, ledger=ledger)
+        assert ledger.work > 0
+        assert {"Q", "R"} <= set(ledger.by_label)
+
+    def test_more_radius_less_depth(self):
+        """Bigger radii -> fewer steps -> strictly less charged depth."""
+        g = random_connected_graph(40, 90, seed=9, weight_high=100)
+        lo, hi = Ledger(), Ledger()
+        radius_stepping_bst(g, 0, 0.0, ledger=lo)
+        radius_stepping_bst(g, 0, 1e9, ledger=hi)
+        assert hi.depth < lo.depth

@@ -1,0 +1,126 @@
+"""Tests for the §3.4 unweighted (BFS-style) Radius-Stepping engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    bfs,
+    radius_stepping,
+    radius_stepping_unweighted,
+)
+from repro.graphs import from_edge_list, unit_weights
+from repro.graphs.generators import grid_2d, path_graph, scale_free
+from repro.pram import Ledger
+from repro.preprocess import compute_radii
+
+from tests.helpers import random_connected_graph
+
+
+class TestParityWithGeneralEngine:
+    """§3.4 changes the data structures, not the algorithm: steps,
+    substeps, and distances must match the general engine exactly."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs(self, seed):
+        g = random_connected_graph(40, 90, seed=seed, weighted=False)
+        rng = np.random.default_rng(seed)
+        radii = rng.integers(0, 4, size=g.n).astype(float)
+        a = radius_stepping(g, 0, radii)
+        b = radius_stepping_unweighted(g, 0, radii)
+        assert np.allclose(a.dist, b.dist)
+        assert a.steps == b.steps
+        assert a.substeps == b.substeps
+        assert a.max_substeps == b.max_substeps
+
+    @given(
+        n=st.integers(4, 30),
+        seed=st.integers(0, 10**6),
+        rmax=st.integers(0, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_parity_property(self, n, seed, rmax):
+        g = random_connected_graph(n, 2 * n, seed=seed, weighted=False)
+        rng = np.random.default_rng(seed + 1)
+        radii = rng.integers(0, rmax + 1, size=g.n).astype(float)
+        a = radius_stepping(g, 0, radii)
+        b = radius_stepping_unweighted(g, 0, radii)
+        assert np.allclose(a.dist, b.dist)
+        assert (a.steps, a.substeps) == (b.steps, b.substeps)
+
+    def test_with_real_rho_radii(self):
+        g = grid_2d(9, 9)
+        radii = compute_radii(g, rho=6)
+        a = radius_stepping(g, 0, radii)
+        b = radius_stepping_unweighted(g, 0, radii)
+        assert np.allclose(a.dist, b.dist)
+        assert a.steps == b.steps
+
+
+class TestSemantics:
+    def test_zero_radius_counts_bfs_levels(self):
+        g = grid_2d(6, 7)
+        res = radius_stepping_unweighted(g, 0, 0.0)
+        assert res.steps == bfs(g, 0).steps
+        assert np.allclose(res.dist, bfs(g, 0).dist)
+
+    def test_distances_are_hops(self):
+        g = path_graph(8)
+        res = radius_stepping_unweighted(g, 0, 2.0)
+        assert res.dist.tolist() == list(range(8))
+
+    def test_scale_free_few_steps(self):
+        """Hubs keep the hop diameter tiny, so even moderate radii collapse
+        the run to a handful of steps (the paper's §5.3 webgraph story)."""
+        g = scale_free(300, attach=3, seed=0)
+        bfs_steps = radius_stepping_unweighted(g, 0, 0.0).steps
+        ball_steps = radius_stepping_unweighted(g, 0, 2.0).steps
+        assert ball_steps <= bfs_steps
+
+    def test_disconnected(self):
+        g = from_edge_list(5, [(0, 1, 1.0), (2, 3, 1.0)])
+        res = radius_stepping_unweighted(g, 0, 1.0)
+        assert res.dist[1] == 1.0
+        assert np.isinf(res.dist[2:]).all()
+
+    def test_single_vertex(self):
+        g = from_edge_list(1, [])
+        res = radius_stepping_unweighted(g, 0, 0.0)
+        assert res.steps == 0 and res.dist[0] == 0.0
+
+    def test_trace(self):
+        g = grid_2d(5, 5)
+        res = radius_stepping_unweighted(g, 0, 1.0, track_trace=True)
+        assert len(res.trace) == res.steps
+        assert sum(t.settled for t in res.trace) == g.n - 1
+        radii_seq = [t.radius for t in res.trace]
+        assert radii_seq == sorted(radii_seq)
+
+
+class TestValidation:
+    def test_rejects_weighted_graph(self):
+        g = from_edge_list(3, [(0, 1, 2.5), (1, 2, 1.0)])
+        with pytest.raises(ValueError, match="unit weights"):
+            radius_stepping_unweighted(g, 0, 0.0)
+
+    def test_unit_weights_fixes_it(self):
+        g = from_edge_list(3, [(0, 1, 2.5), (1, 2, 1.0)])
+        res = radius_stepping_unweighted(unit_weights(g), 0, 0.0)
+        assert res.dist.tolist() == [0.0, 1.0, 2.0]
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            radius_stepping_unweighted(path_graph(3), 5, 0.0)
+
+
+class TestLedger:
+    def test_no_log_n_factor(self):
+        """Lemma 3.10: unweighted work is O(m + n) — the ledger's total
+        work stays within a small constant of the arcs touched, with no
+        tree (log n) term."""
+        g = grid_2d(12, 12)
+        ledger = Ledger()
+        res = radius_stepping_unweighted(g, 0, 1.0, ledger=ledger)
+        assert ledger.work <= 4.0 * (res.relaxations + g.n)
+        assert "substep relax" in ledger.by_label

@@ -1,0 +1,56 @@
+"""Unit tests for the SsspResult record."""
+
+import numpy as np
+import pytest
+
+from repro.core import SsspResult, StepTrace, dijkstra
+from repro.graphs import from_edge_list
+
+
+@pytest.fixture
+def solved():
+    g = from_edge_list(4, [(0, 1, 1.0), (1, 2, 2.0), (0, 3, 10.0)])
+    return dijkstra(g, 0)
+
+
+class TestPathTo:
+    def test_path(self, solved):
+        assert solved.path_to(2) == [0, 1, 2]
+
+    def test_source_path(self, solved):
+        assert solved.path_to(0) == [0]
+
+    def test_unreachable(self):
+        g = from_edge_list(3, [(0, 1, 1.0)])
+        res = dijkstra(g, 0)
+        with pytest.raises(ValueError, match="unreachable"):
+            res.path_to(2)
+
+    def test_no_parents_recorded(self):
+        res = SsspResult(dist=np.array([0.0, 1.0]))
+        with pytest.raises(ValueError, match="parents"):
+            res.path_to(1)
+
+    def test_cycle_guard(self):
+        res = SsspResult(
+            dist=np.array([0.0, 1.0, 1.0]),
+            parent=np.array([-1, 2, 1]),
+        )
+        with pytest.raises(RuntimeError, match="cycle"):
+            res.path_to(1)
+
+
+class TestReached:
+    def test_counts_finite(self):
+        res = SsspResult(dist=np.array([0.0, np.inf, 3.0]))
+        assert res.reached == 2
+
+
+class TestStepTrace:
+    def test_frozen(self):
+        t = StepTrace(step=0, radius=1.0, substeps=2, settled=3, relaxations=4)
+        with pytest.raises(AttributeError):
+            t.step = 1
+
+    def test_repr_mentions_algorithm(self, solved):
+        assert "dijkstra" in repr(solved)

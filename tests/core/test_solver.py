@@ -1,0 +1,88 @@
+"""Tests for the amortized PreprocessedSSSP facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import dijkstra
+from repro.core.solver import PreprocessedSSSP
+from repro.graphs.generators import grid_2d, scale_free
+
+from tests.helpers import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def weighted_solver():
+    g = random_connected_graph(60, 140, seed=0, weight_high=30)
+    return g, PreprocessedSSSP(g, k=2, rho=12, heuristic="dp")
+
+
+class TestCorrectness:
+    def test_matches_dijkstra_from_many_sources(self, weighted_solver):
+        g, sp = weighted_solver
+        for s in (0, 17, 42):
+            assert np.allclose(sp.distances(s), dijkstra(g, s).dist)
+
+    def test_augmentation_preserves_metric(self, weighted_solver):
+        """Shortcuts carry exact shortest-path weights (Lemma 4.1), so
+        queries on the augmented graph return input-graph distances."""
+        g, sp = weighted_solver
+        assert sp.graph.m >= g.m
+        assert np.allclose(sp.distances(5), dijkstra(g, 5).dist)
+
+    def test_parents_realize_distances(self, weighted_solver):
+        g, sp = weighted_solver
+        res = sp.solve(3, track_parents=True)
+        v = int(np.argmax(np.where(np.isfinite(res.dist), res.dist, -1)))
+        path = res.path_to(v)
+        assert path[0] == 3 and path[-1] == v
+
+
+class TestEngines:
+    def test_auto_picks_unweighted_on_unit_graph(self):
+        sp = PreprocessedSSSP(grid_2d(8, 8), k=1, rho=4, heuristic="full")
+        if sp.graph.is_unweighted:
+            res = sp.solve(0)
+            assert res.algorithm == "radius-stepping-unweighted"
+
+    def test_auto_picks_vectorized_on_weighted(self, weighted_solver):
+        _, sp = weighted_solver
+        assert sp.solve(0).algorithm == "radius-stepping"
+
+    def test_engines_agree(self, weighted_solver):
+        _, sp = weighted_solver
+        a = sp.solve(7, engine="vectorized")
+        b = sp.solve(7, engine="bst")
+        assert np.allclose(a.dist, b.dist)
+        assert (a.steps, a.substeps) == (b.steps, b.substeps)
+
+    def test_bad_engine_rejected(self, weighted_solver):
+        _, sp = weighted_solver
+        with pytest.raises(ValueError):
+            sp.solve(0, engine="quantum")
+
+    def test_bst_engine_rejects_parent_tracking(self, weighted_solver):
+        _, sp = weighted_solver
+        with pytest.raises(ValueError):
+            sp.solve(0, engine="bst", track_parents=True)
+
+
+class TestAmortization:
+    def test_query_counter(self, weighted_solver):
+        g = random_connected_graph(30, 70, seed=1)
+        sp = PreprocessedSSSP(g, k=1, rho=6, heuristic="full")
+        sp.solve_many([0, 1, 2])
+        assert sp.queries_answered == 3
+
+    def test_mean_steps_beats_dijkstra(self):
+        """The whole point: preprocessed queries take far fewer rounds."""
+        g = random_connected_graph(150, 400, seed=2, weight_high=10**4)
+        sp = PreprocessedSSSP(g, k=2, rho=24, heuristic="dp")
+        sources = [0, 50, 100]
+        base = np.mean([dijkstra(g, s).steps for s in sources])
+        assert sp.mean_steps(sources) * 2 < base
+
+    def test_substep_bound_holds_on_hub_graph(self):
+        web = scale_free(200, attach=3, seed=5)
+        sp = PreprocessedSSSP(web, k=3, rho=16, heuristic="dp")
+        res = sp.solve(0)
+        assert res.max_substeps <= 3 + 2

@@ -1,0 +1,37 @@
+"""Tests for the Theorem 3.2/3.3 ablation driver."""
+
+import pytest
+
+from repro.experiments.bounds_check import render_bounds, run_bounds_check
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_bounds_check(
+        "tiny",
+        datasets=("grid2d",),
+        ks=(1, 2),
+        rhos=(4, 8),
+        heuristics=("full", "dp"),
+        weighted=True,
+    )
+
+
+class TestBounds:
+    def test_every_configuration_holds(self, points):
+        for p in points:
+            assert p.holds, f"bound violated: {p}"
+
+    def test_slacks_in_unit_interval(self, points):
+        for p in points:
+            assert 0 < p.substep_slack <= 1.0
+            assert 0 < p.step_slack <= 1.0
+
+    def test_full_runs_once_per_rho(self, points):
+        full_points = [p for p in points if p.heuristic == "full"]
+        assert len(full_points) == 2  # one per rho, not per k
+
+    def test_render(self, points):
+        out = render_bounds(points)
+        assert "Theorem 3.2 / 3.3" in out
+        assert "NO" not in out.split("holds")[-1] or "yes" in out

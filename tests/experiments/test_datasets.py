@@ -1,0 +1,59 @@
+"""Unit tests for the six evaluation datasets."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import DATASET_NAMES, get_scale, make_all_datasets, make_dataset
+from repro.graphs import is_connected, validate_graph
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return get_scale("tiny")
+
+
+class TestConstruction:
+    def test_all_six_build(self, tiny):
+        data = make_all_datasets(tiny)
+        assert set(data) == set(DATASET_NAMES)
+        for ds in data.values():
+            validate_graph(ds.unweighted)
+            assert is_connected(ds.unweighted)
+
+    def test_weighted_variant(self, tiny):
+        ds = make_dataset("grid2d", tiny)
+        assert ds.unweighted.is_unweighted
+        assert not ds.weighted.is_unweighted
+        assert ds.weighted.max_weight <= 10_000
+        assert ds.weighted.m == ds.unweighted.m
+
+    def test_sizes_match_scale(self, tiny):
+        assert make_dataset("grid2d", tiny).n == tiny.grid2d_side**2
+        assert make_dataset("grid3d", tiny).n == tiny.grid3d_side**3
+        assert make_dataset("road-pa", tiny).n == tiny.road_n[0]
+
+    def test_deterministic(self, tiny):
+        a = make_dataset("web-nd", tiny)
+        b = make_dataset("web-nd", tiny)
+        assert a.unweighted == b.unweighted
+        assert np.array_equal(a.weighted.weights, b.weighted.weights)
+
+    def test_unknown_name(self, tiny):
+        with pytest.raises(ValueError):
+            make_dataset("road-xx", tiny)
+
+
+class TestCharacter:
+    def test_road_is_sparse(self, tiny):
+        ds = make_dataset("road-pa", tiny)
+        assert 2 * ds.m / ds.n < 3.2
+
+    def test_web_has_hubs(self, tiny):
+        ds = make_dataset("web-st", tiny)
+        deg = ds.unweighted.degrees()
+        assert deg.max() > 8 * np.median(deg)
+
+    def test_scale_lookup(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_scale("huge")
+        assert get_scale("tiny").name == "tiny"

@@ -1,0 +1,42 @@
+"""Tests for the CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.scale == "small"
+        assert args.n_jobs == 1
+
+    def test_multiple_experiments(self):
+        args = build_parser().parse_args(["table2", "table3", "--scale", "tiny"])
+        assert args.experiments == ["table2", "table3"]
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table99"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--scale", "galactic"])
+
+    def test_all_registered_experiments_have_callables(self):
+        expected = {
+            "fig1", "fig2", "fig3", "fig4", "fig5",
+            "table1", "table2", "table3", "table4",
+            "table5", "table6", "table7",
+            "workdepth", "bounds",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestMain:
+    def test_fig2_and_table1(self, capsys):
+        assert main(["fig2", "table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2 check" in out
+        assert "Table 1" in out
+        assert "# configuration" in out

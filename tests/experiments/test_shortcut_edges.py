@@ -1,0 +1,70 @@
+"""Tests for the Figure 3 / Tables 2–3 drivers (reduced sweep)."""
+
+import pytest
+
+from repro.experiments import get_scale
+from repro.experiments.shortcut_edges import (
+    render_factor_table,
+    render_fig3,
+    run_shortcut_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_shortcut_suite(
+        "tiny",
+        datasets=("grid2d", "web-st"),
+        ks=(2, 3),
+        rhos=(5, 10, 20),
+        with_rounds=True,
+    )
+
+
+class TestSuite:
+    def test_structure(self, suite):
+        assert set(suite.counts) == {"grid2d", "web-st"}
+        assert suite.ks == (2, 3)
+
+    def test_dp_never_worse(self, suite):
+        for name in suite.counts:
+            for k in suite.ks:
+                for rho in suite.rhos:
+                    assert suite.factor(name, "dp", k, rho) <= suite.factor(
+                        name, "greedy", k, rho
+                    ) + 1e-12
+
+    def test_larger_k_fewer_edges(self, suite):
+        """§5.4: 'A larger k will reduce the number of added edges.'"""
+        for name in suite.counts:
+            for rho in suite.rhos:
+                assert suite.factor(name, "dp", 3, rho) <= suite.factor(
+                    name, "dp", 2, rho
+                ) + 1e-12
+
+    def test_webgraph_dp_small(self, suite):
+        """Hubs make DP nearly free on scale-free graphs (§5.2)."""
+        assert suite.factor("web-st", "dp", 3, 20) < 0.5
+
+    def test_rounds_reduction_present(self, suite):
+        assert set(suite.rounds_reduction) == {"grid2d", "web-st"}
+        for per_rho in suite.rounds_reduction.values():
+            assert all(v >= 1.0 for v in per_rho.values())
+
+
+class TestRenderers:
+    def test_table2(self, suite):
+        out = render_factor_table(suite, "greedy")
+        assert "Table 2" in out and "red. rounds" in out
+
+    def test_table3(self, suite):
+        out = render_factor_table(suite, "dp")
+        assert "Table 3" in out
+
+    def test_fig3(self, suite):
+        out = render_fig3(suite, k=3)
+        assert "Figure 3" in out and "legend" in out
+
+    def test_fig3_bad_k(self, suite):
+        with pytest.raises(ValueError):
+            render_fig3(suite, k=9)

@@ -1,0 +1,90 @@
+"""Tests for the Figure 4/5 and Tables 4–7 drivers (reduced sweep)."""
+
+import pytest
+
+from repro.experiments import get_scale, make_dataset
+from repro.experiments.steps import (
+    render_reduction_table,
+    render_steps_figure,
+    render_steps_table,
+    run_steps_for_dataset,
+    run_steps_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    cfg = get_scale("tiny")
+    return run_steps_suite(
+        cfg,
+        weighted=False,
+        datasets=("grid2d", "web-st"),
+        rhos=(1, 4, 16),
+        num_sources=2,
+    )
+
+
+class TestRunSuite:
+    def test_structure(self, suite):
+        assert set(suite.results) == {"grid2d", "web-st"}
+        assert suite.rhos == (1, 4, 16)
+
+    def test_steps_decrease_with_rho(self, suite):
+        for res in suite.results.values():
+            assert res.mean_steps(1) >= res.mean_steps(4) >= res.mean_steps(16)
+
+    def test_reduction_ge_one(self, suite):
+        for res in suite.results.values():
+            for rho in (4, 16):
+                assert res.reduction(rho) >= 1.0
+
+    def test_rho1_equals_bfs_rounds(self, suite):
+        """The headline convention check: unweighted ρ=1 == BFS."""
+        for res in suite.results.values():
+            assert res.mean_steps(1) == pytest.approx(res.bfs_rounds)
+
+    def test_accepts_scale_name(self):
+        s = run_steps_suite(
+            "tiny",
+            weighted=True,
+            datasets=("grid2d",),
+            rhos=(1, 8),
+            num_sources=1,
+        )
+        assert s.weighted
+        # weighted rho=1 is near one-settle-per-step
+        res = s.results["grid2d"]
+        assert res.mean_steps(1) > res.n * 0.8
+
+
+class TestWeightedSuite:
+    def test_weighted_larger_reduction(self):
+        """Weighted ρ=1 takes ~n steps, so even small ρ reduces steps far
+        more than in the unweighted case (§5.3)."""
+        cfg = get_scale("tiny")
+        uw = run_steps_suite(
+            cfg, weighted=False, datasets=("grid2d",), rhos=(1, 8), num_sources=2
+        )
+        w = run_steps_suite(
+            cfg, weighted=True, datasets=("grid2d",), rhos=(1, 8), num_sources=2
+        )
+        assert w.results["grid2d"].reduction(8) > uw.results["grid2d"].reduction(8)
+
+
+class TestRenderers:
+    def test_steps_table(self, suite):
+        out = render_steps_table(suite)
+        assert "Table 4" in out
+        assert "grid2d" in out and "web-st" in out
+        assert "vertices" in out
+
+    def test_reduction_table(self, suite):
+        out = render_reduction_table(suite)
+        assert "Table 5" in out
+        # rho=1 row excluded (it is the baseline)
+        assert not any(line.startswith("  1 |") for line in out.splitlines())
+
+    def test_figure(self, suite):
+        out = render_steps_figure(suite)
+        assert "Figure 4" in out
+        assert "legend" in out

@@ -1,0 +1,49 @@
+"""Tests for the Table 1 / work-depth measurement driver."""
+
+import pytest
+
+from repro.experiments.workdepth import (
+    render_table1,
+    render_workdepth,
+    run_workdepth,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_workdepth(sides=(6, 10), rhos=(4, 8), k=2)
+
+
+class TestMeasurement:
+    def test_points_produced(self, points):
+        assert len(points) == 4
+
+    def test_ratios_bounded(self, points):
+        """Measured PRAM costs must track the Theorem 1.1 shapes: the
+        constant in front of the bound stays modest across sizes."""
+        for p in points:
+            assert 0 < p.work_ratio < 50
+            assert 0 < p.depth_ratio < 50
+
+    def test_work_grows_with_size(self, points):
+        small = [p for p in points if p.n <= 36]
+        large = [p for p in points if p.n >= 100]
+        assert min(p.work for p in large) > max(p.work for p in small) * 0.5
+
+    def test_depth_decreases_with_rho(self, points):
+        by_n: dict[int, dict[int, float]] = {}
+        for p in points:
+            by_n.setdefault(p.n, {})[p.rho] = p.depth
+        for depths in by_n.values():
+            assert depths[8] <= depths[4]
+
+
+class TestRenderers:
+    def test_table1_text(self):
+        out = render_table1()
+        assert "This work" in out
+        assert "O((m + n p) log n)" in out
+
+    def test_workdepth_table(self, points):
+        out = render_workdepth(points)
+        assert "Theorem 1.1" in out

@@ -1,0 +1,150 @@
+"""Unit tests for graph construction and transformations."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    add_shortcuts,
+    connected_components,
+    from_adjacency,
+    from_arc_arrays,
+    from_edge_list,
+    induced_subgraph,
+    is_connected,
+    largest_connected_component,
+    reweighted,
+)
+from repro.graphs.generators import grid_2d, path_graph
+
+
+class TestFromEdgeList:
+    def test_basic(self):
+        g = from_edge_list(3, [(0, 1), (1, 2)])
+        assert g.m == 2 and g.is_unweighted
+
+    def test_duplicates_keep_min_weight(self):
+        g = from_edge_list(2, [(0, 1, 5.0), (1, 0, 3.0), (0, 1, 9.0)])
+        assert g.m == 1
+        assert g.edge_weight(0, 1) == 3.0
+
+    def test_self_loops_dropped(self):
+        g = from_edge_list(2, [(0, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_empty(self):
+        assert from_edge_list(4, []).m == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(Exception):
+            from_edge_list(2, [(0, 5)])
+
+
+class TestFromArcArrays:
+    def test_symmetrize_default(self):
+        g = from_arc_arrays(3, np.array([0]), np.array([1]))
+        assert g.has_edge(1, 0)
+
+    def test_no_symmetrize_requires_symmetric_input(self):
+        from repro.graphs import GraphValidationError
+
+        with pytest.raises(GraphValidationError):
+            from_arc_arrays(
+                3, np.array([0]), np.array([1]), symmetrize=False, validate=True
+            )
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            from_arc_arrays(3, np.array([0]), np.array([1, 2]))
+
+
+class TestFromAdjacency:
+    def test_weighted_mapping(self):
+        g = from_adjacency({0: {1: 2.0}, 1: {2: 4.0}})
+        assert g.n == 3
+        assert g.edge_weight(1, 2) == 4.0
+
+    def test_unweighted_lists(self):
+        g = from_adjacency({0: [1, 2]})
+        assert g.m == 2 and g.is_unweighted
+
+
+class TestAddShortcuts:
+    def test_adds_new_edges(self):
+        g = path_graph(4)
+        aug = add_shortcuts(
+            g, np.array([0]), np.array([3]), np.array([3.0])
+        )
+        assert aug.m == g.m + 1
+        assert aug.edge_weight(0, 3) == 3.0
+
+    def test_merge_keeps_min_weight(self):
+        g = from_edge_list(2, [(0, 1, 5.0)])
+        aug = add_shortcuts(g, np.array([0]), np.array([1]), np.array([2.0]))
+        assert aug.m == 1
+        assert aug.edge_weight(0, 1) == 2.0
+
+    def test_never_raises_existing_weight(self):
+        g = from_edge_list(2, [(0, 1, 2.0)])
+        aug = add_shortcuts(g, np.array([0]), np.array([1]), np.array([9.0]))
+        assert aug.edge_weight(0, 1) == 2.0
+
+    def test_empty_shortcuts_identity(self):
+        g = grid_2d(3, 3)
+        aug = add_shortcuts(
+            g, np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0)
+        )
+        assert aug == g
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert is_connected(grid_2d(4, 4))
+
+    def test_two_components(self):
+        g = from_edge_list(5, [(0, 1), (2, 3)])
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert not is_connected(g)
+
+    def test_isolated_vertices_are_components(self):
+        g = from_edge_list(3, [(0, 1)])
+        labels = connected_components(g)
+        assert len(set(labels.tolist())) == 2
+
+    def test_largest_component(self):
+        g = from_edge_list(6, [(0, 1), (1, 2), (3, 4)])
+        sub, ids = largest_connected_component(g)
+        assert sub.n == 3
+        assert ids.tolist() == [0, 1, 2]
+
+    def test_empty_graph_connected(self):
+        assert is_connected(from_edge_list(0, []))
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = from_edge_list(4, [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0)])
+        sub, ids = induced_subgraph(g, np.array([1, 2, 3]))
+        assert sub.n == 3
+        assert sub.m == 2
+        assert ids.tolist() == [1, 2, 3]
+        assert sub.edge_weight(0, 1) == 3.0  # old (1, 2)
+
+
+class TestReweighted:
+    def test_weights_replaced(self):
+        g = path_graph(3)
+        g2 = reweighted(g, np.full(g.num_arcs, 4.0))
+        assert g2.edge_weight(0, 1) == 4.0
+        assert g2.m == g.m
+
+    def test_asymmetric_weights_rejected(self):
+        from repro.graphs import GraphValidationError
+
+        g = path_graph(3)
+        w = g.weights.copy()
+        w[0] = 9.0
+        with pytest.raises(GraphValidationError):
+            reweighted(g, w)

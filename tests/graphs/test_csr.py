@@ -1,0 +1,102 @@
+"""Unit tests for the CSR graph kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CSRGraph, from_edge_list
+from repro.graphs.generators import grid_2d, path_graph
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    return from_edge_list(3, [(0, 1, 2.0), (1, 2, 3.0), (0, 2, 7.0)])
+
+
+class TestSizes:
+    def test_counts(self, triangle):
+        assert triangle.n == 3
+        assert triangle.m == 3
+        assert triangle.num_arcs == 6
+
+    def test_isolated_vertices_allowed(self):
+        g = from_edge_list(5, [(0, 1)])
+        assert g.n == 5
+        assert g.m == 1
+        assert g.degree(4) == 0
+
+    def test_empty_graph(self):
+        g = from_edge_list(2, [])
+        assert g.n == 2 and g.m == 0
+        assert g.max_weight == 0.0
+        assert g.min_positive_weight == float("inf")
+
+
+class TestWeightsSummaries:
+    def test_min_positive_and_max(self, triangle):
+        assert triangle.min_positive_weight == 2.0
+        assert triangle.max_weight == 7.0
+
+    def test_is_unweighted(self):
+        assert path_graph(4).is_unweighted
+        assert not from_edge_list(2, [(0, 1, 2.5)]).is_unweighted
+
+    def test_summaries_cached(self, triangle):
+        assert triangle.min_positive_weight == triangle.min_positive_weight
+        assert triangle.max_weight == triangle.max_weight
+
+
+class TestLocalStructure:
+    def test_neighbors_sorted_union(self, triangle):
+        assert sorted(triangle.neighbors(0).tolist()) == [1, 2]
+        assert sorted(triangle.neighbors(1).tolist()) == [0, 2]
+
+    def test_neighbor_weights_parallel(self, triangle):
+        nbrs = triangle.neighbors(0)
+        ws = triangle.neighbor_weights(0)
+        lookup = dict(zip(nbrs.tolist(), ws.tolist()))
+        assert lookup == {1: 2.0, 2: 7.0}
+
+    def test_degrees(self, triangle):
+        assert triangle.degrees().tolist() == [2, 2, 2]
+        assert triangle.degree(1) == 2
+
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 1)
+
+    def test_edge_weight(self, triangle):
+        assert triangle.edge_weight(2, 0) == 7.0
+        with pytest.raises(KeyError):
+            from_edge_list(3, [(0, 1)]).edge_weight(0, 2)
+
+
+class TestExport:
+    def test_iter_edges_each_once(self, triangle):
+        edges = sorted(triangle.iter_edges())
+        assert edges == [(0, 1, 2.0), (0, 2, 7.0), (1, 2, 3.0)]
+
+    def test_edge_array_matches_iter(self, triangle):
+        us, vs, ws = triangle.edge_array()
+        got = sorted(zip(us.tolist(), vs.tolist(), ws.tolist()))
+        assert got == sorted(triangle.iter_edges())
+        assert (us < vs).all()
+
+    def test_memory_bytes_positive(self, triangle):
+        assert triangle.memory_bytes() > 0
+
+
+class TestImmutability:
+    def test_arrays_read_only(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.indices[0] = 0
+        with pytest.raises(ValueError):
+            triangle.weights[0] = 1.0
+
+    def test_equality(self, triangle):
+        other = from_edge_list(3, [(0, 1, 2.0), (1, 2, 3.0), (0, 2, 7.0)])
+        assert triangle == other
+        assert triangle != grid_2d(2, 2)
+        assert triangle != 5
+
+    def test_hashable(self, triangle):
+        assert isinstance(hash(triangle), int)

@@ -1,0 +1,199 @@
+"""Unit and property tests for the graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfs import bfs_levels
+from repro.graphs import is_connected, validate_graph
+from repro.graphs.generators import (
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    figure2_graph,
+    greedy_bad_tree,
+    grid_2d,
+    grid_3d,
+    path_graph,
+    random_geometric,
+    road_network,
+    scale_free,
+    star_graph,
+)
+
+
+class TestElementary:
+    def test_path(self):
+        g = path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.m == 6
+        assert all(g.degree(v) == 2 for v in range(6))
+
+    def test_star(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert g.m == 7
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.n == 15 and g.m == 14
+        levels, rounds = bfs_levels(g, 0)
+        assert rounds == 3
+
+    @pytest.mark.parametrize(
+        "factory, bad",
+        [
+            (path_graph, 0),
+            (cycle_graph, 2),
+            (star_graph, 0),
+            (complete_graph, 1),
+            (binary_tree, -1),
+        ],
+    )
+    def test_invalid_sizes(self, factory, bad):
+        with pytest.raises(ValueError):
+            factory(bad)
+
+
+class TestGrids:
+    def test_grid2d_counts(self):
+        g = grid_2d(4, 5)
+        assert g.n == 20
+        assert g.m == 4 * 4 + 3 * 5  # horizontal + vertical
+
+    def test_grid2d_diagonals(self):
+        g = grid_2d(3, 3, diagonals=True)
+        assert g.m == 12 + 8
+
+    def test_grid2d_bfs_distance_is_manhattan(self):
+        g = grid_2d(5, 7)
+        levels, _ = bfs_levels(g, 0)
+        for r in range(5):
+            for c in range(7):
+                assert levels[r * 7 + c] == r + c
+
+    def test_grid3d_counts(self):
+        g = grid_3d(3, 4, 5)
+        assert g.n == 60
+        assert g.m == 2 * 4 * 5 + 3 * 3 * 5 + 3 * 4 * 4
+
+    def test_grids_connected_and_valid(self):
+        for g in (grid_2d(6, 3), grid_3d(3, 3, 3)):
+            validate_graph(g)
+            assert is_connected(g)
+
+
+class TestRandomModels:
+    def test_erdos_renyi_connected(self):
+        g = erdos_renyi(60, 90, seed=1)
+        assert is_connected(g)
+        assert g.m >= 90
+
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(40, 60, seed=9) == erdos_renyi(40, 60, seed=9)
+
+    def test_erdos_renyi_overfull_clamps_to_complete(self):
+        """Requests beyond C(n,2) must terminate with the complete graph,
+        not loop in rejection sampling (regression: n=4, m=8 used to
+        hang the whole suite via hypothesis)."""
+        g = erdos_renyi(4, 8)
+        assert g.m == 6
+        assert is_connected(g)
+
+    def test_erdos_renyi_exactly_complete(self):
+        g = erdos_renyi(5, 10)
+        assert g.m == 10
+
+    def test_erdos_renyi_dense_regime_exact_count(self):
+        """The dense path (m > C(n,2)/2) returns exactly m edges."""
+        g = erdos_renyi(12, 50, seed=3, connect=False)
+        assert g.m == 50
+        h = erdos_renyi(12, 50, seed=3, connect=False)
+        assert g == h  # deterministic in the dense regime too
+
+    def test_scale_free_has_hubs(self):
+        g = scale_free(400, 2, seed=0)
+        assert is_connected(g)
+        deg = g.degrees()
+        # Preferential attachment: max degree far above the median.
+        assert deg.max() >= 6 * np.median(deg)
+
+    def test_scale_free_edge_count(self):
+        n, a = 100, 3
+        g = scale_free(n, a, seed=4)
+        expected = a * (a + 1) // 2 + (n - a - 1) * a
+        assert g.m == expected
+
+    def test_scale_free_invalid(self):
+        with pytest.raises(ValueError):
+            scale_free(3, 3)
+        with pytest.raises(ValueError):
+            scale_free(10, 0)
+
+    def test_road_network_profile(self):
+        g, pts = road_network(500, seed=3)
+        validate_graph(g)
+        assert is_connected(g)
+        avg_deg = 2 * g.m / g.n
+        assert 2.5 <= avg_deg <= 3.1
+        assert pts.shape == (500, 2)
+
+    def test_road_network_deterministic(self):
+        a, _ = road_network(200, seed=5)
+        b, _ = road_network(200, seed=5)
+        assert a == b
+
+    def test_random_geometric(self):
+        g, pts = random_geometric(150, 0.15, seed=2)
+        validate_graph(g)
+        assert g.n == 150
+
+    def test_random_geometric_too_sparse(self):
+        with pytest.raises(ValueError):
+            random_geometric(10, 1e-6, seed=0)
+
+
+class TestPathological:
+    def test_figure2_structure(self):
+        d = 5
+        g = figure2_graph(d)
+        validate_graph(g)
+        assert g.n % d == 0
+        # every vertex sees the two adjacent groups: degree 2d
+        assert all(int(x) == 2 * d for x in g.degrees())
+
+    def test_figure2_quadratic_scan(self):
+        """Reaching ~3d vertices inspects Ω(d²) arcs (the paper's point)."""
+        from repro.preprocess.ball import ball_search
+
+        for d in (4, 8, 16):
+            g = figure2_graph(d)
+            ball = ball_search(g, 0, 3 * d + 1)
+            assert ball.edges_scanned >= d * d
+
+    def test_figure2_invalid(self):
+        with pytest.raises(ValueError):
+            figure2_graph(0)
+        with pytest.raises(ValueError):
+            figure2_graph(3, groups=2)
+
+    def test_greedy_bad_tree_shape(self):
+        g = greedy_bad_tree(k=3, leaves=10)
+        assert g.n == 3 + 1 + 10
+        levels, rounds = bfs_levels(g, 0)
+        assert rounds == 4  # chain of 3 plus the leaf layer
+        assert int(np.sum(levels == 4)) == 10
+
+    def test_greedy_bad_tree_invalid(self):
+        with pytest.raises(ValueError):
+            greedy_bad_tree(0, 5)
+        with pytest.raises(ValueError):
+            greedy_bad_tree(2, 0)

@@ -1,0 +1,80 @@
+"""Unit tests for SNAP-style edge-list I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    from_edge_list,
+    load_snap_graph,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.graphs.generators import grid_2d
+from repro.graphs.weights import random_integer_weights
+
+
+class TestRoundTrip:
+    def test_unweighted(self, tmp_path):
+        g = grid_2d(4, 4)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_weighted(self, tmp_path):
+        g = random_integer_weights(grid_2d(4, 4), seed=0)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back == g
+
+    def test_float_weights(self, tmp_path):
+        g = from_edge_list(2, [(0, 1, 2.5)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).edge_weight(0, 1) == 2.5
+
+    def test_gzip(self, tmp_path):
+        g = grid_2d(3, 3)
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+
+class TestReading:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0\t1\n# mid\n1\t2\n")
+        g = read_edge_list(path)
+        assert g.n == 3 and g.m == 2
+
+    def test_directed_input_symmetrized(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n1 2\n")
+        g = read_edge_list(path)
+        assert g.m == 2
+        assert g.has_edge(2, 1)
+
+    def test_explicit_n(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        assert read_edge_list(path, n=10).n == 10
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError):
+            read_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nothing\n")
+        g = read_edge_list(path)
+        assert g.n == 0 and g.m == 0
+
+
+class TestLoadSnap:
+    def test_restricts_to_largest_component(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n5 6\n")
+        g = load_snap_graph(path)
+        assert g.n == 3 and g.m == 2

@@ -1,0 +1,89 @@
+"""Equivariance/invariance properties via graph transformations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bellman_ford, dijkstra, radius_stepping
+from repro.graphs.generators import grid_2d, path_graph
+from repro.graphs.transform import (
+    permute_vertices,
+    random_permutation,
+    scale_weights,
+)
+
+from tests.helpers import random_connected_graph
+
+
+class TestPermute:
+    def test_preserves_sizes_and_degrees(self):
+        g = random_connected_graph(30, 70, seed=0)
+        perm = random_permutation(g.n, seed=1)
+        h = permute_vertices(g, perm)
+        assert (h.n, h.m) == (g.n, g.m)
+        assert np.array_equal(h.degrees()[perm], g.degrees())
+
+    def test_identity(self):
+        g = grid_2d(4, 5)
+        h = permute_vertices(g, np.arange(g.n))
+        assert h == g
+
+    def test_edges_relabeled(self):
+        g = path_graph(4)
+        perm = np.array([3, 1, 0, 2])
+        h = permute_vertices(g, perm)
+        for u, v, w in g.iter_edges():
+            assert h.has_edge(int(perm[u]), int(perm[v]))
+            assert h.edge_weight(int(perm[u]), int(perm[v])) == w
+
+    def test_rejects_non_permutation(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            permute_vertices(g, np.array([0, 0, 2]))
+        with pytest.raises(ValueError):
+            permute_vertices(g, np.array([0, 1]))
+
+    @given(seed=st.integers(0, 10**4), pseed=st.integers(0, 10**4))
+    @settings(max_examples=20, deadline=None)
+    def test_solver_equivariance(self, seed, pseed):
+        """d_new(perm[s], perm[v]) == d_old(s, v) for every solver."""
+        g = random_connected_graph(20, 45, seed=seed, weight_high=9)
+        perm = random_permutation(g.n, seed=pseed)
+        h = permute_vertices(g, perm)
+        s = 0
+        ref = dijkstra(g, s).dist
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(g.n)
+        assert np.allclose(dijkstra(h, int(perm[s])).dist[perm], ref)
+        assert np.allclose(bellman_ford(h, int(perm[s])).dist[perm], ref)
+        rng = np.random.default_rng(seed)
+        radii = rng.uniform(0, 5, g.n)
+        assert np.allclose(
+            radius_stepping(h, int(perm[s]), radii[inv]).dist[perm], ref
+        )
+
+
+class TestScaleWeights:
+    def test_distances_scale(self):
+        g = random_connected_graph(25, 60, seed=2)
+        ref = dijkstra(g, 0).dist
+        h = scale_weights(g, 3.5)
+        assert np.allclose(dijkstra(h, 0).dist, 3.5 * ref)
+
+    def test_steps_invariant_when_radii_scale(self):
+        """Scaling weights and radii together leaves the d_i sequence —
+        hence the step count — unchanged."""
+        g = random_connected_graph(25, 60, seed=3, weight_high=20)
+        rng = np.random.default_rng(3)
+        radii = rng.uniform(0, 10, g.n)
+        a = radius_stepping(g, 0, radii)
+        b = radius_stepping(scale_weights(g, 7.0), 0, radii * 7.0)
+        assert a.steps == b.steps
+        assert np.allclose(b.dist, 7.0 * a.dist)
+
+    def test_rejects_bad_factor(self):
+        g = path_graph(3)
+        for bad in (0.0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                scale_weights(g, bad)

@@ -1,0 +1,114 @@
+"""Unit tests for structural validation and weight normalization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    CSRGraph,
+    GraphValidationError,
+    check_min_weight_normalized,
+    from_edge_list,
+    normalize_weights,
+    validate_graph,
+)
+from repro.graphs.validate import validate_csr_arrays
+
+
+def _arrays(indptr, indices, weights):
+    return (
+        np.asarray(indptr, dtype=np.int64),
+        np.asarray(indices, dtype=np.int64),
+        np.asarray(weights, dtype=np.float64),
+    )
+
+
+class TestValidateCsrArrays:
+    def test_valid_passes(self):
+        validate_csr_arrays(*_arrays([0, 1, 2], [1, 0], [1.0, 1.0]))
+
+    def test_indptr_not_starting_at_zero(self):
+        with pytest.raises(GraphValidationError, match="indptr\\[0\\]"):
+            validate_csr_arrays(*_arrays([1, 2], [0], [1.0]))
+
+    def test_indptr_decreasing(self):
+        with pytest.raises(GraphValidationError, match="non-decreasing"):
+            validate_csr_arrays(*_arrays([0, 2, 1], [0, 1, 0], [1.0, 1.0, 1.0]))
+
+    def test_indptr_tail_mismatch(self):
+        with pytest.raises(GraphValidationError, match="len\\(indices\\)"):
+            validate_csr_arrays(*_arrays([0, 1, 3], [1, 0], [1.0, 1.0]))
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(GraphValidationError, match="equal length"):
+            validate_csr_arrays(*_arrays([0, 1, 2], [1, 0], [1.0]))
+
+    def test_head_out_of_range(self):
+        with pytest.raises(GraphValidationError, match="out of range"):
+            validate_csr_arrays(*_arrays([0, 1, 2], [5, 0], [1.0, 1.0]))
+
+    def test_negative_weight(self):
+        with pytest.raises(GraphValidationError, match="non-negative"):
+            validate_csr_arrays(*_arrays([0, 1, 2], [1, 0], [-1.0, -1.0]))
+
+    def test_nan_weight(self):
+        with pytest.raises(GraphValidationError, match="finite"):
+            validate_csr_arrays(*_arrays([0, 1, 2], [1, 0], [np.nan, np.nan]))
+
+    def test_inf_weight(self):
+        with pytest.raises(GraphValidationError, match="finite"):
+            validate_csr_arrays(*_arrays([0, 1, 2], [1, 0], [np.inf, np.inf]))
+
+    def test_self_loop(self):
+        with pytest.raises(GraphValidationError, match="self loops"):
+            validate_csr_arrays(*_arrays([0, 1], [0], [1.0]))
+
+    def test_asymmetric_arcs(self):
+        with pytest.raises(GraphValidationError, match="symmetric"):
+            validate_csr_arrays(*_arrays([0, 1, 1], [1], [1.0]))
+
+    def test_asymmetric_weights(self):
+        with pytest.raises(GraphValidationError, match="symmetric"):
+            validate_csr_arrays(*_arrays([0, 1, 2], [1, 0], [1.0, 2.0]))
+
+    def test_parallel_edges(self):
+        with pytest.raises(GraphValidationError, match="parallel"):
+            validate_csr_arrays(
+                *_arrays([0, 2, 4], [1, 1, 0, 0], [1.0, 1.0, 1.0, 1.0])
+            )
+
+    def test_zero_weight_edge_allowed(self):
+        validate_csr_arrays(*_arrays([0, 1, 2], [1, 0], [0.0, 0.0]))
+
+
+class TestValidateGraph:
+    def test_constructed_graph_validates(self):
+        validate_graph(from_edge_list(3, [(0, 1), (1, 2)]))
+
+    def test_construction_runs_validation(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(
+                np.array([0, 1]), np.array([0]), np.array([1.0]), validate=True
+            )
+
+
+class TestNormalization:
+    def test_already_normalized(self):
+        g = from_edge_list(2, [(0, 1, 1.0)])
+        assert check_min_weight_normalized(g)
+        assert normalize_weights(g) is g
+
+    def test_rescale(self):
+        g = from_edge_list(3, [(0, 1, 2.0), (1, 2, 5.0)])
+        assert not check_min_weight_normalized(g)
+        g2 = normalize_weights(g)
+        assert check_min_weight_normalized(g2)
+        assert g2.edge_weight(1, 2) == 2.5
+
+    def test_edgeless_is_normalized(self):
+        assert check_min_weight_normalized(from_edge_list(2, []))
+
+    def test_zero_weights_preserved(self):
+        g = from_edge_list(3, [(0, 1, 0.0), (1, 2, 4.0)])
+        g2 = normalize_weights(g)
+        assert g2.edge_weight(0, 1) == 0.0
+        assert g2.edge_weight(1, 2) == 1.0

@@ -1,0 +1,91 @@
+"""Unit tests for edge-weight models."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    euclidean_weights,
+    random_integer_weights,
+    uniform_weights,
+    unit_weights,
+    validate_graph,
+)
+from repro.graphs.generators import grid_2d, road_network
+
+
+@pytest.fixture
+def grid():
+    return grid_2d(6, 6)
+
+
+class TestUnitWeights:
+    def test_all_ones(self, grid):
+        g = unit_weights(random_integer_weights(grid, seed=1))
+        assert g.is_unweighted
+
+
+class TestRandomIntegerWeights:
+    def test_paper_range_default(self, grid):
+        g = random_integer_weights(grid, seed=0)
+        assert g.weights.min() >= 1
+        assert g.weights.max() <= 10_000
+        assert np.all(g.weights == np.round(g.weights))
+
+    def test_symmetric_per_edge(self, grid):
+        g = random_integer_weights(grid, seed=3)
+        validate_graph(g)  # symmetry check built in
+        for u, v, w in list(g.iter_edges())[:10]:
+            assert g.edge_weight(v, u) == w
+
+    def test_deterministic(self, grid):
+        a = random_integer_weights(grid, seed=7)
+        b = random_integer_weights(grid, seed=7)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_seed_changes_weights(self, grid):
+        a = random_integer_weights(grid, seed=1)
+        b = random_integer_weights(grid, seed=2)
+        assert not np.array_equal(a.weights, b.weights)
+
+    def test_invalid_range(self, grid):
+        with pytest.raises(ValueError):
+            random_integer_weights(grid, low=0, high=5)
+        with pytest.raises(ValueError):
+            random_integer_weights(grid, low=10, high=5)
+
+    def test_weights_independent_per_edge(self, grid):
+        g = random_integer_weights(grid, low=1, high=10**6, seed=5)
+        us, vs, ws = g.edge_array()
+        assert len(np.unique(ws)) > len(ws) * 0.9  # near-distinct
+
+
+class TestUniformWeights:
+    def test_range(self, grid):
+        g = uniform_weights(grid, low=1.0, high=2.0, seed=0)
+        assert g.weights.min() >= 1.0
+        assert g.weights.max() <= 2.0
+        validate_graph(g)
+
+    def test_invalid_range(self, grid):
+        with pytest.raises(ValueError):
+            uniform_weights(grid, low=3.0, high=1.0)
+
+
+class TestEuclideanWeights:
+    def test_matches_geometry(self):
+        g, pts = road_network(64, seed=2)
+        gw = euclidean_weights(g, pts, normalize=False)
+        us, vs, ws = gw.edge_array()
+        expect = np.linalg.norm(pts[us] - pts[vs], axis=1)
+        assert np.allclose(ws, expect)
+
+    def test_normalized_min_is_one(self):
+        g, pts = road_network(64, seed=2)
+        gw = euclidean_weights(g, pts)
+        assert np.isclose(gw.weights.min(), 1.0)
+        validate_graph(gw)
+
+    def test_shape_mismatch(self):
+        g, pts = road_network(64, seed=2)
+        with pytest.raises(ValueError):
+            euclidean_weights(g, pts[:-1])

@@ -1,0 +1,78 @@
+"""Shared test helpers: graph factories and SSSP cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dijkstra import dijkstra
+from repro.graphs.build import from_arc_arrays, largest_connected_component
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import erdos_renyi
+from repro.graphs.weights import random_integer_weights, uniform_weights
+
+__all__ = [
+    "random_connected_graph",
+    "assert_distances_match",
+    "assert_valid_parents",
+    "brute_force_distances",
+]
+
+
+def random_connected_graph(
+    n: int,
+    m: int | None = None,
+    *,
+    seed: int = 0,
+    weighted: bool = True,
+    weight_high: int = 50,
+) -> CSRGraph:
+    """Seeded connected random graph, optionally with integer weights."""
+    m = m if m is not None else 2 * n
+    g = erdos_renyi(n, m, seed=seed, connect=True)
+    if weighted:
+        g = random_integer_weights(g, low=1, high=weight_high, seed=seed + 1)
+    return g
+
+
+def brute_force_distances(graph: CSRGraph, source: int) -> np.ndarray:
+    """O(n·m) Bellman–Ford reference, independent of the library solvers."""
+    n = graph.n
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    tails = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
+    for _ in range(n):
+        cand = dist[tails] + graph.weights
+        new = dist.copy()
+        np.minimum.at(new, graph.indices, cand)
+        if np.array_equal(
+            new, dist, equal_nan=False
+        ) or np.allclose(new, dist, equal_nan=True):
+            break
+        dist = new
+    return dist
+
+
+def assert_distances_match(result_dist: np.ndarray, graph: CSRGraph, source: int) -> None:
+    """Compare a solver's distances to Dijkstra's."""
+    ref = dijkstra(graph, source).dist
+    assert np.allclose(result_dist, ref, equal_nan=True), (
+        f"distance mismatch from source {source}: "
+        f"max err {np.nanmax(np.abs(np.where(np.isfinite(ref), result_dist - ref, 0)))}"
+    )
+
+
+def assert_valid_parents(graph: CSRGraph, dist: np.ndarray, parent: np.ndarray, source: int) -> None:
+    """Every parent pointer must realize the vertex's exact distance."""
+    for v in range(graph.n):
+        p = parent[v]
+        if v == source:
+            assert p == -1
+            continue
+        if not np.isfinite(dist[v]):
+            assert p == -1
+            continue
+        assert p >= 0, f"reachable vertex {v} lacks a parent"
+        w = graph.edge_weight(int(p), v)
+        assert np.isclose(dist[p] + w, dist[v]), (
+            f"parent edge ({p}->{v}) does not realize dist"
+        )

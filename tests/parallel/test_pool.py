@@ -1,0 +1,61 @@
+"""Unit tests for the process-pool substrate."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import parallel_map, resolve_jobs, split_evenly
+
+
+def square_chunk(offset, chunk):
+    return [(int(x) + offset) ** 2 for x in chunk]
+
+
+class TestSplitEvenly:
+    def test_partition_covers_input(self):
+        chunks = split_evenly(np.arange(10), 3)
+        assert np.array_equal(np.concatenate(chunks), np.arange(10))
+
+    def test_no_empty_chunks(self):
+        chunks = split_evenly(np.arange(3), 8)
+        assert all(len(c) for c in chunks)
+        assert len(chunks) == 3
+
+    def test_empty_input(self):
+        assert split_evenly(np.empty(0), 4) == []
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            split_evenly(np.arange(3), 0)
+
+
+class TestResolveJobs:
+    def test_positive_passthrough(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_negative_means_cores(self):
+        assert resolve_jobs(-1) >= 1
+
+
+class TestParallelMap:
+    def test_serial(self):
+        out = parallel_map(square_chunk, np.arange(6), fn_args=(1,))
+        flat = [x for block in out for x in block]
+        assert flat == [(i + 1) ** 2 for i in range(6)]
+
+    def test_parallel_matches_serial(self):
+        serial = parallel_map(square_chunk, np.arange(25), fn_args=(0,), n_jobs=1)
+        para = parallel_map(square_chunk, np.arange(25), fn_args=(0,), n_jobs=2)
+        assert [x for b in serial for x in b] == [x for b in para for x in b]
+
+    def test_empty_items(self):
+        assert parallel_map(square_chunk, np.empty(0), fn_args=(0,)) == []
+
+    def test_kwargs_forwarded(self):
+        def f(chunk, *, scale):
+            return [int(x) * scale for x in chunk]
+
+        out = parallel_map(f, np.arange(4), fn_kwargs={"scale": 10})
+        assert [x for b in out for x in b] == [0, 10, 20, 30]

@@ -1,0 +1,123 @@
+"""Tests for the Brent machine simulation over ledgers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import radius_stepping
+from repro.pram import (
+    Ledger,
+    brent_bounds,
+    simulated_time,
+    speedup_curve,
+)
+
+from tests.helpers import random_connected_graph
+
+
+def charged(phases, *, record=False) -> Ledger:
+    led = Ledger(record_phases=record)
+    for w, d in phases:
+        led.charge(work=w, depth=d)
+    return led
+
+
+class TestBounds:
+    def test_single_processor_is_work_plus_depth(self):
+        led = charged([(100, 4), (50, 2)])
+        assert simulated_time(led, 1) == 150 + 6
+
+    def test_single_processor_phase_accurate_is_work_dominated(self):
+        """At p=1 every superstep is work-bound: sum max(W_i, D_i) = W
+        when each phase has W_i >= D_i."""
+        led = charged([(100, 4), (50, 2)], record=True)
+        assert simulated_time(led, 1) == pytest.approx(150.0)
+
+    def test_infinite_processors_hit_depth(self):
+        led = charged([(100, 4), (50, 2)], record=True)
+        assert simulated_time(led, 10**9) == pytest.approx(6.0)
+
+    def test_lower_bound_never_exceeds_upper(self):
+        led = charged([(100, 4), (50, 2)])
+        for p in (1, 2, 7, 100):
+            b = brent_bounds(led, p)
+            assert b.lower <= b.upper
+            assert b.lower <= b.midpoint <= b.upper
+
+    def test_phase_estimate_tighter_than_totals_upper(self):
+        phases = [(100, 4), (50, 2), (7, 1)]
+        with_phases = charged(phases, record=True)
+        totals_only = charged(phases, record=False)
+        for p in (2, 5, 50):
+            assert simulated_time(with_phases, p) < simulated_time(totals_only, p)
+
+    def test_validation(self):
+        led = charged([(10, 1)])
+        with pytest.raises(ValueError):
+            brent_bounds(led, 0)
+        with pytest.raises(ValueError):
+            simulated_time(led, -1)
+
+    @given(
+        phases=st.lists(
+            st.tuples(
+                st.floats(0, 1e6, allow_nan=False),
+                st.floats(0, 1e3, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        p=st.integers(1, 10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_brent_inequality_property(self, phases, p):
+        """The phase-accurate estimate always lies within Brent's bounds
+        and is monotone non-increasing in p."""
+        led = charged(phases, record=True)
+        b = brent_bounds(led, p)
+        t = simulated_time(led, p)
+        assert b.lower - 1e-6 <= t <= b.upper + 1e-6
+        assert t >= simulated_time(led, p + 1) - 1e-6
+
+
+class TestSpeedupCurve:
+    def test_monotone_and_saturating(self):
+        led = charged([(1000, 1)] * 20, record=True)
+        pts = speedup_curve(led, [1, 2, 4, 8, 16, 10**6])
+        speeds = [pt.speedup for pt in pts]
+        assert speeds == sorted(speeds)
+        assert pts[0].speedup == pytest.approx(1.0)
+        # saturation at the parallelism factor W/D
+        assert pts[-1].speedup <= led.work / led.depth + 1.0
+
+    def test_efficiency_decreases(self):
+        led = charged([(500, 2)] * 10)
+        pts = speedup_curve(led, [1, 4, 16, 64])
+        effs = [pt.efficiency for pt in pts]
+        assert all(effs[i] >= effs[i + 1] - 1e-9 for i in range(len(effs) - 1))
+
+
+class TestOnRealSolver:
+    def test_radius_stepping_scales_with_rho_radii(self):
+        """Bigger radii -> fewer, fatter steps -> smaller simulated time
+        at large p (the paper's whole point)."""
+        g = random_connected_graph(120, 300, seed=0, weight_high=20)
+        small, big = Ledger(record_phases=True), Ledger(record_phases=True)
+        radius_stepping(g, 0, 0.0, ledger=small)
+        radius_stepping(g, 0, 50.0, ledger=big)
+        p = 1024
+        assert simulated_time(big, p) < simulated_time(small, p)
+
+    def test_phases_recorded(self):
+        g = random_connected_graph(30, 70, seed=1)
+        led = Ledger(record_phases=True)
+        radius_stepping(g, 0, 5.0, ledger=led)
+        assert led.phases, "solver charges must appear as phases"
+        assert sum(w for w, _ in led.phases) == pytest.approx(led.work)
+        assert sum(d for _, d in led.phases) == pytest.approx(led.depth)
+
+    def test_reset_clears_phases(self):
+        led = Ledger(record_phases=True)
+        led.charge(work=5, depth=1)
+        led.reset()
+        assert led.phases == [] and led.work == 0.0

@@ -1,0 +1,92 @@
+"""Unit tests for the PRAM work/depth ledger."""
+
+import pytest
+
+from repro.pram import Ledger
+
+
+class TestCharge:
+    def test_sequential_adds(self):
+        led = Ledger()
+        led.charge(work=10, depth=2)
+        led.charge(work=5, depth=3)
+        assert led.work == 15 and led.depth == 5
+
+    def test_labels(self):
+        led = Ledger()
+        led.charge(work=4, depth=1, label="relax")
+        led.charge(work=6, depth=2, label="relax")
+        led.charge(work=1, depth=1, label="min")
+        assert led.by_label["relax"] == [10, 3]
+        assert led.by_label["min"] == [1, 1]
+
+    def test_negative_rejected(self):
+        led = Ledger()
+        with pytest.raises(ValueError):
+            led.charge(work=-1, depth=0)
+        with pytest.raises(ValueError):
+            led.charge(work=0, depth=-1)
+
+    def test_reset(self):
+        led = Ledger()
+        led.charge(work=3, depth=3, label="x")
+        led.reset()
+        assert led.work == 0 and led.depth == 0 and not led.by_label
+
+
+class TestParallelBlock:
+    def test_max_depth_sum_work(self):
+        led = Ledger()
+        with led.parallel("fanout") as p:
+            p.task(work=10, depth=4)
+            p.task(work=20, depth=2)
+        assert led.work == 30
+        assert led.depth == 4
+
+    def test_negative_task_rejected(self):
+        led = Ledger()
+        with pytest.raises(ValueError):
+            with led.parallel() as p:
+                p.task(work=-1, depth=0)
+
+    def test_exception_skips_posting(self):
+        led = Ledger()
+        with pytest.raises(RuntimeError):
+            with led.parallel() as p:
+                p.task(work=5, depth=5)
+                raise RuntimeError("boom")
+        assert led.work == 0
+
+
+class TestMergeParallel:
+    def test_work_adds_depth_maxes(self):
+        a, b = Ledger(), Ledger()
+        a.charge(work=10, depth=8)
+        b.charge(work=7, depth=3, label="ball")
+        a.merge_parallel(b)
+        assert a.work == 17
+        assert a.depth == 8
+        assert a.by_label["ball"] == [7, 3]
+
+    def test_label_merge(self):
+        a, b = Ledger(), Ledger()
+        a.charge(work=1, depth=5, label="x")
+        b.charge(work=2, depth=9, label="x")
+        a.merge_parallel(b)
+        assert a.by_label["x"] == [3, 9]
+
+
+class TestDerived:
+    def test_parallelism(self):
+        led = Ledger()
+        led.charge(work=100, depth=4)
+        assert led.parallelism == 25
+
+    def test_parallelism_zero_depth(self):
+        assert Ledger().parallelism == float("inf")
+
+    def test_snapshot(self):
+        led = Ledger()
+        led.charge(work=8, depth=2)
+        snap = led.snapshot()
+        assert snap == {"work": 8.0, "depth": 2.0, "parallelism": 4.0}

@@ -1,0 +1,134 @@
+"""Unit + property tests for the vertex-keyed ordered set (Q/R substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import Ledger, VertexKeyedSet
+
+
+class TestBasics:
+    def test_insert_contains(self):
+        s = VertexKeyedSet()
+        s.insert(3, 1.5)
+        assert 3 in s and len(s) == 1
+        assert s.value_of(3) == 1.5
+
+    def test_insert_overwrites(self):
+        s = VertexKeyedSet()
+        s.insert(3, 5.0)
+        s.insert(3, 2.0)
+        assert len(s) == 1
+        assert s.min() == (2.0, 3)
+
+    def test_remove(self):
+        s = VertexKeyedSet()
+        s.insert(1, 1.0)
+        s.remove(1)
+        assert 1 not in s and len(s) == 0
+        s.remove(1)  # no-op
+
+    def test_min_orders_by_value_then_vertex(self):
+        s = VertexKeyedSet()
+        s.insert(9, 2.0)
+        s.insert(4, 2.0)
+        s.insert(7, 3.0)
+        assert s.min() == (2.0, 4)
+
+    def test_min_empty(self):
+        with pytest.raises(KeyError):
+            VertexKeyedSet().min()
+
+    def test_decrease_key(self):
+        s = VertexKeyedSet()
+        s.insert(1, 10.0)
+        s.decrease_key(1, 4.0)
+        assert s.min() == (4.0, 1)
+        with pytest.raises(ValueError):
+            s.decrease_key(1, 99.0)
+
+
+class TestSplitLeq:
+    def test_removes_and_returns(self):
+        s = VertexKeyedSet()
+        for v, val in [(0, 1.0), (1, 2.0), (2, 3.0)]:
+            s.insert(v, val)
+        taken = s.split_leq(2.0)
+        assert taken == [(1.0, 0), (2.0, 1)]
+        assert len(s) == 1 and 2 in s
+
+    def test_ties_all_taken(self):
+        s = VertexKeyedSet()
+        for v in range(5):
+            s.insert(v, 7.0)
+        assert len(s.split_leq(7.0)) == 5
+
+    def test_nothing_below(self):
+        s = VertexKeyedSet()
+        s.insert(0, 5.0)
+        assert s.split_leq(1.0) == []
+        assert len(s) == 1
+
+
+class TestBulkOps:
+    def test_union_values(self):
+        s = VertexKeyedSet()
+        s.insert(0, 9.0)
+        s.union_values([(0, 4.0), (1, 2.0)])
+        assert s.items_sorted() == [(2.0, 1), (4.0, 0)]
+
+    def test_difference_vertices(self):
+        s = VertexKeyedSet()
+        for v in range(4):
+            s.insert(v, float(v))
+        s.difference_vertices([1, 3, 99])
+        assert s.items_sorted() == [(0.0, 0), (2.0, 2)]
+
+    def test_empty_bulk_noop(self):
+        s = VertexKeyedSet()
+        s.union_values([])
+        s.difference_vertices([])
+        assert len(s) == 0
+
+
+class TestLedger:
+    def test_charges_accumulate(self):
+        led = Ledger()
+        s = VertexKeyedSet(ledger=led, label="Q")
+        for v in range(16):
+            s.insert(v, float(v))
+        s.split_leq(8.0)
+        assert led.work > 0
+        assert "Q" in led.by_label
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "remove", "split"]),
+            st.integers(0, 15),
+            st.integers(0, 40),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_model_based_against_dict(ops):
+    """Random op sequences agree with a plain-dict model."""
+    s = VertexKeyedSet()
+    model: dict[int, float] = {}
+    for op, v, val in ops:
+        if op == "insert":
+            s.insert(v, float(val))
+            model[v] = float(val)
+        elif op == "remove":
+            s.remove(v)
+            model.pop(v, None)
+        else:
+            taken = s.split_leq(float(val))
+            expect = sorted((x, u) for u, x in model.items() if x <= val)
+            assert taken == expect
+            for _, u in taken:
+                del model[u]
+        assert len(s) == len(model)
+        assert s.items_sorted() == sorted((x, u) for u, x in model.items())

@@ -1,0 +1,90 @@
+"""Stateful model checking of VertexKeyedSet against a dict model.
+
+Algorithm 2's correctness rests entirely on Q and R behaving as exact
+ordered sets under arbitrary interleavings of insert / remove /
+decrease-key / split / bulk union / bulk difference.  Unit tests cover
+chosen sequences; this rule-based state machine lets hypothesis drive
+*adversarial* sequences and compares every observable against a plain
+dict model after each rule.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.pram.ordered_set import VertexKeyedSet
+
+VERTICES = st.integers(0, 15)
+VALUES = st.integers(0, 40).map(float)  # ints: exact float comparisons
+
+
+class OrderedSetMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.real = VertexKeyedSet()
+        self.model: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    @rule(v=VERTICES, val=VALUES)
+    def insert(self, v, val):
+        self.real.insert(v, val)
+        self.model[v] = val
+
+    @rule(v=VERTICES)
+    def remove(self, v):
+        self.real.remove(v)
+        self.model.pop(v, None)
+
+    @rule(v=VERTICES, delta=st.integers(0, 10))
+    def decrease_key(self, v, delta):
+        if v in self.model:
+            val = self.model[v] - delta
+            self.real.decrease_key(v, val)
+            self.model[v] = val
+
+    @rule(bound=VALUES)
+    def split_leq(self, bound):
+        taken = self.real.split_leq(bound)
+        expect = sorted(
+            (val, v) for v, val in self.model.items() if val <= bound
+        )
+        assert taken == expect
+        for _, v in taken:
+            del self.model[v]
+
+    @rule(entries=st.lists(st.tuples(VERTICES, VALUES), max_size=6))
+    def union_values(self, entries):
+        self.real.union_values(entries)
+        self.model.update(dict(entries))
+
+    @rule(vs=st.lists(VERTICES, max_size=6))
+    def difference_vertices(self, vs):
+        self.real.difference_vertices(vs)
+        for v in vs:
+            self.model.pop(v, None)
+
+    # ------------------------------------------------------------------ #
+    @invariant()
+    def same_contents(self):
+        assert len(self.real) == len(self.model)
+        assert self.real.items_sorted() == sorted(
+            (val, v) for v, val in self.model.items()
+        )
+        for v, val in self.model.items():
+            assert v in self.real
+            assert self.real.value_of(v) == val
+
+    @invariant()
+    def min_agrees(self):
+        if self.model:
+            assert self.real.min() == min(
+                (val, v) for v, val in self.model.items()
+            )
+
+
+OrderedSetMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestOrderedSetStateful = OrderedSetMachine.TestCase

@@ -1,0 +1,104 @@
+"""Unit + property tests for the data-parallel primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import Ledger, pack, parallel_for_cost, prefix_sum, write_min
+
+
+class TestWriteMin:
+    def test_basic(self):
+        vals = np.array([5.0, 5.0, 5.0])
+        changed = write_min(vals, np.array([0, 2]), np.array([3.0, 7.0]))
+        assert vals.tolist() == [3.0, 5.0, 5.0]
+        assert changed.tolist() == [0]
+
+    def test_duplicate_positions_take_min(self):
+        vals = np.array([9.0])
+        write_min(vals, np.array([0, 0, 0]), np.array([4.0, 2.0, 6.0]))
+        assert vals[0] == 2.0
+
+    def test_empty(self):
+        vals = np.array([1.0])
+        out = write_min(vals, np.empty(0, np.int64), np.empty(0))
+        assert len(out) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            write_min(np.array([1.0]), np.array([0]), np.array([1.0, 2.0]))
+
+    def test_ledger(self):
+        led = Ledger()
+        write_min(np.array([5.0]), np.array([0]), np.array([1.0]), ledger=led)
+        assert led.by_label["write_min"][1] == 1.0  # O(1) CRCW depth
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=20),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sequential_loop(self, base, data):
+        vals = np.array(base)
+        k = data.draw(st.integers(0, 30))
+        pos = data.draw(
+            st.lists(
+                st.integers(0, len(base) - 1), min_size=k, max_size=k
+            )
+        )
+        upd = data.draw(
+            st.lists(
+                st.floats(0, 100, allow_nan=False), min_size=k, max_size=k
+            )
+        )
+        expect = np.array(base)
+        for p, u in zip(pos, upd):
+            expect[p] = min(expect[p], u)
+        write_min(vals, np.array(pos, dtype=np.int64), np.array(upd))
+        assert np.array_equal(vals, expect)
+
+
+class TestPack:
+    def test_basic(self):
+        out = pack(np.array([1, 2, 3, 4]), np.array([True, False, True, False]))
+        assert out.tolist() == [1, 3]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pack(np.array([1]), np.array([True, False]))
+
+    def test_ledger_depth_logarithmic(self):
+        led = Ledger()
+        pack(np.arange(1024), np.ones(1024, dtype=bool), ledger=led)
+        assert led.by_label["pack"] == [1024.0, 10.0]
+
+
+class TestPrefixSum:
+    def test_inclusive(self):
+        out = prefix_sum(np.array([1, 2, 3]))
+        assert out.tolist() == [1, 3, 6]
+
+    def test_exclusive(self):
+        out = prefix_sum(np.array([1, 2, 3]), inclusive=False)
+        assert out.tolist() == [0, 1, 3]
+
+    def test_ledger(self):
+        led = Ledger()
+        prefix_sum(np.arange(8), ledger=led)
+        assert led.by_label["prefix_sum"] == [8.0, 3.0]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_cumsum(self, xs):
+        arr = np.array(xs)
+        assert np.array_equal(prefix_sum(arr), np.cumsum(arr))
+
+
+class TestParallelForCost:
+    def test_formula(self):
+        assert parallel_for_cost(10, 3.0, 2.0) == (30.0, 2.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_for_cost(-1, 1.0, 1.0)

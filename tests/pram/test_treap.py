@@ -1,0 +1,152 @@
+"""Property-based tests for the join-based treap substrate."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pram import treap
+
+keys = st.lists(st.integers(-100, 100), max_size=60)
+key_sets = st.sets(st.integers(-100, 100), max_size=60)
+
+
+def build(items) -> treap.Treap:
+    t = None
+    for k in items:
+        t = treap.insert(t, k)
+    return t
+
+
+class TestBasicOps:
+    def test_empty(self):
+        assert treap.size(None) == 0
+        assert treap.to_list(None) == []
+        with pytest.raises(KeyError):
+            treap.find_min(None)
+        with pytest.raises(KeyError):
+            treap.find_max(None)
+
+    def test_insert_find(self):
+        t = build([5, 1, 9])
+        assert treap.find(t, 5) and treap.find(t, 1) and treap.find(t, 9)
+        assert not treap.find(t, 4)
+
+    def test_insert_idempotent(self):
+        t = build([3, 3, 3])
+        assert treap.size(t) == 1
+
+    def test_delete_absent_noop(self):
+        t = build([1, 2])
+        assert treap.to_list(treap.delete(t, 9)) == [1, 2]
+
+    @given(keys)
+    @settings(max_examples=60, deadline=None)
+    def test_inorder_sorted_unique(self, items):
+        t = build(items)
+        lst = treap.to_list(t)
+        assert lst == sorted(set(items))
+        assert treap.size(t) == len(set(items))
+
+    @given(key_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_min_max(self, items):
+        t = build(items)
+        if items:
+            assert treap.find_min(t) == min(items)
+            assert treap.find_max(t) == max(items)
+
+    @given(key_sets)
+    @settings(max_examples=40, deadline=None)
+    def test_iter_matches_to_list(self, items):
+        t = build(items)
+        assert list(treap.iter_keys(t)) == treap.to_list(t)
+
+
+class TestSplitJoin:
+    @given(key_sets, st.integers(-120, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_split_partitions(self, items, pivot):
+        t = build(items)
+        l, found, r = treap.split(t, pivot)
+        assert found == (pivot in items)
+        assert treap.to_list(l) == sorted(k for k in items if k < pivot)
+        assert treap.to_list(r) == sorted(k for k in items if k > pivot)
+
+    @given(key_sets, st.integers(-120, 120))
+    @settings(max_examples=60, deadline=None)
+    def test_split_leq(self, items, pivot):
+        t = build(items)
+        lo, hi = treap.split_leq(t, pivot)
+        assert treap.to_list(lo) == sorted(k for k in items if k <= pivot)
+        assert treap.to_list(hi) == sorted(k for k in items if k > pivot)
+
+    def test_join_ordered(self):
+        l = build([1, 2])
+        r = build([10, 11])
+        assert treap.to_list(treap.join(l, 5, r)) == [1, 2, 5, 10, 11]
+
+    def test_from_sorted(self):
+        t = treap.from_sorted([1, 4, 9])
+        assert treap.to_list(t) == [1, 4, 9]
+
+
+class TestSetAlgebra:
+    @given(key_sets, key_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_union_semantics(self, a, b):
+        t = treap.union(build(a), build(b))
+        assert treap.to_list(t) == sorted(a | b)
+
+    @given(key_sets, key_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_difference_semantics(self, a, b):
+        t = treap.difference(build(a), build(b))
+        assert treap.to_list(t) == sorted(a - b)
+
+    @given(key_sets, key_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_persistence(self, a, b):
+        """Operands survive union/difference untouched (persistent trees)."""
+        ta, tb = build(a), build(b)
+        before_a, before_b = treap.to_list(ta), treap.to_list(tb)
+        treap.union(ta, tb)
+        treap.difference(ta, tb)
+        assert treap.to_list(ta) == before_a
+        assert treap.to_list(tb) == before_b
+
+
+class TestBalance:
+    def test_expected_logarithmic_height(self):
+        n = 4096
+        t = build(range(n))  # adversarial sorted insertion order
+        h = treap.height(t)
+        # Expected height ~ 3 log2 n; allow generous slack to kill flakes.
+        assert h <= 6 * math.log2(n), f"height {h} too large for n={n}"
+
+    def test_deterministic_structure(self):
+        a = build([5, 2, 8, 1])
+        b = build([1, 8, 2, 5])
+        # Same key set -> same treap shape (priorities derive from keys).
+        def shape(t):
+            if t is None:
+                return None
+            return (t.key, shape(t.left), shape(t.right))
+
+        assert shape(a) == shape(b)
+
+    def test_size_augmentation(self):
+        t = build(range(100))
+        assert t.count == 100
+        l, _, r = treap.split(t, 40)
+        assert treap.size(l) + treap.size(r) == 99
+
+
+class TestTupleKeys:
+    def test_distance_vertex_pairs(self):
+        """The solver's (distance, vertex) lexicographic keys."""
+        t = build([(2.0, 7), (1.5, 3), (2.0, 1)])
+        assert treap.find_min(t) == (1.5, 3)
+        lo, hi = treap.split_leq(t, (2.0, float("inf")))
+        assert treap.size(lo) == 3 and treap.size(hi) == 0

@@ -1,0 +1,96 @@
+"""Unit tests for the shortcut-count sweep (Tables 2/3 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import grid_2d
+from repro.preprocess import (
+    build_kr_graph,
+    count_shortcuts_sweep,
+    sample_sources,
+)
+
+from tests.helpers import random_connected_graph
+
+
+class TestSampleSources:
+    def test_all_when_none(self):
+        assert sample_sources(5, None).tolist() == [0, 1, 2, 3, 4]
+
+    def test_all_when_over(self):
+        assert len(sample_sources(5, 10)) == 5
+
+    def test_sampled_distinct_sorted(self):
+        s = sample_sources(100, 10, seed=3)
+        assert len(np.unique(s)) == 10
+        assert (np.diff(s) > 0).all()
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            sample_sources(50, 7, seed=1), sample_sources(50, 7, seed=1)
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            sample_sources(10, 0)
+
+
+class TestSweep:
+    def test_exact_matches_pipeline(self):
+        """Full-sample sweep totals equal the pipeline's added_edges."""
+        g = grid_2d(7, 7)
+        counts = count_shortcuts_sweep(
+            g, ks=(2, 3), rhos=(5, 10), heuristics=("greedy", "dp")
+        )
+        for k in (2, 3):
+            for rho in (5, 10):
+                for h in ("greedy", "dp"):
+                    pre = build_kr_graph(g, k, rho, heuristic=h)
+                    assert counts.totals[h][(k, rho)] == pre.added_edges
+
+    def test_dp_le_greedy_everywhere(self):
+        g = random_connected_graph(50, 120, seed=0, weighted=False)
+        counts = count_shortcuts_sweep(g, ks=(2, 3), rhos=(5, 15))
+        for key, greedy_total in counts.totals["greedy"].items():
+            assert counts.totals["dp"][key] <= greedy_total
+
+    def test_sampling_unbiased(self):
+        """The n/|sample| scaling makes the estimator unbiased: its mean
+        over seeds converges to the exact total (the per-source counts on
+        a grid are highly skewed — only corners need shortcuts — so any
+        single sample can be far off; the *average* cannot be)."""
+        g = grid_2d(8, 8)
+        exact = count_shortcuts_sweep(g, ks=(2,), rhos=(8,))
+        truth = exact.totals["dp"][(2, 8)]
+        assert truth > 0
+        ests = [
+            count_shortcuts_sweep(
+                g, ks=(2,), rhos=(8,), num_sources=20, seed=seed
+            ).totals["dp"][(2, 8)]
+            for seed in range(30)
+        ]
+        assert 0.6 * truth <= np.mean(ests) <= 1.4 * truth
+
+    def test_factor(self):
+        g = grid_2d(6, 6)
+        counts = count_shortcuts_sweep(g, ks=(2,), rhos=(6,))
+        assert counts.factor("dp", 2, 6) == counts.totals["dp"][(2, 6)] / g.m
+
+    def test_full_heuristic_counts_ball_interior(self):
+        g = grid_2d(6, 6)
+        counts = count_shortcuts_sweep(g, ks=(1,), rhos=(6,), heuristics=("full",))
+        pre = build_kr_graph(g, 1, 6, heuristic="full")
+        assert counts.totals["full"][(1, 6)] == pre.added_edges
+
+    def test_njobs_parity(self):
+        g = grid_2d(6, 6)
+        a = count_shortcuts_sweep(g, ks=(2,), rhos=(5,), n_jobs=1)
+        b = count_shortcuts_sweep(g, ks=(2,), rhos=(5,), n_jobs=2)
+        assert a.totals == b.totals
+
+    def test_validation(self):
+        g = grid_2d(4, 4)
+        with pytest.raises(ValueError):
+            count_shortcuts_sweep(g, ks=(), rhos=(5,))
+        with pytest.raises(ValueError):
+            count_shortcuts_sweep(g, ks=(2,), rhos=(5,), heuristics=("nope",))

@@ -1,0 +1,146 @@
+"""Tests for the brute-force Definitions 2–4 and (k,ρ)-graph verifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import from_edge_list
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_2d,
+    path_graph,
+    star_graph,
+)
+from repro.preprocess import (
+    build_kr_graph,
+    k_radii,
+    k_radius,
+    rho_nearest_distance,
+    verify_kr_graph,
+)
+
+from tests.helpers import random_connected_graph
+
+
+class TestKRadius:
+    def test_path(self):
+        """On a unit path the (k+1)-th hop is the nearest >k-hop vertex."""
+        g = path_graph(10)
+        assert k_radius(g, 0, 1) == 2.0
+        assert k_radius(g, 0, 3) == 4.0
+        assert k_radius(g, 5, 2) == 3.0
+
+    def test_everything_within_k_is_inf(self):
+        g = star_graph(6)
+        assert k_radius(g, 0, 1) == float("inf")  # all leaves 1 hop away
+        assert np.isfinite(k_radius(g, 1, 1))  # other leaves are 2 hops
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert k_radius(g, 0, 1) == float("inf")
+
+    def test_weighted_minhop_convention(self):
+        """d̂ counts hops on the *min-hop* shortest path: with a 2-hop
+        path of total weight 2 and a direct edge of weight 2, the direct
+        edge wins the hop count."""
+        g = from_edge_list(3, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.0)])
+        # vertex 2 is 1 hop from 0 (direct edge, same distance)
+        assert k_radius(g, 0, 1) == float("inf")
+
+    def test_k_zero(self):
+        g = path_graph(3)
+        # nearest vertex more than 0 hops away = nearest neighbor
+        assert k_radius(g, 0, 0) == 1.0
+
+    def test_k_radii_vectorizes(self):
+        g = cycle_graph(8)
+        arr = k_radii(g, 2)
+        assert arr.shape == (8,)
+        assert np.all(arr == 3.0)  # symmetric ring
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_radius(path_graph(3), 0, -1)
+
+
+class TestRhoNearest:
+    def test_self_counting(self):
+        """r_1(v) = 0: the closest vertex to v is v (paper's ρ=1 rows)."""
+        g = path_graph(5)
+        assert rho_nearest_distance(g, 2, 1) == 0.0
+
+    def test_path_values(self):
+        g = path_graph(9)
+        assert rho_nearest_distance(g, 4, 3) == 1.0
+        assert rho_nearest_distance(g, 4, 5) == 2.0
+
+    def test_rho_beyond_component(self):
+        g = from_edge_list(4, [(0, 1, 1.0)])
+        assert rho_nearest_distance(g, 0, 4) == 1.0  # component radius
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            rho_nearest_distance(path_graph(3), 0, 0)
+
+    def test_matches_ball_search_r_rho(self):
+        from repro.preprocess import ball_search
+
+        g = random_connected_graph(30, 70, seed=3)
+        for v in (0, 7, 19):
+            ball = ball_search(g, v, 10)
+            assert rho_nearest_distance(g, v, 10) == pytest.approx(ball.r_rho(10))
+
+
+class TestVerifyKrGraph:
+    @pytest.mark.parametrize("heuristic", ["full", "greedy", "dp"])
+    @pytest.mark.parametrize("k,rho", [(1, 4), (2, 6), (3, 8)])
+    def test_pipeline_output_verifies(self, heuristic, k, rho):
+        """The central correctness claim of Section 4: after preprocessing,
+        every vertex satisfies r(v) ≤ r̄_k(v) and |B(v, r(v))| ≥ ρ."""
+        g = random_connected_graph(25, 55, seed=k * 10 + rho, weighted=True)
+        kk = 1 if heuristic == "full" else k
+        pre = build_kr_graph(g, kk, rho, heuristic=heuristic)
+        report = verify_kr_graph(pre.graph, pre.radii, kk, rho)
+        assert report.ok, (
+            f"violations: radius={report.radius_violations} "
+            f"ball={report.ball_violations}"
+        )
+
+    def test_detects_radius_violation(self):
+        """Radii beyond r̄_k must be flagged (they break Thm 3.2)."""
+        g = path_graph(8)
+        radii = np.full(8, 100.0)  # far beyond the 1-radius of 2.0
+        report = verify_kr_graph(g, radii, k=1, rho=2)
+        assert report.radius_violations
+
+    def test_detects_ball_violation(self):
+        g = path_graph(8)
+        radii = np.zeros(8)  # B(v, 0) = {v}, so rho=3 is violated
+        report = verify_kr_graph(g, radii, k=1, rho=3)
+        assert report.ball_violations
+
+    def test_zero_radii_is_valid_1_1(self):
+        g = grid_2d(3, 3)
+        report = verify_kr_graph(g, np.zeros(9), k=1, rho=1)
+        assert report.ok
+
+    def test_shape_validation(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            verify_kr_graph(g, np.zeros(3), k=1, rho=1)
+
+    def test_disconnected_no_false_positives(self):
+        """The ball condition caps at the component size."""
+        g = from_edge_list(5, [(0, 1, 1.0), (2, 3, 1.0)])
+        radii = np.full(5, 1.0)
+        report = verify_kr_graph(g, radii, k=2, rho=4)
+        assert not report.ball_violations
+
+    @given(seed=st.integers(0, 10**4), k=st.integers(1, 3), rho=st.integers(2, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_pipeline_property(self, seed, k, rho):
+        g = random_connected_graph(18, 40, seed=seed, weighted=True, weight_high=9)
+        pre = build_kr_graph(g, k, rho, heuristic="dp")
+        assert verify_kr_graph(pre.graph, pre.radii, k, rho).ok

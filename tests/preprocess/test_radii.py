@@ -1,0 +1,88 @@
+"""Unit tests for vertex radius computation."""
+
+import numpy as np
+import pytest
+
+from repro.core import dijkstra
+from repro.graphs.generators import grid_2d, star_graph
+from repro.preprocess import ball_search, compute_radii, compute_radii_sweep
+
+from tests.helpers import random_connected_graph
+
+
+class TestConvention:
+    def test_r1_is_zero_everywhere(self):
+        """The paper's self-counting convention (DESIGN.md §4 pin): ρ=1
+        must make Radius-Stepping behave exactly like batched Dijkstra,
+        which requires r_1 ≡ 0."""
+        g = random_connected_graph(30, 70, seed=0)
+        assert np.array_equal(compute_radii(g, 1), np.zeros(g.n))
+
+    def test_r2_is_min_incident_weight(self):
+        g = random_connected_graph(30, 70, seed=1)
+        r2 = compute_radii(g, 2)
+        for v in range(g.n):
+            assert r2[v] == g.neighbor_weights(v).min()
+
+
+class TestAgainstDijkstra:
+    def test_rho_th_smallest_distance(self):
+        g = random_connected_graph(40, 90, seed=2, weight_high=10**6)
+        for rho in (1, 3, 10, 25):
+            radii = compute_radii(g, rho)
+            for v in range(0, g.n, 7):
+                sorted_dist = np.sort(dijkstra(g, v).dist)
+                assert radii[v] == sorted_dist[rho - 1]
+
+    def test_rho_exceeding_n_gives_eccentricity(self):
+        g = grid_2d(3, 3)
+        radii = compute_radii(g, 99)
+        ecc = np.array([dijkstra(g, v).dist.max() for v in range(g.n)])
+        assert np.array_equal(radii, ecc)
+
+
+class TestSweep:
+    def test_consistent_with_individual(self):
+        g = random_connected_graph(35, 80, seed=3)
+        sweep = compute_radii_sweep(g, [1, 4, 9])
+        for rho in (1, 4, 9):
+            assert np.array_equal(sweep[rho], compute_radii(g, rho))
+
+    def test_monotone_in_rho(self):
+        g = random_connected_graph(35, 80, seed=4)
+        sweep = compute_radii_sweep(g, [2, 5, 11, 20])
+        assert (sweep[2] <= sweep[5]).all()
+        assert (sweep[5] <= sweep[11]).all()
+        assert (sweep[11] <= sweep[20]).all()
+
+    def test_ball_property(self):
+        """At least ρ vertices sit within r_ρ(v) of v (|B(v,r_ρ)| ≥ ρ,
+        the Theorem 3.3 precondition)."""
+        g = random_connected_graph(30, 70, seed=5)
+        rho = 6
+        radii = compute_radii(g, rho)
+        for v in range(g.n):
+            dist = dijkstra(g, v).dist
+            assert np.sum(dist <= radii[v]) >= rho
+
+    def test_empty_rhos_rejected(self):
+        g = grid_2d(2, 2)
+        with pytest.raises(ValueError):
+            compute_radii_sweep(g, [])
+        with pytest.raises(ValueError):
+            compute_radii_sweep(g, [0, 3])
+
+    def test_star_radii(self):
+        g = star_graph(5)
+        assert np.array_equal(compute_radii(g, 2), np.ones(6))
+        # From a leaf, the 3rd-closest vertex is another leaf at distance 2.
+        assert compute_radii(g, 3)[1] == 2.0
+
+
+class TestParallel:
+    def test_njobs_parity(self):
+        g = random_connected_graph(40, 90, seed=6)
+        serial = compute_radii_sweep(g, [2, 7])
+        parallel = compute_radii_sweep(g, [2, 7], n_jobs=2)
+        for rho in (2, 7):
+            assert np.array_equal(serial[rho], parallel[rho])

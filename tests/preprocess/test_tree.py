@@ -1,0 +1,82 @@
+"""Unit tests for the ball-local shortest-path tree."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import grid_2d, path_graph
+from repro.preprocess import ball_search, build_ball_tree
+
+from tests.helpers import random_connected_graph
+
+
+@pytest.fixture
+def ball():
+    g = random_connected_graph(50, 120, seed=0)
+    return ball_search(g, 0, 20)
+
+
+class TestBuild:
+    def test_root_is_source(self, ball):
+        tree = build_ball_tree(ball)
+        assert tree.vertices[0] == ball.source
+        assert tree.parent[0] == -1
+        assert tree.depth[0] == 0
+
+    def test_parent_precedes_child(self, ball):
+        tree = build_ball_tree(ball)
+        for i in range(1, len(tree)):
+            assert tree.parent[i] < i
+
+    def test_depth_consistent_with_parent(self, ball):
+        tree = build_ball_tree(ball)
+        for i in range(1, len(tree)):
+            assert tree.depth[i] == tree.depth[tree.parent[i]] + 1
+
+    def test_children_inverse_of_parent(self, ball):
+        tree = build_ball_tree(ball)
+        for i in range(len(tree)):
+            for c in tree.children(i):
+                assert tree.parent[c] == i
+        total_children = sum(len(tree.children(i)) for i in range(len(tree)))
+        assert total_children == len(tree) - 1
+
+    def test_max_depth(self, ball):
+        tree = build_ball_tree(ball)
+        assert tree.max_depth == tree.depth.max()
+
+
+class TestPrefix:
+    def test_prefix_is_valid_tree(self, ball):
+        for size in (1, 5, len(ball)):
+            tree = build_ball_tree(ball, size)
+            assert len(tree) == size
+            for i in range(1, size):
+                assert 0 <= tree.parent[i] < i
+
+    def test_prefix_matches_smaller_search(self):
+        """Tree on a prefix == tree from a fresh smaller-ρ search."""
+        g = random_connected_graph(60, 140, seed=1, weight_high=10**6)
+        big = ball_search(g, 0, 30, include_ties=False)
+        small = ball_search(g, 0, 12, include_ties=False)
+        t_big = build_ball_tree(big, 12)
+        t_small = build_ball_tree(small)
+        assert np.array_equal(t_big.vertices, t_small.vertices)
+        assert np.array_equal(t_big.depth, t_small.depth)
+
+    def test_invalid_size(self, ball):
+        with pytest.raises(ValueError):
+            build_ball_tree(ball, 0)
+        with pytest.raises(ValueError):
+            build_ball_tree(ball, len(ball) + 1)
+
+
+class TestShapes:
+    def test_path_tree_is_chain(self):
+        g = path_graph(6)
+        tree = build_ball_tree(ball_search(g, 0, 6))
+        assert tree.depth.tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_grid_center_tree(self):
+        g = grid_2d(5, 5)
+        tree = build_ball_tree(ball_search(g, 12, 25))
+        assert tree.max_depth == 4  # Manhattan radius from center

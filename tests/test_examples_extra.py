@@ -1,0 +1,15 @@
+"""Smoke test for the Table-1 tradeoff example (separate module: it
+imports the landmark baseline, exercising a different API surface than
+the five pipeline examples)."""
+
+from tests.test_examples import load_example
+
+
+def test_baseline_tradeoffs(capsys):
+    load_example("baseline_tradeoffs").main(
+        n=200, t_sweep=(3, 6), rho_sweep=(6, 12)
+    )
+    out = capsys.readouterr().out
+    assert "landmark SSSP" in out
+    assert "radius-stepping" in out
+    assert "Table 1" in out
