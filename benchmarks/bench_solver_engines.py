@@ -5,7 +5,11 @@ the design decisions DESIGN.md calls out (vectorized engine vs faithful
 BST engine; Radius-Stepping vs the ∆-stepping / Dijkstra / Bellman–Ford
 baselines) deserve a timing ablation.  All solvers must agree on
 distances; the vectorized engine should not be slower than the BST
-engine (that is its reason to exist).
+engine (that is its reason to exist), and the calendar-queue bucket
+scheduler should not be slower than the heap schedule it replaces on
+the hot path (compare ``test_radius_stepping_bucket`` against
+``test_radius_stepping_vectorized`` in the benchmark table — the bucket
+rows should sit at or below the heap rows on every weighted graph).
 """
 
 import numpy as np
@@ -20,6 +24,8 @@ from repro.core import (
     radius_stepping_bst,
     suggest_delta,
 )
+from repro.core.solver import PreprocessedSSSP
+from repro.engine import solve_with_engine
 from repro.graphs.generators import road_network
 from repro.graphs.weights import random_integer_weights
 from repro.preprocess import build_kr_graph
@@ -74,6 +80,27 @@ def test_radius_stepping_vectorized(benchmark, workload):
     assert res.max_substeps <= 2 + 2  # Thm 3.2 at k=2
 
 
+def test_radius_stepping_bucket(benchmark, workload):
+    """The calendar-queue schedule: same d_i sequence as the heap engine
+    (identical steps/substeps, pinned below), O(1) batched pushes."""
+    g, pre, ref = workload
+    res = benchmark(solve_with_engine, "bucket", pre.graph, 0, pre.radii)
+    assert np.allclose(res.dist, ref)
+    assert res.max_substeps <= 2 + 2  # Thm 3.2 at k=2
+
+
+def test_solve_many_batched(benchmark, workload):
+    """Multi-source serving: 8 queries through the facade, serial pool
+    path (the n_jobs>1 fork path is exercised by tests/core)."""
+    g, pre, ref = workload
+    sp = PreprocessedSSSP.from_preprocessed(pre, input_graph=g)
+    sources = [0, 100, 200, 300, 400, 500, 600, 700]
+    results = benchmark.pedantic(
+        sp.solve_many, args=(sources,), rounds=3, iterations=1
+    )
+    assert np.allclose(results[0].dist, ref)
+
+
 def test_radius_stepping_bst_reference(benchmark, workload):
     g, pre, ref = workload
     res = benchmark.pedantic(
@@ -86,8 +113,11 @@ def test_radius_stepping_bst_reference(benchmark, workload):
 
 
 def test_engines_step_parity(workload):
-    """The two engines implement one algorithm: identical step counts."""
+    """The engines implement one algorithm: identical step counts."""
     _, pre, _ = workload
     a = radius_stepping(pre.graph, 0, pre.radii)
     b = radius_stepping_bst(pre.graph, 0, pre.radii)
+    c = solve_with_engine("bucket", pre.graph, 0, pre.radii)
     assert (a.steps, a.substeps) == (b.steps, b.substeps)
+    assert (a.steps, a.substeps) == (c.steps, c.substeps)
+    assert np.array_equal(a.dist, c.dist)

@@ -46,6 +46,14 @@ from .core import (
     radius_stepping_unweighted,
 )
 from .core.solver import PreprocessedSSSP
+from .engine import (
+    RelaxationKernel,
+    StepSchedule,
+    available_engines,
+    get_engine,
+    register_engine,
+    run_engine,
+)
 from .preprocess import (
     BallSearchResult,
     PreprocessResult,
@@ -66,10 +74,13 @@ __all__ = [
     "Ledger",
     "PreprocessedSSSP",
     "PreprocessResult",
+    "RelaxationKernel",
     "SsspResult",
+    "StepSchedule",
     "StepTrace",
     "__version__",
     "add_shortcuts",
+    "available_engines",
     "ball_search",
     "bellman_ford",
     "bfs",
@@ -82,6 +93,7 @@ __all__ = [
     "from_arc_arrays",
     "from_edge_list",
     "generators",
+    "get_engine",
     "is_connected",
     "largest_connected_component",
     "max_steps_bound",
@@ -92,6 +104,8 @@ __all__ = [
     "radius_stepping_unweighted",
     "random_integer_weights",
     "read_edge_list",
+    "register_engine",
+    "run_engine",
     "unit_weights",
     "validate_graph",
     "write_edge_list",

@@ -8,14 +8,19 @@ number of rounds is the hop radius of the shortest-path tree *plus one
 final verification round* that confirms quiescence — the same convention
 under which Theorem 3.2's ``k + 2`` substep bound counts its confirming
 substep, so Radius-Stepping with ``r ≡ ∞`` reports identical substeps.
+
+The per-round relaxation is the shared
+:class:`repro.engine.kernel.RelaxationKernel` substep (with
+``exclude_settled=False``: classic Bellman–Ford has no settled set); only
+the round loop and its instrumentation live here.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..engine.kernel import RelaxationKernel
 from ..graphs.csr import CSRGraph
-from .bfs import gather_frontier_arcs
 from .result import SsspResult
 
 __all__ = ["bellman_ford"]
@@ -33,36 +38,24 @@ def bellman_ford(
     n = graph.n
     if not (0 <= source < n):
         raise ValueError(f"source {source} out of range [0, {n})")
-    dist = np.full(n, np.inf)
-    parent = np.full(n, -1, dtype=np.int64) if track_parents else None
-    dist[source] = 0.0
+    kernel = RelaxationKernel(graph, source, track_parents=track_parents)
     changed = np.array([source], dtype=np.int64)
     rounds = 0
-    relaxations = 0
     while len(changed):
         if rounds > n:
             raise RuntimeError("Bellman-Ford failed to converge (negative cycle?)")
-        arcpos, tails = gather_frontier_arcs(graph, changed)
-        if len(arcpos) == 0:
+        improved, n_arcs = kernel.relax(changed, exclude_settled=False)
+        if n_arcs == 0:
             break
         rounds += 1
-        relaxations += len(arcpos)
-        targets = graph.indices[arcpos]
-        cand = dist[tails] + graph.weights[arcpos]
-        uniq = np.unique(targets)
-        before = dist[uniq].copy()
-        np.minimum.at(dist, targets, cand)  # priority-write (WriteMin)
-        if parent is not None:
-            winners = cand <= dist[targets]
-            parent[targets[winners]] = tails[winners]
-        changed = uniq[dist[uniq] < before]
+        changed = improved
     return SsspResult(
-        dist=dist,
-        parent=parent,
+        dist=kernel.dist,
+        parent=kernel.parent,
         steps=1,
         substeps=rounds,
         max_substeps=rounds,
-        relaxations=relaxations,
+        relaxations=kernel.relaxations,
         algorithm="bellman-ford",
         params={"source": source},
     )

@@ -11,32 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.kernel import gather_frontier_arcs
 from ..graphs.csr import CSRGraph
 from .result import SsspResult
 
+# Historically defined here; canonical home is now the relaxation kernel.
 __all__ = ["bfs", "bfs_levels", "gather_frontier_arcs"]
-
-
-def gather_frontier_arcs(
-    graph: CSRGraph, frontier: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized multi-slice gather of all arcs out of ``frontier``.
-
-    Returns ``(arc_positions, tails)``: flat indices into
-    ``graph.indices`` / ``graph.weights`` and the corresponding tail
-    vertex for every arc, with no per-vertex Python loop.  This is the
-    shared CSR "multi-arange" kernel used by every frontier solver.
-    """
-    counts = graph.indptr[frontier + 1] - graph.indptr[frontier]
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    starts = np.repeat(graph.indptr[frontier], counts)
-    cum = np.cumsum(counts)
-    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
-    tails = np.repeat(frontier, counts)
-    return starts + within, tails
 
 
 def bfs_levels(graph: CSRGraph, source: int) -> tuple[np.ndarray, int]:

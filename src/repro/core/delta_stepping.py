@@ -6,6 +6,12 @@ formulation with light/heavy edge classes and bucket recycling, fully
 instrumented: *steps* (buckets emptied) and *substeps* (light-relaxation
 phases + one heavy phase per bucket) are the quantities the paper contrasts
 against its own step bound.
+
+Each phase's batched relaxation is the shared
+:class:`repro.engine.kernel.RelaxationKernel` substep with an arc-class
+mask; the light/heavy bucket choreography lives here.  (A second,
+boundary-based ∆-stepping also exists as the ``delta`` engine in
+:mod:`repro.engine.registry` — same distances, unified-loop accounting.)
 """
 
 from __future__ import annotations
@@ -14,8 +20,8 @@ import math
 
 import numpy as np
 
+from ..engine.kernel import RelaxationKernel
 from ..graphs.csr import CSRGraph
-from .bfs import gather_frontier_arcs
 from .result import SsspResult, StepTrace
 
 __all__ = ["delta_stepping", "suggest_delta"]
@@ -42,8 +48,8 @@ def delta_stepping(
     --------------------
     * Buckets are a dict ``index -> set`` with an array of current bucket
       ids per vertex; a vertex moves buckets on every distance improvement.
-    * Each light phase relaxes, as one vectorized batch, every light arc
-      out of the vertices newly added to the current bucket.
+    * Each light phase relaxes, as one vectorized kernel substep, every
+      light arc out of the vertices newly added to the current bucket.
     * Heavy arcs of all vertices removed from the bucket are relaxed once
       after the bucket drains — they cannot re-enter the current bucket.
     """
@@ -55,44 +61,29 @@ def delta_stepping(
     if not (delta > 0 and math.isfinite(delta)):
         raise ValueError("delta must be positive and finite")
 
-    indices, weights = graph.indices, graph.weights
-    light_arc = weights <= delta
+    light_arc = graph.weights <= delta
+    heavy_arc = ~light_arc
 
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
+    kernel = RelaxationKernel(graph, source)
+    dist = kernel.dist
     bucket_of = np.full(n, -1, dtype=np.int64)
     buckets: dict[int, set[int]] = {0: {source}}
     bucket_of[source] = 0
 
-    steps = substeps = relaxations = max_substeps = 0
+    steps = substeps = max_substeps = 0
     trace: list[StepTrace] | None = [] if track_trace else None
     settled_before = 0
 
-    def relax_batch(tails: np.ndarray, arcpos: np.ndarray, heavy_pass: bool) -> None:
-        nonlocal relaxations
-        if heavy_pass:
-            keep = ~light_arc[arcpos]
-        else:
-            keep = light_arc[arcpos]
-        arcpos = arcpos[keep]
-        tails = tails[keep]
-        if len(arcpos) == 0:
-            return
-        relaxations += len(arcpos)
-        targets = indices[arcpos]
-        cand = dist[tails] + weights[arcpos]
-        uniq = np.unique(targets)
-        before = dist[uniq].copy()
-        np.minimum.at(dist, targets, cand)
-        moved = uniq[dist[uniq] < before]
-        for v in moved:
+    def relax_batch(frontier: np.ndarray, arc_mask: np.ndarray) -> None:
+        moved, _ = kernel.relax(frontier, exclude_settled=False, arc_mask=arc_mask)
+        for v in moved.tolist():
             newb = int(dist[v] // delta)
             oldb = bucket_of[v]
             if oldb == newb:
                 continue
             if oldb >= 0:
-                buckets.get(oldb, set()).discard(int(v))
-            buckets.setdefault(newb, set()).add(int(v))
+                buckets.get(oldb, set()).discard(v)
+            buckets.setdefault(newb, set()).add(v)
             bucket_of[v] = newb
 
     while buckets:
@@ -111,13 +102,11 @@ def delta_stepping(
             removed |= current
             phases_this_step += 1
             frontier = np.fromiter(current, count=len(current), dtype=np.int64)
-            arcpos, tails = gather_frontier_arcs(graph, frontier)
-            relax_batch(tails, arcpos, heavy_pass=False)
+            relax_batch(frontier, light_arc)
         # Heavy relaxations once per bucket; heavy targets land beyond j.
         if removed:
             frontier = np.fromiter(removed, count=len(removed), dtype=np.int64)
-            arcpos, tails = gather_frontier_arcs(graph, frontier)
-            relax_batch(tails, arcpos, heavy_pass=True)
+            relax_batch(frontier, heavy_arc)
             phases_this_step += 1
         substeps += phases_this_step
         max_substeps = max(max_substeps, phases_this_step)
@@ -129,7 +118,7 @@ def delta_stepping(
                     radius=(j + 1) * delta,
                     substeps=phases_this_step,
                     settled=settled_now - settled_before,
-                    relaxations=relaxations,
+                    relaxations=kernel.relaxations,
                 )
             )
             settled_before = settled_now
@@ -140,7 +129,7 @@ def delta_stepping(
         steps=steps,
         substeps=substeps,
         max_substeps=max_substeps,
-        relaxations=relaxations,
+        relaxations=kernel.relaxations,
         algorithm="delta-stepping",
         params={"source": source, "delta": delta},
         trace=trace,

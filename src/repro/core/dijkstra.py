@@ -11,6 +11,12 @@ Three entry points:
   from s, one where every path has the smallest hop count possible").
 * :func:`dijkstra_steps` — Dijkstra with equal-distance extractions batched
   into one step, the ρ=1 baseline of Tables 6/7.
+
+The first two are deliberately *not* built on :mod:`repro.engine`: a
+per-edge sequential implementation is the independent oracle the
+engine-parity tests validate every schedule against.  ``dijkstra_steps``
+is the engine's ``r ≡ 0`` degeneration (the ``dijkstra`` registry
+engine) and goes through the shared kernel.
 """
 
 from __future__ import annotations

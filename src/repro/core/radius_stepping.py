@@ -15,31 +15,40 @@ Bellman–Ford substeps until every tentative distance ≤ ``d_i`` is stable
 
 Engineering
 -----------
-This engine mirrors the role of Algorithm 2's two ordered sets with two
-lazy binary heaps: ``R`` keyed by ``δ(v) + r(v)`` yields ``d_i`` (its
-*extract-min*), and ``Q`` keyed by ``δ(v)`` yields the active set (its
-*split* at ``d_i``).  Heaps support exactly the two operations this engine
-needs at O(log n) amortized; the faithful treap-based engine with parallel
-split/union/difference and PRAM cost accounting lives in
-:mod:`repro.core.radius_stepping_bst`.
+This function is a thin adapter over the unified relaxation engine in
+:mod:`repro.engine`: the generic Algorithm-1 loop
+(:func:`repro.engine.driver.run_engine`) runs under a
+:class:`repro.engine.schedules.RadiusSchedule`, which realizes
+Algorithm 2's two ordered sets as lazy binary heaps — ``R`` keyed by
+``δ(v) + r(v)`` yields ``d_i`` (its *extract-min*) and ``Q`` keyed by
+``δ(v)`` yields the active set (its *split* at ``d_i``), both at
+O(log n) amortized per operation.  Swap the schedule to change the
+substrate or the algorithm: ``RadiusBucketSchedule`` serves the same
+``d_i`` sequence from O(1)-push calendar-queue buckets (the ``bucket``
+registry engine), and the ∆-stepping / Dijkstra / Bellman–Ford
+baselines are one-class schedule plugins over the same loop.  The
+faithful treap-based engine with parallel split/union/difference and
+PRAM cost accounting lives in :mod:`repro.core.radius_stepping_bst`.
 
-Each substep is one data-parallel relaxation: a CSR multi-gather of the
-changed frontier's arcs followed by a ``np.minimum.at`` scatter-min — the
-paper's priority-write (WriteMin) — with no per-edge Python work.  An
-optional :class:`~repro.pram.ledger.Ledger` charges the PRAM work/depth
-formulas of Section 3.3 for every bulk operation.
+Each substep is one data-parallel relaxation owned by
+:class:`repro.engine.kernel.RelaxationKernel`: a CSR multi-gather of
+the changed frontier's arcs followed by a ``np.minimum.at`` scatter-min
+— the paper's priority-write (WriteMin) — with no per-edge Python work,
+plus parent tracking (strict-improvement wins only) and optional
+:class:`~repro.pram.ledger.Ledger` charging of the Section 3.3 PRAM
+work/depth formulas for every bulk operation.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
 
 import numpy as np
 
+from ..engine.driver import run_engine
+from ..engine.schedules import RadiusSchedule
 from ..graphs.csr import CSRGraph
-from .bfs import gather_frontier_arcs
-from .result import SsspResult, StepTrace
+from .result import SsspResult
 
 __all__ = ["radius_stepping", "as_radii"]
 
@@ -88,8 +97,8 @@ def radius_stepping(
         for any radii r(·)"); the step/substep bounds need the
         (k,ρ)-graph preconditions established by :mod:`repro.preprocess`.
     track_parents: record a shortest-path tree.
-    track_trace: record a per-step :class:`StepTrace` (the data behind
-        Figure 1's illustration).
+    track_trace: record a per-step :class:`~repro.core.result.StepTrace`
+        (the data behind Figure 1's illustration).
     ledger: optional :class:`repro.pram.ledger.Ledger`; when given, every
         bulk operation charges the PRAM work/depth costs of Section 3.3.
 
@@ -101,137 +110,13 @@ def radius_stepping(
     n = graph.n
     if not (0 <= source < n):
         raise ValueError(f"source {source} out of range [0, {n})")
-    r = as_radii(graph, radii)
-    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
-    logn = max(1.0, math.log2(max(2, n)))
-
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
-    parent = np.full(n, -1, dtype=np.int64) if track_parents else None
-    settled = np.zeros(n, dtype=bool)
-    settled[source] = True
-    settled_count = 1
-
-    # Line 2: relax the source's neighbors before the first step.
-    qheap: list[tuple[float, int]] = []  # keyed by δ(v)        (the BST Q)
-    rheap: list[tuple[float, int]] = []  # keyed by δ(v) + r(v) (the BST R)
-    for j in range(indptr[source], indptr[source + 1]):
-        v = int(indices[j])
-        w = float(weights[j])
-        if w < dist[v]:
-            dist[v] = w
-            if parent is not None:
-                parent[v] = source
-            heapq.heappush(qheap, (w, v))
-            heapq.heappush(rheap, (w + r[v], v))
-    if ledger is not None:
-        ledger.charge(work=graph.degree(source) * logn, depth=logn, label="init")
-
-    steps = substeps_total = max_substeps = 0
-    relaxations = graph.degree(source)  # Line 2 relaxes every arc of s
-    trace: list[StepTrace] | None = [] if track_trace else None
-
-    while settled_count < n:
-        # ---- Line 4: d_i = min over unsettled v of δ(v) + r(v) ----------
-        while rheap:
-            key, v = rheap[0]
-            if settled[v] or key != dist[v] + r[v]:
-                heapq.heappop(rheap)  # stale entry (settled or superseded)
-                continue
-            break
-        if not rheap:
-            break  # remaining vertices unreachable (disconnected graph)
-        d_i = rheap[0][0]
-        if ledger is not None:
-            ledger.charge(work=logn, depth=logn, label="extract-min R")
-
-        # ---- Split Q at d_i: the initial active set -----------------------
-        active: list[int] = []
-        while qheap and qheap[0][0] <= d_i:
-            key, v = heapq.heappop(qheap)
-            if settled[v] or key != dist[v]:
-                continue  # stale
-            active.append(v)
-        if ledger is not None:
-            ledger.charge(
-                work=max(1.0, len(active)) * logn, depth=logn, label="split Q"
-            )
-        changed = np.array(active, dtype=np.int64)
-        step_settles: list[int] = list(active)
-        step_relax = 0
-        substeps = 0
-
-        # ---- Lines 5–9: Bellman–Ford substeps until stable ≤ d_i ---------
-        while len(changed):
-            substeps += 1
-            arcpos, tails = gather_frontier_arcs(graph, changed)
-            if len(arcpos):
-                keep = ~settled[indices[arcpos]]  # v ∈ N(u) \ S_{i-1}
-                arcpos = arcpos[keep]
-                tails = tails[keep]
-            step_relax += len(arcpos)
-            if ledger is not None:
-                ledger.charge(
-                    work=max(1.0, len(arcpos)) * logn,
-                    depth=logn,
-                    label="substep relax",
-                )
-            if len(arcpos) == 0:
-                break
-            targets = indices[arcpos]
-            cand = dist[tails] + weights[arcpos]
-            uniq = np.unique(targets)
-            before = dist[uniq].copy()
-            np.minimum.at(dist, targets, cand)  # WriteMin / priority-write
-            if parent is not None:
-                winners = cand <= dist[targets]
-                parent[targets[winners]] = tails[winners]
-            improved = uniq[dist[uniq] < before]
-            for v in improved:  # refresh heap keys (decrease-key by re-push)
-                heapq.heappush(qheap, (dist[v], v))
-                heapq.heappush(rheap, (dist[v] + r[v], v))
-            # Only updates with δ(v) ≤ d_i keep the substep loop running
-            # (Line 9's termination test); they join the active set.
-            within = improved[dist[improved] <= d_i]
-            newly_active = within[~np.isin(within, changed)]
-            # Vertices already active whose δ improved must be re-relaxed
-            # too: their out-edges now carry smaller tentative distances.
-            re_relax = within[np.isin(within, changed)]
-            changed = np.concatenate([newly_active, re_relax])
-            step_settles.extend(int(v) for v in newly_active)
-
-        # ---- Line 10: S_i = {v | δ(v) ≤ d_i} ------------------------------
-        newly = np.array(sorted(set(step_settles)), dtype=np.int64)
-        if len(newly):
-            settled[newly] = True
-            settled_count += len(newly)
-        steps += 1
-        substeps_total += substeps
-        max_substeps = max(max_substeps, substeps)
-        relaxations += step_relax
-        if trace is not None:
-            trace.append(
-                StepTrace(
-                    step=steps - 1,
-                    radius=float(d_i),
-                    substeps=substeps,
-                    settled=len(newly),
-                    relaxations=step_relax,
-                )
-            )
-        if len(newly) == 0:
-            # d_i produced an empty annulus: impossible unless radii contain
-            # inf/NaN interplay; guard against an infinite loop.
-            raise RuntimeError("radius-stepping made no progress (empty step)")
-
-    return SsspResult(
-        dist=dist,
-        parent=parent,
-        steps=steps,
-        substeps=substeps_total,
-        max_substeps=max_substeps,
-        relaxations=relaxations,
-        algorithm=algorithm_name,
+    return run_engine(
+        graph,
+        source,
+        RadiusSchedule(as_radii(graph, radii)),
+        track_parents=track_parents,
+        track_trace=track_trace,
+        ledger=ledger,
+        algorithm_name=algorithm_name,
         params={"source": source},
-        trace=trace,
     )

@@ -9,8 +9,11 @@ O(m + n) work and O((n/ρ) log ρ log*ρ) depth (Lemma 3.10).
 This engine is that specialization: the unsettled-reached frontier lives
 in a flat vertex array, the round distance ``d_i`` is one priority-write
 (a vectorized min of ``δ(v) + r(v)`` over the frontier), and each substep
-is one BFS-style CSR gather + scatter-min.  No heap, no tree, no per-edge
-Python.
+is one BFS-style kernel relaxation (CSR gather + scatter-min via
+:class:`repro.engine.kernel.RelaxationKernel`).  No heap, no tree, no
+per-edge Python — and no ``log n`` ledger factors: this module charges
+the flat Lemma 3.10 costs itself instead of using the kernel's weighted
+charging.
 
 It must agree *exactly* — distances, steps, substeps — with the general
 engine run on the same unit-weight graph; the cross-validation lives in
@@ -21,8 +24,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine.kernel import RelaxationKernel
 from ..graphs.csr import CSRGraph
-from .bfs import gather_frontier_arcs
 from .radius_stepping import as_radii
 from .result import SsspResult, StepTrace
 
@@ -65,66 +68,50 @@ def radius_stepping_unweighted(
             "see repro.graphs.unit_weights"
         )
     r = as_radii(graph, radii)
-    indices = graph.indices
     # log*: effectively <= 5 for any feasible n; charged as a constant.
     log_star = 5.0 if n > 65536 else 4.0
 
-    dist = np.full(n, np.inf)
-    dist[source] = 0.0
-    settled = np.zeros(n, dtype=bool)
-    settled[source] = True
-    settled_count = 1
+    kernel = RelaxationKernel(graph, source)
+    dist = kernel.dist
+    settled = kernel.settled
+    reached = np.zeros(n, dtype=bool)
+    reached[source] = True
 
     # Line 2: relax N(s).  On the unit metric every neighbor lands at 1.
-    nbrs = np.unique(graph.neighbors(source))
-    nbrs = nbrs[nbrs != source]
-    dist[nbrs] = np.minimum(dist[nbrs], 1.0)
-    frontier = nbrs  # reached, unsettled vertices (always deduplicated)
-    relaxations = graph.degree(source)
+    frontier = kernel.relax_source(source, charge=False)
+    reached[frontier] = True
     if ledger is not None:
         ledger.charge(work=float(graph.degree(source)), depth=log_star, label="init")
 
     steps = substeps_total = max_substeps = 0
     trace: list[StepTrace] | None = [] if track_trace else None
 
-    while settled_count < n and len(frontier):
+    while kernel.settled_count < n and len(frontier):
         # ---- Line 4: d_i by one priority-write over the frontier --------
         d_i = float(np.min(dist[frontier] + r[frontier]))
         if ledger is not None:
             ledger.charge(work=float(len(frontier)), depth=log_star, label="round min")
 
-        active_mask = dist[frontier] <= d_i
-        changed = frontier[active_mask]
+        changed = frontier[dist[frontier] <= d_i]
         step_settles = [changed]
-        step_relax = 0
+        relax_before = kernel.relaxations
         substeps = 0
 
         # ---- Lines 5–9: BFS-style substeps until stable ≤ d_i ------------
         while len(changed):
             substeps += 1
-            arcpos, tails = gather_frontier_arcs(graph, changed)
-            if len(arcpos):
-                keep = ~settled[indices[arcpos]]
-                arcpos = arcpos[keep]
-                tails = tails[keep]
-            step_relax += len(arcpos)
+            improved, n_arcs = kernel.relax(changed, exclude_settled=True)
             if ledger is not None:
                 ledger.charge(
-                    work=float(max(1, len(arcpos))),
+                    work=float(max(1, n_arcs)),
                     depth=log_star,
                     label="substep relax",
                 )
-            if len(arcpos) == 0:
+            if n_arcs == 0:
                 break
-            targets = indices[arcpos]
-            cand = dist[tails] + 1.0
-            uniq = np.unique(targets)
-            before = dist[uniq].copy()
-            np.minimum.at(dist, targets, cand)  # CRCW priority-write
-            improved_mask = dist[uniq] < before
-            improved = uniq[improved_mask]
             # frontier bookkeeping: first-touch vertices enter the frontier
-            first_touch = uniq[improved_mask & np.isinf(before)]
+            first_touch = improved[~reached[improved]]
+            reached[improved] = True
             if len(first_touch):
                 frontier = np.union1d(frontier, first_touch)
             within = improved[dist[improved] <= d_i]
@@ -133,15 +120,17 @@ def radius_stepping_unweighted(
                 step_settles.append(within)
 
         # ---- Line 10: settle S_i -----------------------------------------
-        newly = np.unique(np.concatenate(step_settles)) if step_settles else np.empty(0, np.int64)
+        newly = (
+            np.unique(np.concatenate(step_settles))
+            if step_settles
+            else np.empty(0, np.int64)
+        )
         newly = newly[~settled[newly]]
-        settled[newly] = True
-        settled_count += len(newly)
+        kernel.settle(newly)
         frontier = frontier[~settled[frontier]]
         steps += 1
         substeps_total += substeps
         max_substeps = max(max_substeps, substeps)
-        relaxations += step_relax
         if trace is not None:
             trace.append(
                 StepTrace(
@@ -149,7 +138,7 @@ def radius_stepping_unweighted(
                     radius=d_i,
                     substeps=substeps,
                     settled=len(newly),
-                    relaxations=step_relax,
+                    relaxations=kernel.relaxations - relax_before,
                 )
             )
         if len(newly) == 0:
@@ -161,7 +150,7 @@ def radius_stepping_unweighted(
         steps=steps,
         substeps=substeps_total,
         max_substeps=max_substeps,
-        relaxations=relaxations,
+        relaxations=kernel.relaxations,
         algorithm="radius-stepping-unweighted",
         params={"source": source},
         trace=trace,

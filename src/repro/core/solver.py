@@ -5,8 +5,17 @@ once, if Sssp will be run from multiple sources, we suggest increasing ρ
 and decreasing k: the cost for preprocessing is amortized over more
 sources."  :class:`PreprocessedSSSP` packages that workflow — it owns the
 (k,ρ)-graph and radii produced by :func:`repro.preprocess.build_kr_graph`
-and answers any number of single-source queries against them, picking the
-right engine per graph kind.
+and answers any number of single-source queries against them.
+
+Queries dispatch by *engine name* through
+:mod:`repro.engine.registry`, so every registered engine — the
+seed-compatible heap engine, the calendar-queue bucket engine, the
+faithful BST reference, the §3.4 unweighted engine, the baseline
+schedules, and any plugin registered at runtime — is servable through
+one facade.  Batched multi-source queries (:meth:`solve_many`) fan out
+over a fork-based process pool with the augmented CSR graph shared
+copy-on-write (:func:`repro.parallel.parallel_map_shared`), returning
+results in deterministic input order for any worker count.
 
 This is the API a routing service or graph-analytics pipeline would
 embed; the lower-level pieces stay available for research use.
@@ -14,20 +23,31 @@ embed; the lower-level pieces stay available for research use.
 
 from __future__ import annotations
 
-from typing import Iterable, Literal
+from typing import Iterable
 
 import numpy as np
 
+from ..engine.registry import get_engine, solve_with_engine
 from ..graphs.csr import CSRGraph
+from ..parallel.pool import parallel_map_shared
 from ..preprocess.pipeline import PreprocessResult, build_kr_graph
-from .radius_stepping import radius_stepping
-from .radius_stepping_bst import radius_stepping_bst
-from .radius_stepping_unweighted import radius_stepping_unweighted
 from .result import SsspResult
 
 __all__ = ["PreprocessedSSSP"]
 
-Engine = Literal["auto", "vectorized", "bst", "unweighted"]
+#: engine selector: ``"auto"`` or any :func:`repro.engine.available_engines` name.
+Engine = str
+
+
+def _solve_chunk(payload: tuple, sources: np.ndarray) -> list[SsspResult]:
+    """Pool worker: answer one chunk of sources against the shared graph."""
+    graph, radii, engine, track_parents = payload
+    return [
+        solve_with_engine(
+            engine, graph, int(s), radii, track_parents=track_parents
+        )
+        for s in sources
+    ]
 
 
 class PreprocessedSSSP:
@@ -69,6 +89,22 @@ class PreprocessedSSSP:
         )
         self._queries = 0
 
+    @classmethod
+    def from_preprocessed(
+        cls, pre: PreprocessResult, *, input_graph: CSRGraph | None = None
+    ) -> "PreprocessedSSSP":
+        """Wrap an existing preprocessing result without recomputing it.
+
+        A serving system preprocesses once, persists the
+        :class:`~repro.preprocess.pipeline.PreprocessResult`, and
+        rehydrates query facades from it at startup.
+        """
+        self = cls.__new__(cls)
+        self._input = input_graph if input_graph is not None else pre.graph
+        self._pre = pre
+        self._queries = 0
+        return self
+
     # ------------------------------------------------------------------ #
     @property
     def graph(self) -> CSRGraph:
@@ -87,10 +123,16 @@ class PreprocessedSSSP:
 
     @property
     def queries_answered(self) -> int:
-        """Number of solve() calls so far — the amortization denominator."""
+        """Number of queries so far — the amortization denominator."""
         return self._queries
 
     # ------------------------------------------------------------------ #
+    def _resolve_engine(self, engine: Engine) -> str:
+        """Map ``"auto"`` to a concrete registered engine name."""
+        if engine == "auto":
+            return "unweighted" if self.graph.is_unweighted else "vectorized"
+        return engine
+
     def solve(
         self,
         source: int,
@@ -104,60 +146,64 @@ class PreprocessedSSSP:
 
         ``engine="auto"`` uses the §3.4 BFS-style engine when the
         *augmented* graph still has unit weights, else the vectorized
-        general engine.  ``"bst"`` forces the faithful Algorithm-2
-        reference (slow; for validation and PRAM accounting).
+        general engine.  Any name from
+        :func:`repro.engine.available_engines` is accepted — e.g.
+        ``"bucket"`` for the calendar-queue scheduler or ``"bst"`` for
+        the faithful Algorithm-2 reference (slow; for validation and
+        PRAM accounting).
 
         Distances returned are distances in the *input* graph: shortcuts
         carry exact shortest-path weights, so augmentation never changes
         the metric (Lemma 4.1 discussion).
         """
         self._queries += 1
-        if engine == "auto":
-            engine = "unweighted" if self.graph.is_unweighted else "vectorized"
-        if engine == "vectorized":
-            return radius_stepping(
-                self.graph,
-                source,
-                self.radii,
-                track_parents=track_parents,
-                track_trace=track_trace,
-                ledger=ledger,
-            )
-        if engine == "unweighted":
-            if track_parents:
-                raise ValueError("the unweighted engine does not track parents")
-            return radius_stepping_unweighted(
-                self.graph,
-                source,
-                self.radii,
-                track_trace=track_trace,
-                ledger=ledger,
-            )
-        if engine == "bst":
-            if track_parents:
-                raise ValueError("the BST engine does not track parents")
-            return radius_stepping_bst(
-                self.graph,
-                source,
-                self.radii,
-                track_trace=track_trace,
-                ledger=ledger,
-            )
-        raise ValueError(f"unknown engine {engine!r}")
+        return solve_with_engine(
+            self._resolve_engine(engine),
+            self.graph,
+            source,
+            self.radii,
+            track_parents=track_parents,
+            track_trace=track_trace,
+            ledger=ledger,
+        )
 
     def distances(self, source: int) -> np.ndarray:
         """Just the distance vector from ``source``."""
         return self.solve(source).dist
 
     def solve_many(
-        self, sources: Iterable[int], *, engine: Engine = "auto"
+        self,
+        sources: Iterable[int],
+        *,
+        engine: Engine = "auto",
+        track_parents: bool = False,
+        n_jobs: int = 1,
     ) -> list[SsspResult]:
-        """Answer a batch of queries; one result per source, input order."""
-        return [self.solve(int(s), engine=engine) for s in sources]
+        """Answer a batch of queries; one result per source, input order.
 
-    def mean_steps(self, sources: Iterable[int]) -> float:
+        ``n_jobs > 1`` (0 = all cores) fans source chunks out to a
+        fork-based process pool.  The augmented CSR graph and radii are
+        staged once and inherited copy-on-write by every worker — no
+        per-query graph serialization — and chunked results are
+        reassembled in input order, so the output is identical for any
+        ``n_jobs``.
+        """
+        source_arr = np.asarray(list(sources), dtype=np.int64)
+        name = self._resolve_engine(engine)
+        # fail fast (unknown engine, unsupported parents) before forking
+        spec = get_engine(name)
+        if track_parents and not spec.supports_parents:
+            raise ValueError(f"the {name} engine does not track parents")
+        self._queries += len(source_arr)
+        payload = (self.graph, self.radii, name, track_parents)
+        blocks = parallel_map_shared(
+            _solve_chunk, payload, source_arr, n_jobs=n_jobs
+        )
+        return [res for block in blocks for res in block]
+
+    def mean_steps(self, sources: Iterable[int], *, n_jobs: int = 1) -> float:
         """Average step count over ``sources`` — the §5.3 metric."""
-        results = self.solve_many(sources)
+        results = self.solve_many(sources, n_jobs=n_jobs)
         return float(np.mean([r.steps for r in results]))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

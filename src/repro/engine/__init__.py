@@ -1,0 +1,49 @@
+"""Unified relaxation-engine subsystem.
+
+One kernel (:mod:`repro.engine.kernel`), one driver loop
+(:mod:`repro.engine.driver`), pluggable step schedules
+(:mod:`repro.engine.schedules`) on heap or calendar-queue substrates
+(:mod:`repro.engine.buckets`), and a name-based registry
+(:mod:`repro.engine.registry`) that :class:`repro.core.solver.\
+PreprocessedSSSP` dispatches through.  The solvers in
+:mod:`repro.core` are thin adapters over these pieces.
+"""
+
+from .buckets import LazyBucketQueue
+from .kernel import RelaxationKernel, gather_frontier_arcs
+from .schedules import (
+    BellmanFordSchedule,
+    DeltaSchedule,
+    DijkstraSchedule,
+    RadiusBucketSchedule,
+    RadiusSchedule,
+    StepSchedule,
+    default_bucket_width,
+)
+from .driver import run_engine
+from .registry import (
+    EngineSpec,
+    available_engines,
+    get_engine,
+    register_engine,
+    solve_with_engine,
+)
+
+__all__ = [
+    "BellmanFordSchedule",
+    "DeltaSchedule",
+    "DijkstraSchedule",
+    "EngineSpec",
+    "LazyBucketQueue",
+    "RadiusBucketSchedule",
+    "RadiusSchedule",
+    "RelaxationKernel",
+    "StepSchedule",
+    "available_engines",
+    "default_bucket_width",
+    "gather_frontier_arcs",
+    "get_engine",
+    "register_engine",
+    "run_engine",
+    "solve_with_engine",
+]

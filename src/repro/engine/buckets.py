@@ -1,0 +1,227 @@
+"""Lazy calendar-queue buckets — the heap replacement on the hot path.
+
+The seed's general Radius-Stepping engine kept its two ordered sets
+(Algorithm 2's Q and R) as binary heaps with decrease-key-by-re-push:
+every improved vertex cost two ``heapq.heappush`` calls, one vertex at
+a time, which profiling shows is the dominant Python-level cost of the
+vectorized engine.  This module replaces the heaps with the lazy
+batched discipline of Dong, Gu & Sun's ADDS framework
+(arXiv:2105.06145) on a calendar queue (Brown 1988 — the structure
+∆-stepping's buckets are a special case of):
+
+* **push is O(1) and batch-oblivious** — the improved-vertex array from
+  one relaxation substep is appended to a pending buffer as-is, with no
+  per-vertex work at all;
+* **ordering is amortized into the scans** — when extract-min or split
+  next runs, the pending entries are distributed into buckets
+  ``⌊key / width⌋`` in a handful of vectorized operations, and only the
+  buckets the scan actually touches are inspected.
+
+Entries are *lazy*: a vertex is pushed again each time its key
+improves, and stale entries (settled vertex, or stored key no longer
+equal to the current key) are dropped when a scan touches them — the
+exact analogue of the heaps' lazy-deletion discipline, so the fresh-key
+sequence the queue yields is identical to the heaps' (pinned by
+``tests/engine/test_buckets.py::TestHeapEquivalence``).
+
+The structure is deliberately generic over "current key": callers pass
+a vectorized ``key_of(vertices) -> keys`` callable at query time, so
+one class serves both Q (keyed by ``δ(v)``) and R (keyed by
+``δ(v) + r(v)``) as well as ∆-stepping's distance buckets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["LazyBucketQueue"]
+
+KeyFn = Callable[[np.ndarray], np.ndarray]
+
+#: bucket index used for entries with key = inf; sorts after any finite
+#: bucket index reachable from a float key.
+_INF_BUCKET = np.iinfo(np.int64).max
+
+
+class LazyBucketQueue:
+    """Monotone bucket priority queue with lazy batched inserts.
+
+    Parameters
+    ----------
+    width: bucket width; entry with key ``k`` lives in bucket
+        ``⌊k / width⌋``.  Must be positive and finite.
+    maybe_inf: whether pushed keys can be ``inf`` (Radius-Stepping with
+        ``r(v) = ∞``).  Infinite keys live in a dedicated overflow
+        bucket that sorts after every finite bucket; passing ``False``
+        (when the caller knows its keys are finite) skips the
+        inf-routing work on every flush.
+
+    Notes
+    -----
+    Each bucket holds a list of ``(keys, vertices)`` array segments,
+    concatenated lazily when a scan inspects the bucket.  Scans flush
+    the pending buffer first, prune stale entries, and repack what
+    survives into a single segment — that pruning is what keeps the
+    lazy scheme amortized O(1) per entry.
+    """
+
+    __slots__ = ("width", "maybe_inf", "_buckets", "_pending", "_size")
+
+    def __init__(self, width: float, *, maybe_inf: bool = True) -> None:
+        if not (width > 0 and math.isfinite(width)):
+            raise ValueError(f"bucket width must be positive and finite, got {width}")
+        self.width = float(width)
+        self.maybe_inf = maybe_inf
+        #: bucket index -> list of (keys, vertices) array segments
+        self._buckets: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        #: batched inserts not yet distributed into buckets
+        self._pending: list[tuple[np.ndarray, np.ndarray]] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of stored entries (including stale ones)."""
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    def push(self, vertices: np.ndarray, keys: np.ndarray) -> None:
+        """Insert one entry per ``(vertex, key)`` pair — one O(1) append
+        for the whole batch.
+
+        Earlier entries for the same vertex are *not* removed; they go
+        stale and are pruned lazily by the scans.
+        """
+        if len(vertices) == 0:
+            return
+        self._pending.append((np.asarray(keys, dtype=np.float64), vertices))
+        self._size += len(vertices)
+
+    def _flush(self) -> None:
+        """Distribute pending entries into their buckets, vectorized."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        if len(pending) == 1:
+            keys, verts = pending[0]
+        else:
+            keys = np.concatenate([p[0] for p in pending])
+            verts = np.concatenate([p[1] for p in pending])
+        if self.maybe_inf:
+            finite = np.isfinite(keys)
+            idx = np.floor_divide(np.where(finite, keys, 0.0), self.width).astype(
+                np.int64
+            )
+            idx[~finite] = _INF_BUCKET
+        else:
+            idx = np.floor_divide(keys, self.width).astype(np.int64)
+        buckets = self._buckets
+        first = int(idx[0])
+        if bool((idx == first).all()):  # common case: one bucket per flush
+            buckets.setdefault(first, []).append((keys, verts))
+            return
+        order = np.argsort(idx, kind="stable")
+        idx = idx[order]
+        keys = keys[order]
+        verts = verts[order]
+        cuts = np.nonzero(idx[1:] != idx[:-1])[0] + 1
+        lo = 0
+        for hi in [*cuts.tolist(), len(idx)]:
+            buckets.setdefault(int(idx[lo]), []).append(
+                (keys[lo:hi], verts[lo:hi])
+            )
+            lo = hi
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _concat(segments: list[tuple[np.ndarray, np.ndarray]]):
+        if len(segments) == 1:
+            return segments[0]
+        return (
+            np.concatenate([s[0] for s in segments]),
+            np.concatenate([s[1] for s in segments]),
+        )
+
+    def min_fresh_key(self, key_of: KeyFn, dead: np.ndarray) -> float | None:
+        """Extract-min *peek*: the smallest fresh key, or ``None`` if empty.
+
+        An entry is fresh iff its vertex is alive and its stored key
+        still equals the vertex's current key (the heaps' lazy-deletion
+        test; ``inf == inf`` holds, matching tuple comparison).  Scans
+        buckets in increasing index, dropping fully-stale buckets and
+        repacking partially-stale ones; fresh entries stay queued.
+        """
+        self._flush()
+        buckets = self._buckets
+        while buckets:
+            b = min(buckets)
+            keys, verts = self._concat(buckets[b])
+            fresh = ~dead[verts] & (key_of(verts) == keys)
+            n_fresh = int(fresh.sum())
+            self._size -= len(keys) - n_fresh
+            if n_fresh == 0:
+                del buckets[b]
+                continue
+            if n_fresh != len(keys):
+                keys = keys[fresh]
+                verts = verts[fresh]
+            buckets[b] = [(keys, verts)]
+            if b == _INF_BUCKET:
+                return math.inf
+            return float(keys.min())
+        return None
+
+    def pop_fresh_until(
+        self, bound: float, key_of: KeyFn, dead: np.ndarray
+    ) -> np.ndarray:
+        """Split: pop every fresh entry with key ≤ ``bound``.
+
+        Returns the popped vertices sorted by ``(key, vertex)`` — the
+        same order a lazy binary heap yields them, deduplicated — and
+        discards all stale entries it touches.  Fresh entries above
+        ``bound`` in the boundary bucket are retained.
+        """
+        self._flush()
+        buckets = self._buckets
+        if math.isinf(bound):
+            scan = sorted(buckets)
+        else:
+            # same floor_divide as _flush, so a key equal to the bound can
+            # never round into a bucket the scan skips
+            limit = int(np.floor_divide(np.float64(bound), self.width))
+            scan = sorted(b for b in buckets if b <= limit)
+        if not scan:
+            return np.empty(0, dtype=np.int64)
+        if len(scan) == 1:
+            keys, verts = self._concat(buckets.pop(scan[0]))
+        else:
+            segments = [self._concat(buckets.pop(b)) for b in scan]
+            keys = np.concatenate([s[0] for s in segments])
+            verts = np.concatenate([s[1] for s in segments])
+        self._size -= len(keys)
+        fresh = ~dead[verts] & (key_of(verts) == keys)
+        take = fresh & (keys <= bound)
+        keep = fresh & ~take
+        if keep.any():
+            # fresh entries above the bound share the boundary bucket;
+            # they go back (their bucket index is unchanged).
+            kept = (keys[keep], verts[keep])
+            buckets.setdefault(scan[-1], []).append(kept)
+            self._size += len(kept[0])
+        keys = keys[take]
+        verts = verts[take]
+        if len(verts) == 0:
+            return verts.astype(np.int64)
+        order = np.lexsort((verts, keys))
+        keys = keys[order]
+        verts = verts[order]
+        inf_mask = np.isinf(keys)
+        if inf_mask.any():
+            # inf keys can carry duplicate fresh entries for one vertex
+            # (every improvement re-pushes at key inf): dedupe.  They all
+            # sort after the finite keys, so the (key, vertex) order of
+            # the finite prefix is untouched.
+            verts = np.concatenate([verts[~inf_mask], np.unique(verts[inf_mask])])
+        return verts

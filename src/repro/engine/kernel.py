@@ -1,0 +1,230 @@
+"""The shared relaxation kernel — one substep, one place.
+
+Every stepping algorithm in this library (Radius-Stepping, ∆-stepping,
+Dijkstra-with-batching, Bellman–Ford, BFS) spends its time in the same
+data-parallel substep: gather the arcs out of a frontier from the CSR
+arrays, add tentative distances to arc weights, and scatter-min the
+candidates into the distance array — the paper's priority-write
+(WriteMin).  The seed implementations each re-implemented that substep;
+:class:`RelaxationKernel` owns it once, together with the state it
+mutates (distances, parents, the settled set) and the cross-cutting
+concerns that ride on it (relaxation counting, PRAM ledger charging,
+an O(1)-membership scratch mask for frontier bookkeeping).
+
+Schedules (:mod:`repro.engine.schedules`) decide *which* vertices to
+relax and *when* to settle them; the kernel is the only code that
+touches an edge.
+
+Design notes
+------------
+* ``np.minimum.at`` is an unbuffered scatter: duplicate targets combine
+  correctly, exactly like a CRCW priority-write.
+* Parent tracking uses **strict improvement against the pre-scatter
+  distances**: an arc wins ``parent[v]`` only when it actually lowered
+  ``δ(v)``.  (The seed engines tested ``cand <= dist_after``, which let
+  an arc that merely *tied* a pre-existing distance rewrite the parent
+  of an already-correct vertex — on zero-weight ties that could even
+  create parent cycles.)
+* :func:`gather_frontier_arcs` lives here because it *is* the kernel's
+  gather; :mod:`repro.core.bfs` re-exports it for backward
+  compatibility.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+
+__all__ = ["RelaxationKernel", "gather_frontier_arcs"]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def gather_frontier_arcs(
+    graph: CSRGraph, frontier: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized multi-slice gather of all arcs out of ``frontier``.
+
+    Returns ``(arc_positions, tails)``: flat indices into
+    ``graph.indices`` / ``graph.weights`` and the corresponding tail
+    vertex for every arc, with no per-vertex Python loop.  This is the
+    shared CSR "multi-arange" primitive under every frontier solver.
+    """
+    counts = graph.indptr[frontier + 1] - graph.indptr[frontier]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    starts = np.repeat(graph.indptr[frontier], counts)
+    cum = np.cumsum(counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+    tails = np.repeat(frontier, counts)
+    return starts + within, tails
+
+
+class RelaxationKernel:
+    """Owns the solver state and the vectorized relax substep.
+
+    Parameters
+    ----------
+    graph: validated undirected CSR graph with non-negative weights.
+    source: source vertex; its distance is fixed at 0 and it starts
+        settled.
+    track_parents: allocate and maintain a shortest-path-tree parent
+        array.
+    ledger: optional :class:`repro.pram.ledger.Ledger`.  When given,
+        :meth:`relax` calls that pass a ``charge_label`` charge the
+        weighted-engine costs of Section 3.3 (``O(|arcs| log n)`` work,
+        ``O(log n)`` depth); callers with different cost models (the
+        §3.4 unweighted engine) keep ``charge_label=None`` and charge
+        their own ledger.
+
+    Attributes
+    ----------
+    dist: tentative distances, ``inf`` when unreached.
+    parent: parent array or ``None``.
+    settled: boolean settled mask; ``settled_count`` tracks its sum.
+    relaxations: total arcs relaxed so far (the work proxy every
+        :class:`~repro.core.result.SsspResult` reports).
+    """
+
+    __slots__ = (
+        "graph",
+        "dist",
+        "parent",
+        "settled",
+        "settled_count",
+        "relaxations",
+        "ledger",
+        "logn",
+        "_member",
+    )
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        source: int,
+        *,
+        track_parents: bool = False,
+        ledger=None,
+    ) -> None:
+        n = graph.n
+        if not (0 <= source < n):
+            raise ValueError(f"source {source} out of range [0, {n})")
+        self.graph = graph
+        self.dist = np.full(n, np.inf)
+        self.dist[source] = 0.0
+        self.parent = np.full(n, -1, dtype=np.int64) if track_parents else None
+        self.settled = np.zeros(n, dtype=bool)
+        self.settled[source] = True
+        self.settled_count = 1
+        self.relaxations = 0
+        self.ledger = ledger
+        self.logn = max(1.0, math.log2(max(2, n)))
+        self._member = np.zeros(n, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    def relax(
+        self,
+        frontier: np.ndarray,
+        *,
+        exclude_settled: bool = True,
+        arc_mask: np.ndarray | None = None,
+        charge_label: str | None = None,
+    ) -> tuple[np.ndarray, int]:
+        """One gather → scatter-min substep over ``frontier``'s arcs.
+
+        Parameters
+        ----------
+        frontier: vertex ids whose out-arcs are relaxed.
+        exclude_settled: drop arcs whose head is already settled
+            (Algorithm 1 relaxes into ``V \\ S_{i-1}`` only).
+        arc_mask: optional boolean mask over all arcs (∆-stepping's
+            light/heavy classes); arcs where the mask is false are
+            skipped.
+        charge_label: when set and a ledger is attached, charge
+            ``max(1, |arcs|)·log n`` work and ``log n`` depth under this
+            label.
+
+        Returns
+        -------
+        ``(improved, n_arcs)``: the sorted unique vertices whose
+        tentative distance strictly decreased, and the number of arcs
+        relaxed (after filtering) — callers use ``n_arcs == 0`` as the
+        quiescence test.
+        """
+        graph = self.graph
+        arcpos, tails = gather_frontier_arcs(graph, frontier)
+        if arc_mask is not None and len(arcpos):
+            keep = arc_mask[arcpos]
+            arcpos = arcpos[keep]
+            tails = tails[keep]
+        if exclude_settled and len(arcpos):
+            keep = ~self.settled[graph.indices[arcpos]]
+            arcpos = arcpos[keep]
+            tails = tails[keep]
+        n_arcs = len(arcpos)
+        self.relaxations += n_arcs
+        if charge_label is not None and self.ledger is not None:
+            self.ledger.charge(
+                work=max(1.0, n_arcs) * self.logn,
+                depth=self.logn,
+                label=charge_label,
+            )
+        if n_arcs == 0:
+            return _EMPTY, 0
+        dist = self.dist
+        targets = graph.indices[arcpos]
+        cand = dist[tails] + graph.weights[arcpos]
+        uniq = np.unique(targets)
+        before = dist[uniq].copy()
+        if self.parent is not None:
+            pre = dist[targets]  # per-arc pre-scatter values (fancy index copies)
+        np.minimum.at(dist, targets, cand)  # WriteMin / priority-write
+        if self.parent is not None:
+            winners = (cand <= dist[targets]) & (cand < pre)
+            self.parent[targets[winners]] = tails[winners]
+        improved = uniq[dist[uniq] < before]
+        return improved, n_arcs
+
+    def relax_source(self, source: int, *, charge: bool = True) -> np.ndarray:
+        """Algorithm 1, Line 2: relax every arc out of the source.
+
+        Returns the improved vertices (the initial heap/bucket seed).
+        """
+        improved, _ = self.relax(
+            np.array([source], dtype=np.int64), exclude_settled=True
+        )
+        if charge and self.ledger is not None:
+            self.ledger.charge(
+                work=self.graph.degree(source) * self.logn,
+                depth=self.logn,
+                label="init",
+            )
+        return improved
+
+    # ------------------------------------------------------------------ #
+    def settle(self, vertices: np.ndarray) -> None:
+        """Mark ``vertices`` settled (callers pass unsettled ids only)."""
+        if len(vertices):
+            self.settled[vertices] = True
+            self.settled_count += len(vertices)
+
+    def split_members(
+        self, members: np.ndarray, candidates: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Partition ``candidates`` by membership in ``members``.
+
+        Returns ``(fresh, seen)`` preserving candidate order.  Uses a
+        reusable boolean scratch mask, so each call is
+        O(|members| + |candidates|) — replacing the seed's
+        O(|members| · |candidates|) ``np.isin`` inner-loop tests.
+        """
+        mask = self._member
+        mask[members] = True
+        seen_mask = mask[candidates]
+        mask[members] = False  # restore scratch for the next call
+        return candidates[~seen_mask], candidates[seen_mask]

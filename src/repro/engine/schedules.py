@@ -1,0 +1,300 @@
+"""Step schedules — Algorithm 1 parameterized over "what is d_i?".
+
+The paper's Algorithm 1 is one relaxation loop whose only degree of
+freedom is the round distance ``d_i`` chosen on Line 4 (and, dually,
+which vertices form the initial active set of Lines 5–9).  Dong, Gu &
+Sun's stepping framework (arXiv:2105.06145) makes the same observation:
+Dijkstra, ∆-stepping and ρ-stepping are *step schedules* plugged into
+one lazy-batched engine.  This module is that factoring for this
+library: a :class:`StepSchedule` answers three questions —
+
+* :meth:`~StepSchedule.next_bound` — Line 4's extract-min: the next
+  ``d_i`` (``None`` when every reachable vertex is settled);
+* :meth:`~StepSchedule.split_active` — Line 5: the unsettled vertices
+  with ``δ(v) ≤ d_i`` that seed the substep loop;
+* :meth:`~StepSchedule.push` — the decrease-key hook: vertices whose
+  tentative distance just improved.
+
+and :func:`repro.engine.driver.run_engine` supplies the loop.  Concrete
+schedules:
+
+========================  ====================================================
+:class:`RadiusSchedule`    the seed's two lazy binary heaps (Q by ``δ``, R by
+                           ``δ + r``) — bit-compatible with the seed engine.
+:class:`RadiusBucketSchedule`  the same ``d_i`` sequence from lazy
+                           calendar-queue buckets (no per-vertex heap pushes).
+:class:`DijkstraSchedule`  ``r ≡ 0``: equal-distance batched Dijkstra.
+:class:`DeltaSchedule`     fixed bucket boundaries ``d_i = (j+1)·∆``.
+:class:`BellmanFordSchedule`  ``d_i = ∞``: one step, substeps = rounds.
+========================  ====================================================
+
+Custom schedules only need the four-method protocol — see
+``examples/engine_plugins.py`` for a worked third-party schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .buckets import LazyBucketQueue
+from .kernel import RelaxationKernel
+
+__all__ = [
+    "StepSchedule",
+    "RadiusSchedule",
+    "RadiusBucketSchedule",
+    "DijkstraSchedule",
+    "DeltaSchedule",
+    "BellmanFordSchedule",
+    "default_bucket_width",
+]
+
+
+@runtime_checkable
+class StepSchedule(Protocol):
+    """What a scheduling plugin must provide to drive the engine."""
+
+    #: short name, used as the default ``SsspResult.algorithm`` suffix.
+    name: str
+
+    def bind(self, kernel: RelaxationKernel) -> None:
+        """Attach to a fresh kernel before the run starts."""
+
+    def push(self, improved: np.ndarray) -> None:
+        """Decrease-key: these vertices' tentative distances improved."""
+
+    def next_bound(self) -> float | None:
+        """Line 4: the next round distance, or ``None`` when done."""
+
+    def split_active(self, bound: float) -> np.ndarray:
+        """Line 5: unsettled vertices with ``δ(v) ≤ bound``."""
+
+
+def _as_radius_array(radii: np.ndarray | None, n: int) -> np.ndarray:
+    return np.zeros(n) if radii is None else radii
+
+
+def default_bucket_width(graph) -> float:
+    """Bucket width heuristic for calendar-queue schedules.
+
+    A calendar queue wants a handful of live entries per bucket; keys
+    advance by roughly one edge weight per relaxation, so the mean
+    weight (floored at the smallest positive weight) is a robust
+    default.  Falls back to 1.0 on edgeless / all-zero-weight graphs.
+    """
+    if graph.num_arcs == 0:
+        return 1.0
+    mean_w = float(graph.weights.mean())
+    min_pos = graph.min_positive_weight
+    width = max(mean_w, min_pos if math.isfinite(min_pos) else 0.0)
+    return width if width > 0 and math.isfinite(width) else 1.0
+
+
+class RadiusSchedule:
+    """Algorithm 2's two ordered sets as lazy binary heaps.
+
+    ``R`` keyed by ``δ(v) + r(v)`` yields ``d_i`` (extract-min), ``Q``
+    keyed by ``δ(v)`` yields the active set (split at ``d_i``).  Both
+    use decrease-key-by-re-push with lazy deletion: an entry is stale
+    when its vertex settled or its stored key no longer matches the
+    current key.  This is exactly the seed engine's data structure, so
+    the driver + this schedule reproduce the seed's steps, substeps,
+    traces and ledger charges verbatim.
+    """
+
+    name = "radius"
+
+    def __init__(self, radii: np.ndarray | None) -> None:
+        self._radii = radii
+
+    def bind(self, kernel: RelaxationKernel) -> None:
+        self._kernel = kernel
+        self.r = _as_radius_array(self._radii, kernel.graph.n)
+        self._qheap: list[tuple[float, int]] = []  # keyed by δ(v)
+        self._rheap: list[tuple[float, int]] = []  # keyed by δ(v) + r(v)
+
+    def push(self, improved: np.ndarray) -> None:
+        if len(improved) == 0:
+            return
+        dv = self._kernel.dist[improved]
+        rv = dv + self.r[improved]
+        qheap, rheap = self._qheap, self._rheap
+        for v, dk, rk in zip(improved.tolist(), dv.tolist(), rv.tolist()):
+            heapq.heappush(qheap, (dk, v))
+            heapq.heappush(rheap, (rk, v))
+
+    def next_bound(self) -> float | None:
+        rheap = self._rheap
+        dist, r, settled = self._kernel.dist, self.r, self._kernel.settled
+        while rheap:
+            key, v = rheap[0]
+            if settled[v] or key != dist[v] + r[v]:
+                heapq.heappop(rheap)  # stale (settled or superseded)
+                continue
+            return key
+        return None
+
+    def split_active(self, bound: float) -> np.ndarray:
+        qheap = self._qheap
+        dist, settled = self._kernel.dist, self._kernel.settled
+        active: list[int] = []
+        while qheap and qheap[0][0] <= bound:
+            key, v = heapq.heappop(qheap)
+            if settled[v] or key != dist[v]:
+                continue  # stale
+            active.append(v)
+        return np.array(active, dtype=np.int64)
+
+
+class RadiusBucketSchedule:
+    """Radius-Stepping on lazy calendar-queue buckets.
+
+    Produces the *same* ``d_i`` sequence and active sets as
+    :class:`RadiusSchedule` (extract-min returns exact fresh keys, not
+    bucket boundaries) but replaces every O(log n) heap push on the hot
+    path with an O(1) batched append; ordering work happens only in the
+    vectorized per-bucket scans.  Instrumentation parity with the heap
+    schedule is pinned by the engine tests.
+
+    Only ``R`` (keyed ``δ(v) + r(v)``, the Line-4 extract-min) needs an
+    ordered structure and lives in a :class:`LazyBucketQueue`.  ``Q``'s
+    sole operation is a *split* at ``d_i`` — a filter, not an ordering —
+    so it is kept as a lazy flat frontier: segments of first-reached
+    vertices, concatenated and partitioned by ``δ(v) ≤ d_i`` once per
+    step.
+    """
+
+    name = "radius-bucket"
+
+    def __init__(
+        self, radii: np.ndarray | None, *, width: float | None = None
+    ) -> None:
+        self._radii = radii
+        self._width = width
+
+    def bind(self, kernel: RelaxationKernel) -> None:
+        self._kernel = kernel
+        n = kernel.graph.n
+        self.r = _as_radius_array(self._radii, n)
+        width = self._width or default_bucket_width(kernel.graph)
+        has_inf = bool(np.isinf(self.r).any())
+        self._rq = LazyBucketQueue(width, maybe_inf=has_inf)  # by δ(v) + r(v)
+        self._reached = np.zeros(n, dtype=bool)
+        self._reached[kernel.settled.nonzero()[0]] = True
+        self._segments: list[np.ndarray] = []  # lazy frontier (Q)
+
+    def _radius_key(self, verts: np.ndarray) -> np.ndarray:
+        return self._kernel.dist[verts] + self.r[verts]
+
+    def push(self, improved: np.ndarray) -> None:
+        if len(improved) == 0:
+            return
+        self._rq.push(improved, self._kernel.dist[improved] + self.r[improved])
+        first_touch = improved[~self._reached[improved]]
+        if len(first_touch):
+            self._reached[first_touch] = True
+            self._segments.append(first_touch)
+
+    def next_bound(self) -> float | None:
+        return self._rq.min_fresh_key(self._radius_key, self._kernel.settled)
+
+    def split_active(self, bound: float) -> np.ndarray:
+        segments = self._segments
+        if not segments:
+            return np.empty(0, dtype=np.int64)
+        frontier = segments[0] if len(segments) == 1 else np.concatenate(segments)
+        frontier = frontier[~self._kernel.settled[frontier]]
+        below = self._kernel.dist[frontier] <= bound
+        active = frontier[below]
+        self._segments = [frontier[~below]]
+        # match the heaps' (key, vertex) pop order for identical downstream
+        # arc ordering (parent tie-breaks)
+        order = np.lexsort((active, self._kernel.dist[active]))
+        return active[order]
+
+
+class DijkstraSchedule(RadiusSchedule):
+    """``r ≡ 0``: Dijkstra with equal-distance extractions batched into
+    one step (the ρ=1 baseline of Tables 6/7)."""
+
+    name = "dijkstra"
+
+    def __init__(self) -> None:
+        super().__init__(None)
+
+
+class DeltaSchedule:
+    """∆-stepping's fixed boundaries inside the unified engine.
+
+    ``d_i`` is the upper boundary ``(j+1)·∆`` of the lowest non-empty
+    distance bucket.  Unlike the classic light/heavy formulation of
+    :func:`repro.core.delta_stepping.delta_stepping` (kept as the
+    instrumented paper baseline), all arcs of the active set are relaxed
+    together and vertices landing exactly on a boundary settle with the
+    lower bucket — distances are identical, step accounting differs.
+    """
+
+    name = "delta"
+
+    def __init__(self, delta: float | None = None) -> None:
+        if delta is not None and not (delta > 0 and math.isfinite(delta)):
+            raise ValueError("delta must be positive and finite")
+        self._delta = delta
+
+    def bind(self, kernel: RelaxationKernel) -> None:
+        from ..core.delta_stepping import suggest_delta  # avoid import cycle
+
+        self._kernel = kernel
+        delta = self._delta or suggest_delta(kernel.graph)
+        if not math.isfinite(delta):  # edgeless graph: any width works
+            delta = 1.0
+        self.delta = delta
+        # tentative distances of improved vertices are always finite
+        self._q = LazyBucketQueue(self.delta, maybe_inf=False)
+
+    def _dist_key(self, verts: np.ndarray) -> np.ndarray:
+        return self._kernel.dist[verts]
+
+    def push(self, improved: np.ndarray) -> None:
+        if len(improved):
+            self._q.push(improved, self._kernel.dist[improved])
+
+    def next_bound(self) -> float | None:
+        low = self._q.min_fresh_key(self._dist_key, self._kernel.settled)
+        if low is None:
+            return None
+        return (math.floor(low / self.delta) + 1) * self.delta
+
+    def split_active(self, bound: float) -> np.ndarray:
+        return self._q.pop_fresh_until(bound, self._dist_key, self._kernel.settled)
+
+
+class BellmanFordSchedule:
+    """``r ≡ ∞``: a single step whose substeps are Bellman–Ford rounds.
+
+    The standalone :func:`repro.core.bellman_ford.bellman_ford` counts
+    one extra round (it relaxes the source inside the loop; the engine's
+    Line 2 does it before the first substep) — distances are identical.
+    """
+
+    name = "bellman-ford"
+
+    def bind(self, kernel: RelaxationKernel) -> None:
+        self._kernel = kernel
+
+    def push(self, improved: np.ndarray) -> None:
+        pass  # no ordering structure: everything reached is active
+
+    def _pending(self) -> np.ndarray:
+        k = self._kernel
+        return np.isfinite(k.dist) & ~k.settled
+
+    def next_bound(self) -> float | None:
+        return math.inf if bool(self._pending().any()) else None
+
+    def split_active(self, bound: float) -> np.ndarray:
+        return np.nonzero(self._pending())[0]

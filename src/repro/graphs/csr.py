@@ -43,7 +43,14 @@ class CSRGraph:
     to derive modified graphs (e.g. adding shortcut edges).
     """
 
-    __slots__ = ("indptr", "indices", "weights", "_min_pos_weight", "_max_weight")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "_min_pos_weight",
+        "_max_weight",
+        "_is_unweighted",
+    )
 
     def __init__(
         self,
@@ -67,6 +74,7 @@ class CSRGraph:
         self.weights = weights
         self._min_pos_weight: float | None = None
         self._max_weight: float | None = None
+        self._is_unweighted: bool | None = None
 
     # ------------------------------------------------------------------ #
     # Size properties
@@ -106,8 +114,17 @@ class CSRGraph:
 
     @property
     def is_unweighted(self) -> bool:
-        """True when every edge has weight exactly 1."""
-        return bool(len(self.weights) == 0 or np.all(self.weights == 1.0))
+        """True when every edge has weight exactly 1.
+
+        Cached after the first access: the graph is immutable and
+        ``solve(engine="auto")`` consults this per query, so the O(m)
+        scan must not repeat.
+        """
+        if self._is_unweighted is None:
+            self._is_unweighted = bool(
+                len(self.weights) == 0 or np.all(self.weights == 1.0)
+            )
+        return self._is_unweighted
 
     # ------------------------------------------------------------------ #
     # Local structure

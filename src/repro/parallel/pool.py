@@ -10,11 +10,22 @@ shared copy-on-write with the children, which is the mpi4py-style
 
 Results come back in chunk order, so output is bit-identical for any
 ``n_jobs`` — a property the test-suite pins.
+
+Two entry points share that contract:
+
+* :func:`parallel_map` pickles its ``fn_args`` with every task — fine
+  for small arguments.
+* :func:`parallel_map_shared` stages one large read-only payload (a
+  CSR graph, a radii array) in module state *before* the fork, so
+  children inherit it copy-on-write instead of deserializing a private
+  copy per task — the substrate under batched multi-source queries
+  (:meth:`repro.core.solver.PreprocessedSSSP.solve_many`).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
 from functools import partial
 from typing import Any, Callable, Sequence
 
@@ -22,11 +33,23 @@ import numpy as np
 
 from .chunking import resolve_jobs, split_evenly
 
-__all__ = ["parallel_map"]
+__all__ = ["parallel_map", "parallel_map_shared"]
 
 
 def _invoke(fn: Callable, fn_args: tuple, fn_kwargs: dict, chunk: np.ndarray) -> Any:
     return fn(*fn_args, chunk, **fn_kwargs)
+
+
+#: fork-inherited payload for :func:`parallel_map_shared`; set in the
+#: parent immediately before the pool forks, cleared afterwards.  The
+#: lock serializes stage-and-fork so concurrent callers (a threaded
+#: serving process) cannot fork workers against each other's payload.
+_SHARED: Any = None
+_SHARED_LOCK = threading.Lock()
+
+
+def _invoke_shared(fn: Callable, fn_kwargs: dict, chunk: np.ndarray) -> Any:
+    return fn(_SHARED, chunk, **fn_kwargs)
 
 
 def parallel_map(
@@ -66,3 +89,49 @@ def parallel_map(
         ctx = mp.get_context("spawn")
     with ctx.Pool(processes=jobs) as pool:
         return pool.map(call, chunks)
+
+
+def parallel_map_shared(
+    fn: Callable,
+    shared: Any,
+    items: Sequence | np.ndarray,
+    *,
+    n_jobs: int = 1,
+    fn_kwargs: dict | None = None,
+    chunks_per_job: int = 4,
+) -> list[Any]:
+    """Apply ``fn(shared, chunk, **fn_kwargs)`` over chunks of ``items``.
+
+    ``shared`` is handed to fork-based workers through inherited module
+    state: the parent stages it in a module global, forks the pool, and
+    the children read it zero-copy (Linux copy-on-write pages).  Only
+    chunk indices travel through the task pipe, so a multi-gigabyte CSR
+    graph costs nothing per task.  When fork is unavailable (non-POSIX)
+    the payload falls back to per-task pickling, preserving semantics.
+
+    Returns one result per chunk, in deterministic input order, exactly
+    like :func:`parallel_map`.
+    """
+    global _SHARED
+    fn_kwargs = fn_kwargs or {}
+    jobs = resolve_jobs(n_jobs)
+    if len(items) == 0:
+        return []
+    if jobs == 1:
+        return [fn(shared, c, **fn_kwargs) for c in split_evenly(items, 1)]
+    chunks = split_evenly(items, jobs * max(1, chunks_per_job))
+    try:
+        ctx = mp.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = mp.get_context("spawn")
+    if ctx.get_start_method() != "fork":  # pragma: no cover - non-POSIX
+        call = partial(_invoke, fn, (shared,), fn_kwargs)
+        with ctx.Pool(processes=jobs) as pool:
+            return pool.map(call, chunks)
+    with _SHARED_LOCK:
+        _SHARED = shared
+        try:
+            with ctx.Pool(processes=jobs) as pool:
+                return pool.map(partial(_invoke_shared, fn, fn_kwargs), chunks)
+        finally:
+            _SHARED = None

@@ -1,0 +1,94 @@
+"""Batched multi-source queries: determinism, parallel fan-out, dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.core import dijkstra
+from repro.core.solver import PreprocessedSSSP
+from repro.graphs.generators import grid_2d
+
+from tests.helpers import random_connected_graph
+
+SOURCES = [0, 7, 19, 33, 42, 55, 11, 3]
+
+
+@pytest.fixture(scope="module")
+def solver():
+    g = random_connected_graph(60, 140, seed=8, weight_high=30)
+    return g, PreprocessedSSSP(g, k=2, rho=10, heuristic="dp")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_matches_oracle_any_worker_count(self, solver, n_jobs):
+        g, sp = solver
+        results = sp.solve_many(SOURCES, n_jobs=n_jobs)
+        assert len(results) == len(SOURCES)
+        for s, res in zip(SOURCES, results):
+            assert np.allclose(res.dist, dijkstra(g, s).dist)
+
+    def test_parallel_bitwise_equals_serial(self, solver):
+        """Fan-out must not change a single bit: chunked results come back
+        in input order and each query is computed identically."""
+        _, sp = solver
+        serial = sp.solve_many(SOURCES, n_jobs=1)
+        parallel = sp.solve_many(SOURCES, n_jobs=4)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.dist, b.dist)
+            assert (a.steps, a.substeps, a.relaxations) == (
+                b.steps,
+                b.substeps,
+                b.relaxations,
+            )
+
+    def test_input_order_preserved(self, solver):
+        _, sp = solver
+        results = sp.solve_many([42, 0, 7], n_jobs=4)
+        assert [r.params["source"] for r in results] == [42, 0, 7]
+
+
+class TestDispatch:
+    def test_engine_override(self, solver):
+        _, sp = solver
+        results = sp.solve_many([0, 7], engine="bucket", n_jobs=1)
+        assert all(r.algorithm == "radius-stepping-bucket" for r in results)
+
+    def test_parallel_engine_override(self, solver):
+        _, sp = solver
+        a = sp.solve_many([0, 7, 19], engine="dijkstra", n_jobs=1)
+        b = sp.solve_many([0, 7, 19], engine="dijkstra", n_jobs=4)
+        for x, y in zip(a, b):
+            assert np.array_equal(x.dist, y.dist)
+
+    def test_track_parents(self, solver):
+        _, sp = solver
+        results = sp.solve_many([0, 7], track_parents=True, n_jobs=4)
+        assert all(r.parent is not None for r in results)
+
+    def test_parent_support_enforced(self, solver):
+        _, sp = solver
+        with pytest.raises(ValueError, match="does not track parents"):
+            sp.solve_many([0], engine="bst", track_parents=True)
+
+    def test_unknown_engine_rejected(self, solver):
+        _, sp = solver
+        with pytest.raises(ValueError, match="registered engines"):
+            sp.solve_many([0], engine="quantum")
+
+    def test_query_counter_counts_batch(self, solver):
+        g = random_connected_graph(30, 70, seed=1)
+        sp = PreprocessedSSSP(g, k=1, rho=6, heuristic="full")
+        sp.solve_many([0, 1, 2], n_jobs=2)
+        assert sp.queries_answered == 3
+
+    def test_auto_resolves_unweighted(self):
+        sp = PreprocessedSSSP(grid_2d(6, 6), k=1, rho=4, heuristic="full")
+        if sp.graph.is_unweighted:
+            results = sp.solve_many([0, 5], n_jobs=2)
+            assert all(
+                r.algorithm == "radius-stepping-unweighted" for r in results
+            )
+
+    def test_empty_batch(self, solver):
+        _, sp = solver
+        assert sp.solve_many([], n_jobs=4) == []

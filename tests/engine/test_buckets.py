@@ -1,0 +1,165 @@
+"""Unit tests for the lazy calendar-queue bucket structure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine import LazyBucketQueue
+
+
+def make_state(n, dists):
+    dist = np.array(dists, dtype=np.float64)
+    dead = np.zeros(n, dtype=bool)
+    return dist, dead, (lambda vs: dist[vs])
+
+
+class TestPush:
+    def test_len_counts_entries(self):
+        q = LazyBucketQueue(1.0)
+        q.push(np.array([0, 1, 2]), np.array([0.5, 1.5, 2.5]))
+        assert len(q) == 3
+
+    def test_invalid_width(self):
+        for bad in (0.0, -1.0, math.inf, math.nan):
+            with pytest.raises(ValueError):
+                LazyBucketQueue(bad)
+
+    def test_empty_push_noop(self):
+        q = LazyBucketQueue(1.0)
+        q.push(np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(q) == 0
+
+
+class TestMinFreshKey:
+    def test_returns_smallest_fresh(self):
+        dist, dead, key = make_state(3, [5.0, 2.0, 9.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.array([0, 1, 2]), dist[[0, 1, 2]])
+        assert q.min_fresh_key(key, dead) == 2.0
+
+    def test_skips_stale_keys(self):
+        """An entry whose stored key no longer matches the current key is
+        pruned, exactly like the heaps' lazy deletion."""
+        dist, dead, key = make_state(2, [5.0, 7.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.array([0]), np.array([5.0]))
+        dist[0] = 3.0  # improvement: the old entry is now stale
+        q.push(np.array([0]), np.array([3.0]))
+        assert q.min_fresh_key(key, dead) == 3.0
+
+    def test_skips_dead_vertices(self):
+        dist, dead, key = make_state(2, [1.0, 4.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.array([0, 1]), dist[[0, 1]])
+        dead[0] = True
+        assert q.min_fresh_key(key, dead) == 4.0
+
+    def test_empty_returns_none(self):
+        dist, dead, key = make_state(1, [0.0])
+        q = LazyBucketQueue(1.0)
+        assert q.min_fresh_key(key, dead) is None
+
+    def test_all_stale_returns_none(self):
+        dist, dead, key = make_state(1, [1.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.array([0]), np.array([1.0]))
+        dead[0] = True
+        assert q.min_fresh_key(key, dead) is None
+
+    def test_infinite_keys(self):
+        """r(v) = inf entries live in the overflow bucket and surface only
+        when no finite key remains."""
+        dist, dead, key = make_state(2, [math.inf, 3.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.array([0, 1]), dist[[0, 1]])
+        assert q.min_fresh_key(key, dead) == 3.0
+        dead[1] = True
+        assert q.min_fresh_key(key, dead) == math.inf
+
+
+class TestPopFreshUntil:
+    def test_pops_up_to_bound_sorted(self):
+        dist, dead, key = make_state(4, [3.0, 1.0, 2.0, 8.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.arange(4), dist)
+        out = q.pop_fresh_until(3.0, key, dead)
+        assert out.tolist() == [1, 2, 0]  # (key, vertex) order
+        assert q.min_fresh_key(key, dead) == 8.0
+
+    def test_boundary_bucket_keeps_above_bound(self):
+        """Entries sharing the boundary bucket but above the bound stay."""
+        dist, dead, key = make_state(2, [2.1, 2.9])
+        q = LazyBucketQueue(1.0)
+        q.push(np.array([0, 1]), dist)
+        out = q.pop_fresh_until(2.5, key, dead)
+        assert out.tolist() == [0]
+        assert q.min_fresh_key(key, dead) == 2.9
+
+    def test_discards_stale(self):
+        dist, dead, key = make_state(2, [1.0, 1.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.array([0, 1]), np.array([1.0, 1.0]))
+        dead[0] = True
+        out = q.pop_fresh_until(5.0, key, dead)
+        assert out.tolist() == [1]
+        assert q.min_fresh_key(key, dead) is None
+
+    def test_infinite_bound_drains_everything(self):
+        dist, dead, key = make_state(3, [1.0, math.inf, 50.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.arange(3), dist)
+        out = q.pop_fresh_until(math.inf, key, dead)
+        assert out.tolist() == [0, 2, 1]
+
+    def test_infinite_duplicates_deduped(self):
+        """Every improvement re-pushes at key inf; a drain must yield the
+        vertex once."""
+        dist, dead, key = make_state(1, [math.inf])
+        q = LazyBucketQueue(1.0)
+        q.push(np.array([0]), np.array([math.inf]))
+        q.push(np.array([0]), np.array([math.inf]))
+        out = q.pop_fresh_until(math.inf, key, dead)
+        assert out.tolist() == [0]
+
+
+class TestHeapEquivalence:
+    def test_random_sequences_match_heap(self):
+        """Pushed with random keys and random staleness, the fresh-key
+        sequence must equal a lazy binary heap's."""
+        import heapq
+
+        rng = np.random.default_rng(7)
+        n = 200
+        dist = rng.uniform(0, 100, n)
+        dead = np.zeros(n, dtype=bool)
+        key = lambda vs: dist[vs]
+        q = LazyBucketQueue(3.7)
+        heap = []
+        for v in range(n):
+            q.push(np.array([v]), dist[[v]])
+            heapq.heappush(heap, (dist[v], v))
+        # improve a random subset (re-push, old entries stale)
+        for v in rng.choice(n, 60, replace=False):
+            dist[v] *= 0.5
+            q.push(np.array([v]), dist[[v]])
+            heapq.heappush(heap, (dist[v], v))
+        # kill a random subset
+        dead[rng.choice(n, 40, replace=False)] = True
+
+        def heap_pop_fresh():
+            while heap:
+                k, v = heapq.heappop(heap)
+                if dead[v] or k != dist[v]:
+                    continue
+                return k, v
+            return None
+
+        got = q.pop_fresh_until(math.inf, key, dead).tolist()
+        want = []
+        while True:
+            item = heap_pop_fresh()
+            if item is None:
+                break
+            want.append(item[1])
+        assert got == want

@@ -1,0 +1,238 @@
+"""Engine-parity suite: every registered engine, one ground truth.
+
+The registry's whole promise is that any engine answers any query with
+exact distances.  This suite runs every registered engine over a graph
+gauntlet — random weighted, disconnected, single-vertex, zero-weight
+edges, infinite radii — and compares against the sequential Dijkstra
+oracle and SciPy, in the style of ``tests/test_scipy_reference.py``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as scipy_dijkstra
+
+from repro.core import dijkstra, radius_stepping
+from repro.engine import (
+    BellmanFordSchedule,
+    DeltaSchedule,
+    RadiusBucketSchedule,
+    RadiusSchedule,
+    available_engines,
+    get_engine,
+    register_engine,
+    run_engine,
+    solve_with_engine,
+)
+from repro.graphs import from_edge_list, unit_weights
+from repro.graphs.generators import grid_2d
+from repro.preprocess import build_kr_graph
+
+from tests.helpers import random_connected_graph
+
+ALL_ENGINES = available_engines()
+WEIGHTED_ENGINES = tuple(e for e in ALL_ENGINES if e != "unweighted")
+
+
+def scipy_dist(graph, source):
+    mat = csr_matrix(
+        (graph.weights, graph.indices, graph.indptr), shape=(graph.n, graph.n)
+    )
+    return scipy_dijkstra(mat, directed=False, indices=source)
+
+
+@pytest.fixture(scope="module")
+def weighted_case():
+    g = random_connected_graph(60, 150, seed=11, weight_high=40)
+    pre = build_kr_graph(g, k=2, rho=10, heuristic="dp")
+    return pre.graph, pre.radii, scipy_dist(g, 0)
+
+
+class TestDistanceParity:
+    @pytest.mark.parametrize("engine", WEIGHTED_ENGINES)
+    def test_weighted_kr_graph(self, engine, weighted_case):
+        graph, radii, ref = weighted_case
+        res = solve_with_engine(engine, graph, 0, radii)
+        assert np.allclose(res.dist, ref, equal_nan=True)
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_unit_grid(self, engine):
+        g = grid_2d(7, 9)
+        res = solve_with_engine(engine, g, 0, 2.0)
+        assert np.allclose(res.dist, scipy_dist(g, 0))
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_disconnected(self, engine):
+        g = unit_weights(from_edge_list(5, [(0, 1, 1.0), (2, 3, 1.0)]))
+        res = solve_with_engine(engine, g, 0, 1.0)
+        assert res.dist[1] == 1.0
+        assert np.isinf(res.dist[2:]).all()
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_single_vertex(self, engine):
+        g = from_edge_list(1, [])
+        res = solve_with_engine(engine, g, 0, 0.0)
+        assert res.dist.tolist() == [0.0]
+
+    @pytest.mark.parametrize("engine", WEIGHTED_ENGINES)
+    def test_zero_weight_edges(self, engine):
+        g = from_edge_list(4, [(0, 1, 0.0), (1, 2, 1.0), (2, 3, 0.0)])
+        res = solve_with_engine(engine, g, 0, 0.5)
+        assert res.dist.tolist() == [0.0, 0.0, 1.0, 1.0]
+
+    # (not "bst": the seed treap reference predates inf-radii support)
+    @pytest.mark.parametrize("engine", ("vectorized", "bucket"))
+    def test_infinite_radii(self, engine):
+        g = random_connected_graph(30, 70, seed=5)
+        res = solve_with_engine(engine, g, 0, np.full(g.n, math.inf))
+        assert np.allclose(res.dist, dijkstra(g, 0).dist)
+        assert res.steps == 1
+
+    @pytest.mark.parametrize("engine", ("vectorized", "bucket"))
+    def test_mixed_inf_radii(self, engine):
+        g = random_connected_graph(30, 70, seed=6)
+        radii = np.zeros(g.n)
+        radii[::3] = math.inf
+        res = solve_with_engine(engine, g, 0, radii)
+        assert np.allclose(res.dist, dijkstra(g, 0).dist)
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("engine", WEIGHTED_ENGINES)
+    def test_random_graphs_exact_integer_distances(self, engine, seed):
+        """Integer weights sum exactly in float64, so every engine must be
+        *bit-identical* to Dijkstra, not merely close."""
+        g = random_connected_graph(40, 90, seed=seed, weight_high=25)
+        res = solve_with_engine(engine, g, 0, 5.0)
+        assert np.array_equal(res.dist, dijkstra(g, 0).dist)
+
+
+class TestBucketHeapEquivalence:
+    """The calendar-queue schedule serves the exact fresh-key sequence of
+    the heaps, so the two radius engines must agree on *instrumentation*,
+    not just distances."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_full_parity(self, seed):
+        g = random_connected_graph(50, 120, seed=seed, weight_high=60)
+        pre = build_kr_graph(g, k=2, rho=8, heuristic="dp")
+        a = run_engine(
+            pre.graph, 0, RadiusSchedule(pre.radii), track_trace=True
+        )
+        b = run_engine(
+            pre.graph, 0, RadiusBucketSchedule(pre.radii), track_trace=True
+        )
+        assert np.array_equal(a.dist, b.dist)
+        assert (a.steps, a.substeps, a.max_substeps) == (
+            b.steps,
+            b.substeps,
+            b.max_substeps,
+        )
+        assert a.relaxations == b.relaxations
+        assert [(t.radius, t.substeps, t.settled) for t in a.trace] == [
+            (t.radius, t.substeps, t.settled) for t in b.trace
+        ]
+
+    def test_bucket_matches_seed_radius_stepping(self):
+        g = random_connected_graph(45, 110, seed=9, weight_high=30)
+        a = radius_stepping(g, 0, 7.0)
+        b = solve_with_engine("bucket", g, 0, 7.0)
+        assert np.array_equal(a.dist, b.dist)
+        assert (a.steps, a.substeps) == (b.steps, b.substeps)
+
+    def test_bucket_width_override(self):
+        g = random_connected_graph(30, 70, seed=2)
+        for width in (0.5, 5.0, 500.0):
+            res = run_engine(
+                g, 0, RadiusBucketSchedule(np.zeros(g.n), width=width)
+            )
+            assert np.allclose(res.dist, dijkstra(g, 0).dist)
+
+
+class TestScheduleSemantics:
+    def test_bellman_ford_schedule_single_step(self):
+        g = random_connected_graph(25, 60, seed=1)
+        res = run_engine(g, 0, BellmanFordSchedule())
+        assert res.steps == 1
+        assert np.allclose(res.dist, dijkstra(g, 0).dist)
+
+    def test_delta_schedule_boundaries_monotone(self):
+        g = random_connected_graph(25, 60, seed=2, weight_high=10)
+        res = run_engine(g, 0, DeltaSchedule(4.0), track_trace=True)
+        radii_seq = [t.radius for t in res.trace]
+        assert radii_seq == sorted(radii_seq)
+        assert all(r % 4.0 == 0 for r in radii_seq)
+
+    def test_delta_schedule_rejects_bad_delta(self):
+        for bad in (0.0, -2.0, math.inf):
+            with pytest.raises(ValueError):
+                DeltaSchedule(bad)
+
+    def test_parents_valid_across_schedules(self):
+        from tests.helpers import assert_valid_parents
+
+        g = random_connected_graph(35, 80, seed=3)
+        for engine in ("vectorized", "bucket", "dijkstra", "delta", "bellman-ford"):
+            res = solve_with_engine(engine, g, 2, 5.0, track_parents=True)
+            assert_valid_parents(g, res.dist, res.parent, 2)
+
+
+class TestRegistry:
+    def test_known_engines_present(self):
+        for name in (
+            "vectorized",
+            "bucket",
+            "bst",
+            "unweighted",
+            "dijkstra",
+            "delta",
+            "bellman-ford",
+        ):
+            assert name in ALL_ENGINES
+
+    def test_unknown_engine_lists_names(self):
+        with pytest.raises(ValueError, match="registered engines"):
+            get_engine("quantum")
+
+    def test_parent_support_enforced(self):
+        g = grid_2d(3, 3)
+        with pytest.raises(ValueError, match="does not track parents"):
+            solve_with_engine("bst", g, 0, 0.0, track_parents=True)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_engine("vectorized", lambda *a, **k: None)
+
+    def test_invalid_names_rejected(self):
+        for bad in ("", "auto"):
+            with pytest.raises(ValueError):
+                register_engine(bad, lambda *a, **k: None)
+
+    def test_custom_schedule_plugin(self):
+        """A third-party schedule registers and serves like a built-in —
+        the extension path examples/engine_plugins.py demonstrates."""
+
+        class EveryReachedSchedule(BellmanFordSchedule):
+            name = "test-every-reached"
+
+        def solve(graph, source, radii, *, track_parents, track_trace, ledger):
+            return run_engine(
+                graph,
+                source,
+                EveryReachedSchedule(),
+                track_parents=track_parents,
+                track_trace=track_trace,
+                ledger=ledger,
+            )
+
+        spec = register_engine("test-every-reached", solve, overwrite=True)
+        try:
+            g = random_connected_graph(20, 50, seed=4)
+            res = solve_with_engine("test-every-reached", g, 0, None)
+            assert np.allclose(res.dist, dijkstra(g, 0).dist)
+            assert spec.name in available_engines()
+        finally:
+            import repro.engine.registry as reg
+
+            reg._REGISTRY.pop("test-every-reached", None)

@@ -1,0 +1,127 @@
+"""Unit tests for the shared relaxation kernel."""
+
+import numpy as np
+import pytest
+
+from repro.engine import RelaxationKernel, gather_frontier_arcs
+from repro.graphs import from_edge_list
+
+from tests.helpers import random_connected_graph
+
+
+class TestRelax:
+    def test_source_relax_improves_neighbors(self):
+        g = from_edge_list(4, [(0, 1, 2.0), (0, 2, 5.0), (2, 3, 1.0)])
+        k = RelaxationKernel(g, 0)
+        improved = k.relax_source(0)
+        assert improved.tolist() == [1, 2]
+        assert k.dist.tolist() == [0.0, 2.0, 5.0, np.inf]
+        assert k.relaxations == g.degree(0)
+
+    def test_exclude_settled_filters_arcs(self):
+        g = from_edge_list(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        k = RelaxationKernel(g, 0)
+        k.relax_source(0)
+        # arcs back into the settled source are dropped
+        improved, n_arcs = k.relax(np.array([1]), exclude_settled=True)
+        assert n_arcs == 1
+        assert improved.tolist() == [2]
+
+    def test_arc_mask(self):
+        g = from_edge_list(3, [(0, 1, 1.0), (0, 2, 10.0)])
+        k = RelaxationKernel(g, 0)
+        light = g.weights <= 5.0
+        improved, n_arcs = k.relax(
+            np.array([0]), exclude_settled=False, arc_mask=light
+        )
+        assert improved.tolist() == [1]
+        assert n_arcs == 1
+        assert np.isinf(k.dist[2])
+
+    def test_quiescence_returns_zero_arcs(self):
+        g = from_edge_list(2, [(0, 1, 1.0)])
+        k = RelaxationKernel(g, 0)
+        k.relax_source(0)
+        k.settle(np.array([1]))
+        improved, n_arcs = k.relax(np.array([1]), exclude_settled=True)
+        assert n_arcs == 0 and len(improved) == 0
+
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            RelaxationKernel(from_edge_list(2, [(0, 1, 1.0)]), 5)
+
+
+class TestParentTracking:
+    def test_tie_does_not_rewrite_parent(self):
+        """Regression: an arc that merely *ties* a pre-existing distance
+        must not steal the parent of an already-correct vertex (the seed
+        engines compared against post-scatter distances, so it did)."""
+        g = from_edge_list(3, [(0, 1, 1.0), (0, 2, 2.0), (1, 2, 1.0)])
+        k = RelaxationKernel(g, 0, track_parents=True)
+        k.relax_source(0)
+        assert k.parent.tolist() == [-1, 0, 0]
+        # relaxing 1 offers 2 a tying path 0->1->2 of the same weight 2
+        improved, _ = k.relax(np.array([1]), exclude_settled=True)
+        assert len(improved) == 0
+        assert k.parent[2] == 0, "non-improving arc rewrote the parent"
+
+    def test_improvement_does_rewrite_parent(self):
+        g = from_edge_list(3, [(0, 1, 1.0), (0, 2, 5.0), (1, 2, 1.0)])
+        k = RelaxationKernel(g, 0, track_parents=True)
+        k.relax_source(0)
+        k.relax(np.array([1]), exclude_settled=True)
+        assert k.dist[2] == 2.0
+        assert k.parent[2] == 1
+
+    def test_zero_weight_tie_cycle_impossible(self):
+        """With strict-improvement wins, zero-weight ties cannot create a
+        parent cycle."""
+        g = from_edge_list(3, [(0, 1, 0.0), (1, 2, 0.0), (0, 2, 0.0)])
+        k = RelaxationKernel(g, 0, track_parents=True)
+        frontier = k.relax_source(0)
+        while len(frontier):
+            frontier, _ = k.relax(frontier, exclude_settled=True)
+        # follow parents from every vertex; must terminate at the source
+        for v in range(3):
+            seen = set()
+            while v != 0:
+                assert v not in seen, "parent cycle"
+                seen.add(v)
+                v = int(k.parent[v])
+
+
+class TestSplitMembers:
+    def test_partition_preserves_order(self):
+        g = from_edge_list(6, [(0, 1, 1.0)])
+        k = RelaxationKernel(g, 0)
+        members = np.array([2, 4, 5])
+        cand = np.array([5, 1, 4, 3])
+        fresh, seen = k.split_members(members, cand)
+        assert fresh.tolist() == [1, 3]
+        assert seen.tolist() == [5, 4]
+
+    def test_scratch_mask_restored(self):
+        g = from_edge_list(4, [(0, 1, 1.0)])
+        k = RelaxationKernel(g, 0)
+        k.split_members(np.array([1, 2]), np.array([2, 3]))
+        fresh, seen = k.split_members(np.array([3]), np.array([1, 2, 3]))
+        assert fresh.tolist() == [1, 2]
+        assert seen.tolist() == [3]
+
+    def test_matches_isin_on_random_input(self):
+        g = random_connected_graph(50, 120, seed=3)
+        k = RelaxationKernel(g, 0)
+        rng = np.random.default_rng(0)
+        members = rng.choice(50, 20, replace=False)
+        cand = rng.choice(50, 30, replace=False)
+        fresh, seen = k.split_members(members, cand)
+        isin = np.isin(cand, members)
+        assert fresh.tolist() == cand[~isin].tolist()
+        assert seen.tolist() == cand[isin].tolist()
+
+
+class TestGatherReExport:
+    def test_core_bfs_reexports_kernel_gather(self):
+        from repro.core.bfs import gather_frontier_arcs as legacy
+
+        assert legacy is gather_frontier_arcs

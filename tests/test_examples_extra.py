@@ -1,8 +1,27 @@
-"""Smoke test for the Table-1 tradeoff example (separate module: it
-imports the landmark baseline, exercising a different API surface than
-the five pipeline examples)."""
+"""Smoke tests for examples outside the five-pipeline set: the Table-1
+tradeoff sweep (landmark baseline surface) and the engine-plugin demo
+(the repro.engine extension surface)."""
+
+import numpy as np
 
 from tests.test_examples import load_example
+
+
+def test_engine_plugins(capsys):
+    mod = load_example("engine_plugins")
+    mod.main(n=150, rho=8)
+    out = capsys.readouterr().out
+    assert "match Dijkstra" in out
+    assert "engine=geometric" in out
+    assert "engine=bucket" in out
+    # the example registers a real, reusable engine
+    from repro.engine import solve_with_engine
+    from repro.graphs.generators import grid_2d
+
+    g = grid_2d(5, 5)
+    res = solve_with_engine("geometric", g, 0, None)
+    assert res.algorithm == "geometric-stepping"
+    assert np.allclose(res.dist.max(), 8.0)
 
 
 def test_baseline_tradeoffs(capsys):
