@@ -103,7 +103,12 @@ def radius_stepping_bst(
                     step_relax += 1
                     nd = du + weights[j]
                     if dist[v] > nd:  # Line 10
-                        if dist[v] > d_i and nd <= d_i:  # Line 11
+                        # Line 11's "δ(v) > d_i" is an A_i-membership
+                        # test in disguise; testing membership directly
+                        # keeps it correct when r(v) = ∞ makes d_i = ∞
+                        # (then δ(v) = ∞ > d_i = ∞ is false even though
+                        # v is unreached and belongs in the annulus).
+                        if v not in active_set and nd <= d_i:
                             Q.remove(v)  # Line 13
                             R.remove(v)  # Line 12
                             active_set.add(v)  # Line 14

@@ -50,6 +50,7 @@ class CSRGraph:
         "_min_pos_weight",
         "_max_weight",
         "_is_unweighted",
+        "__weakref__",  # id-keyed caches evict via weakref.finalize
     )
 
     def __init__(

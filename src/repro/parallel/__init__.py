@@ -1,6 +1,12 @@
 """Process-based parallel substrate (fork pool + deterministic chunking)."""
 
-from .chunking import resolve_jobs, split_evenly
+from .chunking import resolve_jobs, split_blocks, split_evenly
 from .pool import parallel_map, parallel_map_shared
 
-__all__ = ["parallel_map", "parallel_map_shared", "resolve_jobs", "split_evenly"]
+__all__ = [
+    "parallel_map",
+    "parallel_map_shared",
+    "resolve_jobs",
+    "split_blocks",
+    "split_evenly",
+]

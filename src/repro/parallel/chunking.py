@@ -6,7 +6,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["split_evenly", "resolve_jobs"]
+__all__ = ["split_evenly", "split_blocks", "resolve_jobs"]
 
 
 def split_evenly(items: Sequence | np.ndarray, parts: int) -> list[np.ndarray]:
@@ -23,6 +23,20 @@ def split_evenly(items: Sequence | np.ndarray, parts: int) -> list[np.ndarray]:
         return []
     parts = min(parts, len(arr))
     return [chunk for chunk in np.array_split(arr, parts) if len(chunk)]
+
+
+def split_blocks(items: Sequence | np.ndarray, block_size: int) -> list[np.ndarray]:
+    """Split ``items`` into contiguous chunks of at most ``block_size``.
+
+    The complement of :func:`split_evenly`: callers that need a *size cap*
+    per chunk (the batched ball-search engine's slot blocks, whose dense
+    per-block state scales with chunk size × n) rather than a *count* of
+    chunks.  Deterministic; concatenation of the chunks equals the input.
+    """
+    if block_size < 1:
+        raise ValueError("block_size >= 1 required")
+    arr = np.asarray(items)
+    return [arr[i : i + block_size] for i in range(0, len(arr), block_size)]
 
 
 def resolve_jobs(n_jobs: int) -> int:

@@ -1,6 +1,37 @@
-"""Preprocessing (Section 4): balls, radii, and (k,ρ)-shortcutting."""
+"""Preprocessing (Section 4): balls, radii, and (k,ρ)-shortcutting.
 
+Ball searches — the n truncated Dijkstras of Lemma 4.2 that everything
+here is built on — run through a named **backend registry**
+(:mod:`repro.preprocess.backends`), selected per call with
+``backend="scalar" | "batched"``:
+
+* ``"scalar"`` — the reference: one heap Dijkstra per source
+  (:func:`ball_search`).
+* ``"batched"`` (default for :func:`compute_radii`,
+  :func:`compute_radii_sweep` and :func:`build_kr_graph`) — the
+  slot-based vectorized engine (:mod:`repro.preprocess.batched`) that
+  grows whole blocks of balls with one flat CSR gather + scatter-min per
+  round.
+
+Backends are bit-identical on every output (settle orders, distances,
+min-hop trees, ``r_ρ`` arrays, shortcut selections); the batched engine
+is simply much faster, and ``n_jobs`` composes with either to fan source
+chunks over the fork pool.
+"""
+
+from .backends import (
+    BallBackendSpec,
+    available_ball_backends,
+    get_ball_backend,
+    register_ball_backend,
+)
 from .ball import BallSearchResult, ball_search, sort_adjacency_by_weight
+from .batched import (
+    batched_ball_search,
+    batched_ball_trees,
+    batched_radii,
+    default_slot_block,
+)
 from .count import ShortcutCounts, count_shortcuts_sweep, sample_sources
 from .dp import dp_count, dp_select, dp_table
 from .exact import (
@@ -17,26 +48,34 @@ from .shortcut_one import full_select
 from .tree import BallTree, build_ball_tree
 
 __all__ = [
+    "BallBackendSpec",
     "BallSearchResult",
     "BallTree",
     "HEURISTICS",
     "KrReport",
     "PreprocessResult",
     "ShortcutCounts",
+    "available_ball_backends",
     "ball_search",
+    "batched_ball_search",
+    "batched_ball_trees",
+    "batched_radii",
     "build_ball_tree",
     "build_kr_graph",
     "compute_radii",
     "compute_radii_sweep",
     "count_shortcuts_sweep",
+    "default_slot_block",
     "dp_count",
     "dp_select",
     "dp_table",
     "full_select",
+    "get_ball_backend",
     "greedy_count",
     "greedy_select",
     "k_radii",
     "k_radius",
+    "register_ball_backend",
     "rho_nearest_distance",
     "sample_sources",
     "sort_adjacency_by_weight",

@@ -1,0 +1,222 @@
+"""Named ball-search backend registry — how preprocessing picks a kernel.
+
+The same pattern as :mod:`repro.engine.registry`, one layer down the
+stack: every consumer of ball searches (radii sweeps, (k,ρ)-graph
+construction, shortcut counting) dispatches by backend *name*, so a new
+kernel — today the batched slot engine, tomorrow an accelerator port —
+is one :func:`register_ball_backend` call away from serving every
+preprocessing entry point, benchmarkable and parity-testable against the
+scalar reference with no pipeline changes.
+
+Every backend shares one calling convention::
+
+    fn(graph, sources, rho, *,
+       include_ties=True, lightest_edges=False, weight_sorted=False)
+        -> list[BallSearchResult]
+
+and may optionally provide a *radii fast path* (``radii_fn``) computing
+``r_ρ(v)`` order statistics without materializing full ball results;
+:meth:`BallBackendSpec.compute_radii` falls back to full searches when a
+backend has none.
+
+Built-in backends
+-----------------
+``scalar``   one truncated heap Dijkstra per source (the reference).
+``batched``  the slot-based frontier kernel (:mod:`repro.preprocess.batched`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .ball import BallSearchResult, ball_search
+from .batched import batched_ball_search, batched_ball_trees, batched_radii
+from .tree import BallTree, build_ball_tree
+
+__all__ = [
+    "BallBackendSpec",
+    "available_ball_backends",
+    "get_ball_backend",
+    "register_ball_backend",
+]
+
+BallBackendFn = Callable[..., "list[BallSearchResult]"]
+
+
+@dataclass(frozen=True)
+class BallBackendSpec:
+    """One registered ball-search backend.
+
+    Attributes
+    ----------
+    name: registry key (what ``backend=...`` takes).
+    fn: the batch searcher (see module docstring for the convention).
+    radii_fn: optional ``(graph, sources, rhos) -> (|sources|, |ρs|)``
+        array fast path; ``None`` falls back to full ball searches.
+    trees_fn: optional ``(graph, sources, rho, *, include_ties) ->
+        (radii, [BallTree])`` fast path for the (k,ρ)-pipeline;
+        ``None`` falls back to per-ball tree construction.
+    description: one-liner for ``available_ball_backends`` listings.
+    """
+
+    name: str
+    fn: BallBackendFn
+    radii_fn: Callable[..., np.ndarray] | None = None
+    trees_fn: Callable[..., "tuple[np.ndarray, list[BallTree]]"] | None = None
+    description: str = ""
+
+    def search(
+        self,
+        graph: CSRGraph,
+        sources: np.ndarray,
+        rho: int,
+        *,
+        include_ties: bool = True,
+        lightest_edges: bool = False,
+        weight_sorted: bool = False,
+    ) -> list[BallSearchResult]:
+        """Run the backend over ``sources``."""
+        return self.fn(
+            graph,
+            sources,
+            rho,
+            include_ties=include_ties,
+            lightest_edges=lightest_edges,
+            weight_sorted=weight_sorted,
+        )
+
+    def compute_radii(
+        self, graph: CSRGraph, sources: np.ndarray, rhos: Sequence[int]
+    ) -> np.ndarray:
+        """``r_ρ`` per (source, ρ) — fast path when the backend has one."""
+        if self.radii_fn is not None:
+            return self.radii_fn(graph, sources, tuple(rhos))
+        # Stream one source at a time so at most one BallSearchResult is
+        # live — O(ρ) extra memory instead of O(n·ρ) for the fallback.
+        rho_max = max(rhos)
+        out = np.empty((len(sources), len(rhos)), dtype=np.float64)
+        for i, s in enumerate(sources):
+            (ball,) = self.search(
+                graph,
+                np.asarray([s], dtype=np.int64),
+                rho_max,
+                include_ties=False,
+            )
+            for j, rho in enumerate(rhos):
+                out[i, j] = ball.r_rho(rho)
+        return out
+
+    def compute_trees(
+        self,
+        graph: CSRGraph,
+        sources: np.ndarray,
+        rho: int,
+        *,
+        include_ties: bool = True,
+    ) -> tuple[np.ndarray, list[BallTree]]:
+        """``(r_ρ, ball trees)`` per source — the (k,ρ)-pipeline input."""
+        if self.trees_fn is not None:
+            return self.trees_fn(
+                graph, sources, rho, include_ties=include_ties
+            )
+        # Stream one source at a time so at most one BallSearchResult is
+        # live — O(ρ) extra memory instead of O(n·ρ) for the fallback.
+        radii = np.empty(len(sources), dtype=np.float64)
+        trees = []
+        for i, s in enumerate(sources):
+            (ball,) = self.search(
+                graph,
+                np.asarray([s], dtype=np.int64),
+                rho,
+                include_ties=include_ties,
+            )
+            radii[i] = ball.r_rho(rho)
+            trees.append(build_ball_tree(ball))
+        return radii, trees
+
+
+_REGISTRY: dict[str, BallBackendSpec] = {}
+
+
+def register_ball_backend(
+    name: str,
+    fn: BallBackendFn,
+    *,
+    radii_fn: Callable[..., np.ndarray] | None = None,
+    trees_fn: Callable[..., tuple] | None = None,
+    description: str = "",
+    overwrite: bool = False,
+) -> BallBackendSpec:
+    """Register ``fn`` under ``name``; returns the spec.
+
+    Re-registering an existing name raises unless ``overwrite=True``.
+    """
+    if not name or name == "auto":
+        raise ValueError(f"invalid ball backend name {name!r}")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"ball backend {name!r} already registered")
+    spec = BallBackendSpec(
+        name=name,
+        fn=fn,
+        radii_fn=radii_fn,
+        trees_fn=trees_fn,
+        description=description,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def get_ball_backend(name: str) -> BallBackendSpec:
+    """Look up a backend; ``ValueError`` lists the registered names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ball backend {name!r}; registered backends: "
+            f"{', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def available_ball_backends() -> tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+def _scalar_search(
+    graph: CSRGraph,
+    sources: np.ndarray,
+    rho: int,
+    *,
+    include_ties: bool = True,
+    lightest_edges: bool = False,
+    weight_sorted: bool = False,
+) -> list[BallSearchResult]:
+    return [
+        ball_search(
+            graph,
+            int(s),
+            rho,
+            include_ties=include_ties,
+            lightest_edges=lightest_edges,
+            weight_sorted=weight_sorted,
+        )
+        for s in sources
+    ]
+
+
+register_ball_backend(
+    "scalar",
+    _scalar_search,
+    description="one truncated heap Dijkstra per source (reference)",
+)
+register_ball_backend(
+    "batched",
+    batched_ball_search,
+    radii_fn=batched_radii,
+    trees_fn=batched_ball_trees,
+    description="slot-based vectorized frontier kernel, many balls per round",
+)

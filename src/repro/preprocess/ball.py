@@ -19,6 +19,7 @@ Two fidelity knobs from the paper:
 from __future__ import annotations
 
 import heapq
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,6 +28,12 @@ from ..graphs.csr import CSRGraph
 
 __all__ = ["BallSearchResult", "ball_search", "sort_adjacency_by_weight"]
 
+#: memo of id(graph) -> weight-sorted graph.  Keyed by identity (graphs
+#: are immutable) and evicted by a weakref.finalize on the key graph, so
+#: a repeated ρ-sweep never re-lexsorts the same adjacency and a dead
+#: graph never pins its sorted copy (nor lets a recycled id alias it).
+_SORTED_CACHE: dict[int, CSRGraph] = {}
+
 
 def sort_adjacency_by_weight(graph: CSRGraph) -> CSRGraph:
     """Return an equal graph whose per-vertex arcs are sorted by weight.
@@ -34,13 +41,21 @@ def sort_adjacency_by_weight(graph: CSRGraph) -> CSRGraph:
     The paper pre-sorts all adjacency lists once (O(m log n) work,
     O(log n) depth) so each ball search can cap at the lightest ρ arcs.
     Sorting is a stable per-row argsort — vectorized with one global
-    lexsort keyed (vertex, weight).
+    lexsort keyed (vertex, weight) — and memoized per graph object, so
+    repeated sweeps over the same graph pay for it once.
     """
+    key = id(graph)
+    hit = _SORTED_CACHE.get(key)
+    if hit is not None:
+        return hit
     tails = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees())
     order = np.lexsort((graph.weights, tails))
-    return CSRGraph(
+    result = CSRGraph(
         graph.indptr, graph.indices[order], graph.weights[order], validate=False
     )
+    _SORTED_CACHE[key] = result
+    weakref.finalize(graph, _SORTED_CACHE.pop, key, None)
+    return result
 
 
 @dataclass

@@ -21,8 +21,10 @@ from typing import Sequence
 import numpy as np
 
 from ..graphs.csr import CSRGraph
+from ..parallel.chunking import split_blocks
 from ..parallel.pool import parallel_map
-from .ball import ball_search
+from .backends import get_ball_backend
+from .batched import default_slot_block
 from .dp import dp_count
 from .greedy import greedy_count
 from .tree import build_ball_tree
@@ -66,22 +68,38 @@ def _count_chunk(
     rhos: tuple[int, ...],
     heuristics: tuple[str, ...],
     include_ties: bool,
+    backend: str = "scalar",
 ) -> dict[str, dict[tuple[int, int], int]]:
-    """Worker kernel: exact shortcut totals over one source chunk."""
+    """Worker kernel: exact shortcut totals over one source chunk.
+
+    Balls come from the named backend in slot-block-sized groups, so the
+    batched engine amortizes its rounds while at most one group of
+    results is live (O(block · ρ) memory, not O(|chunk| · ρ)).
+    """
+    spec = get_ball_backend(backend)
     rho_max = max(rhos)
     counters = {h: {(k, r): 0 for k in ks for r in rhos} for h in heuristics}
-    for s in sources:
-        ball = ball_search(graph, int(s), rho_max, include_ties=include_ties)
-        for rho in rhos:
-            t = ball.prefix_size(rho) if include_ties else min(rho, len(ball))
-            tree = build_ball_tree(ball, t)
-            for k in ks:
-                if "greedy" in counters:
-                    counters["greedy"][(k, rho)] += greedy_count(tree, k)
-                if "dp" in counters:
-                    counters["dp"][(k, rho)] += dp_count(tree, k)
-                if "full" in counters:
-                    counters["full"][(k, rho)] += int(np.sum(tree.depth >= 2))
+    block = default_slot_block(graph.n, len(sources))
+    for group in split_blocks(sources, block):
+        for ball in spec.search(
+            graph, group, rho_max, include_ties=include_ties
+        ):
+            for rho in rhos:
+                t = (
+                    ball.prefix_size(rho)
+                    if include_ties
+                    else min(rho, len(ball))
+                )
+                tree = build_ball_tree(ball, t)
+                for k in ks:
+                    if "greedy" in counters:
+                        counters["greedy"][(k, rho)] += greedy_count(tree, k)
+                    if "dp" in counters:
+                        counters["dp"][(k, rho)] += dp_count(tree, k)
+                    if "full" in counters:
+                        counters["full"][(k, rho)] += int(
+                            np.sum(tree.depth >= 2)
+                        )
     return counters
 
 
@@ -95,17 +113,22 @@ def count_shortcuts_sweep(
     seed: int = 0,
     include_ties: bool = True,
     n_jobs: int = 1,
+    backend: str = "batched",
 ) -> ShortcutCounts:
     """Estimate shortcut totals for every (heuristic, k, ρ) combination.
 
     With ``num_sources`` set, totals are scaled by n/|sample| — the
     exact-mode answer is recovered with ``num_sources=None``.
+    ``backend`` selects the ball-search kernel through
+    :mod:`repro.preprocess.backends`; counts are identical across
+    backends (the balls are bit-identical).
     """
     if not ks or not rhos:
         raise ValueError("ks and rhos must be non-empty")
     bad = set(heuristics) - {"greedy", "dp", "full"}
     if bad:
         raise ValueError(f"unknown heuristics: {sorted(bad)}")
+    get_ball_backend(backend)  # validate the name before forking workers
     sources = sample_sources(graph.n, num_sources, seed=seed)
     blocks = parallel_map(
         _count_chunk,
@@ -117,6 +140,7 @@ def count_shortcuts_sweep(
             "rhos": tuple(rhos),
             "heuristics": tuple(heuristics),
             "include_ties": include_ties,
+            "backend": backend,
         },
     )
     scale = graph.n / len(sources)

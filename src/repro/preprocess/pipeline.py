@@ -26,11 +26,10 @@ import numpy as np
 from ..graphs.build import add_shortcuts
 from ..graphs.csr import CSRGraph
 from ..parallel.pool import parallel_map
-from .ball import ball_search
+from .backends import get_ball_backend
 from .dp import dp_select
 from .greedy import greedy_select
 from .shortcut_one import full_select
-from .tree import build_ball_tree
 
 __all__ = ["PreprocessResult", "build_kr_graph", "HEURISTICS"]
 
@@ -81,17 +80,17 @@ def _shortcuts_for_chunk(
     rho: int,
     heuristic: str,
     include_ties: bool,
+    backend: str = "scalar",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Worker kernel: radii and shortcut triples for a source chunk."""
     select = HEURISTICS[heuristic]
-    radii = np.empty(len(sources), dtype=np.float64)
+    radii, trees = get_ball_backend(backend).compute_trees(
+        graph, sources, rho, include_ties=include_ties
+    )
     src_l: list[np.ndarray] = []
     dst_l: list[np.ndarray] = []
     w_l: list[np.ndarray] = []
-    for i, s in enumerate(sources):
-        ball = ball_search(graph, int(s), rho, include_ties=include_ties)
-        radii[i] = ball.r_rho(rho)
-        tree = build_ball_tree(ball)
+    for s, tree in zip(sources, trees):
         chosen = select(tree, k)
         if len(chosen):
             src_l.append(np.full(len(chosen), int(s), dtype=np.int64))
@@ -116,6 +115,7 @@ def build_kr_graph(
     heuristic: str = "dp",
     include_ties: bool = True,
     n_jobs: int = 1,
+    backend: str = "batched",
 ) -> PreprocessResult:
     """Preprocess ``graph`` into a (k,ρ)-graph; see module docstring.
 
@@ -123,7 +123,10 @@ def build_kr_graph(
     brought to hop 1) and therefore produces a (1,ρ)-graph — pass ``k=1``
     for clarity.  ``include_ties`` is §5.1's deterministic tie handling
     (recommended: it is what makes r_ρ(v) ≤ r̄_k(v) hold with equality at
-    the ball boundary).
+    the ball boundary).  ``backend`` picks the ball-search kernel through
+    :mod:`repro.preprocess.backends` (``"batched"`` slot engine by
+    default, ``"scalar"`` heap reference); radii and shortcut selections
+    are bit-identical across backends.
     """
     if heuristic not in HEURISTICS:
         raise ValueError(f"unknown heuristic {heuristic!r}; try {sorted(HEURISTICS)}")
@@ -131,6 +134,7 @@ def build_kr_graph(
         raise ValueError("k >= 1 required")
     if rho < 1:
         raise ValueError("rho >= 1 required")
+    get_ball_backend(backend)  # validate the name before forking workers
     sources = np.arange(graph.n, dtype=np.int64)
     blocks = parallel_map(
         _shortcuts_for_chunk,
@@ -142,6 +146,7 @@ def build_kr_graph(
             "rho": rho,
             "heuristic": heuristic,
             "include_ties": include_ties,
+            "backend": backend,
         },
     )
     radii = np.concatenate([b[0] for b in blocks])

@@ -10,8 +10,14 @@ on the original graph and skip shortcut materialization entirely.
 
 One ball search per vertex yields the radii for *every* ρ at once (the
 settle distances are exactly r_1, r_2, ...), so a ρ-sweep costs one pass
-at ρ_max.  The n searches are independent; ``n_jobs`` fans them out over
-a fork-based process pool (:mod:`repro.parallel`).
+at ρ_max.  Two axes of parallelism compose here:
+
+* ``backend=`` picks the ball-search kernel through the registry of
+  :mod:`repro.preprocess.backends` — ``"batched"`` (default) grows whole
+  slot blocks of balls per NumPy round, ``"scalar"`` is the heap
+  reference; outputs are bit-identical.
+* ``n_jobs`` fans source chunks (and therefore slot blocks) out over a
+  fork-based process pool (:mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -22,22 +28,19 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..parallel.pool import parallel_map
-from .ball import ball_search
+from .backends import get_ball_backend
 
 __all__ = ["compute_radii", "compute_radii_sweep"]
 
 
 def _radii_for_chunk(
-    graph: CSRGraph, sources: np.ndarray, rhos: Sequence[int]
+    graph: CSRGraph,
+    sources: np.ndarray,
+    rhos: Sequence[int],
+    backend: str = "scalar",
 ) -> np.ndarray:
     """Worker kernel: r_ρ for each source and each ρ (shape |chunk| × |ρ|)."""
-    rho_max = max(rhos)
-    out = np.empty((len(sources), len(rhos)), dtype=np.float64)
-    for i, s in enumerate(sources):
-        ball = ball_search(graph, int(s), rho_max, include_ties=False)
-        for j, rho in enumerate(rhos):
-            out[i, j] = ball.r_rho(rho)
-    return out
+    return get_ball_backend(backend).compute_radii(graph, sources, rhos)
 
 
 def compute_radii_sweep(
@@ -45,29 +48,41 @@ def compute_radii_sweep(
     rhos: Sequence[int],
     *,
     n_jobs: int = 1,
+    backend: str = "batched",
 ) -> dict[int, np.ndarray]:
     """r_ρ(v) for every vertex and every ρ in ``rhos`` in one pass.
 
     Returns ``{rho: radii_array}``.  Work is O(n ρ_max²) in the worst
     case (Lemma 4.2; see :func:`repro.graphs.generators.figure2_graph`),
-    typically far less on real-world-like graphs (§4.1).
+    typically far less on real-world-like graphs (§4.1).  ``backend``
+    selects the ball-search kernel (see module docstring); every backend
+    returns bit-identical radii.
     """
     if not rhos:
         raise ValueError("need at least one rho")
     if any(r < 1 for r in rhos):
         raise ValueError("all rho must be >= 1")
+    get_ball_backend(backend)  # validate the name before forking workers
     sources = np.arange(graph.n, dtype=np.int64)
     blocks = parallel_map(
         _radii_for_chunk,
         sources,
         n_jobs=n_jobs,
         fn_args=(graph,),
-        fn_kwargs={"rhos": tuple(rhos)},
+        fn_kwargs={"rhos": tuple(rhos), "backend": backend},
     )
     stacked = np.concatenate(blocks, axis=0)
     return {rho: stacked[:, j].copy() for j, rho in enumerate(rhos)}
 
 
-def compute_radii(graph: CSRGraph, rho: int, *, n_jobs: int = 1) -> np.ndarray:
+def compute_radii(
+    graph: CSRGraph,
+    rho: int,
+    *,
+    n_jobs: int = 1,
+    backend: str = "batched",
+) -> np.ndarray:
     """r_ρ(v) for every vertex (one ρ)."""
-    return compute_radii_sweep(graph, [rho], n_jobs=n_jobs)[rho]
+    return compute_radii_sweep(graph, [rho], n_jobs=n_jobs, backend=backend)[
+        rho
+    ]

@@ -59,37 +59,49 @@ class BallTree:
         return int(self.depth.max()) if len(self.depth) else 0
 
 
+def _children_csr(parent: np.ndarray, t: int) -> tuple[np.ndarray, np.ndarray]:
+    """Children adjacency of a local parent array, in CSR form.
+
+    ``child_idx`` lists each parent's children in increasing local id —
+    a stable argsort of ``parent[1:]`` (local ids 1..t-1 are already in
+    id order, so stability gives the per-parent ordering for free).
+    """
+    counts = np.bincount(parent[1:], minlength=t)
+    child_ptr = np.zeros(t + 1, dtype=np.int64)
+    np.cumsum(counts, out=child_ptr[1:])
+    child_idx = np.argsort(parent[1:], kind="stable").astype(np.int64) + 1
+    return child_ptr, child_idx
+
+
 def build_ball_tree(ball: BallSearchResult, size: int | None = None) -> BallTree:
     """Build the local tree over the first ``size`` settled vertices.
 
     ``size`` defaults to the full ball.  Any prefix is valid because
-    parents always settle before children (Dijkstra order).
+    parents always settle before children (Dijkstra order).  Fully
+    vectorized: the global→local id remap is a searchsorted over the
+    prefix vertices, the children CSR a stable argsort — no per-node
+    Python loop (this runs once per source in ``build_kr_graph``).
     """
     t = len(ball.order) if size is None else size
     if not (1 <= t <= len(ball.order)):
         raise ValueError(f"size must be in [1, {len(ball.order)}]")
     verts = ball.order[:t]
-    local = {int(v): i for i, v in enumerate(verts)}
     parent = np.empty(t, dtype=np.int64)
     parent[0] = -1
-    for i in range(1, t):
-        p = int(ball.parent[i])
-        try:
-            parent[i] = local[p]
-        except KeyError:  # cannot happen for a true Dijkstra prefix
+    if t > 1:
+        by_id = np.argsort(verts, kind="stable")
+        pos = np.searchsorted(verts[by_id], ball.parent[1:t])
+        ok = pos < t
+        local = by_id[np.minimum(pos, t - 1)]
+        ok &= verts[local] == ball.parent[1:t]
+        if not ok.all():  # cannot happen for a true Dijkstra prefix
+            i = 1 + int(np.flatnonzero(~ok)[0])
             raise ValueError(
-                f"parent {p} of {int(verts[i])} outside prefix; "
-                "ball order is not prefix-closed"
-            ) from None
-    counts = np.bincount(parent[1:], minlength=t)
-    child_ptr = np.zeros(t + 1, dtype=np.int64)
-    np.cumsum(counts, out=child_ptr[1:])
-    child_idx = np.empty(max(0, t - 1), dtype=np.int64)
-    cursor = child_ptr[:-1].copy()
-    for i in range(1, t):
-        p = parent[i]
-        child_idx[cursor[p]] = i
-        cursor[p] += 1
+                f"parent {int(ball.parent[i])} of {int(verts[i])} outside "
+                "prefix; ball order is not prefix-closed"
+            )
+        parent[1:] = local
+    child_ptr, child_idx = _children_csr(parent, t)
     return BallTree(
         source=ball.source,
         vertices=verts.copy(),

@@ -82,21 +82,34 @@ class TestDistanceParity:
         res = solve_with_engine(engine, g, 0, 0.5)
         assert res.dist.tolist() == [0.0, 0.0, 1.0, 1.0]
 
-    # (not "bst": the seed treap reference predates inf-radii support)
-    @pytest.mark.parametrize("engine", ("vectorized", "bucket"))
+    @pytest.mark.parametrize("engine", ("vectorized", "bucket", "bst"))
     def test_infinite_radii(self, engine):
+        """r(v) = ∞ turns Radius-Stepping into single-step Bellman–Ford;
+        the treap reference handles the ∞-key convention too (the Line
+        11 case analysis is a membership test, not a distance test)."""
         g = random_connected_graph(30, 70, seed=5)
         res = solve_with_engine(engine, g, 0, np.full(g.n, math.inf))
         assert np.allclose(res.dist, dijkstra(g, 0).dist)
         assert res.steps == 1
 
-    @pytest.mark.parametrize("engine", ("vectorized", "bucket"))
+    @pytest.mark.parametrize("engine", ("vectorized", "bucket", "bst"))
     def test_mixed_inf_radii(self, engine):
         g = random_connected_graph(30, 70, seed=6)
         radii = np.zeros(g.n)
         radii[::3] = math.inf
         res = solve_with_engine(engine, g, 0, radii)
         assert np.allclose(res.dist, dijkstra(g, 0).dist)
+
+    def test_bst_inf_radii_matches_vectorized_instrumentation(self):
+        """Beyond distances: the treap engine must agree with the
+        vectorized engine on steps/substeps under ∞ keys."""
+        g = random_connected_graph(25, 60, seed=7, weight_high=12)
+        radii = np.zeros(g.n)
+        radii[1::2] = math.inf
+        a = solve_with_engine("vectorized", g, 0, radii)
+        b = solve_with_engine("bst", g, 0, radii)
+        assert np.array_equal(a.dist, b.dist)
+        assert (a.steps, a.substeps) == (b.steps, b.substeps)
 
     @pytest.mark.parametrize("seed", range(3))
     @pytest.mark.parametrize("engine", WEIGHTED_ENGINES)
