@@ -9,10 +9,11 @@ analysis is about.
 
 The backend ablation (``TestBackendComparison``) pits the batched
 slot-engine against the scalar heap reference on an n ≥ 5000 road
-network: outputs must be bit-identical and the batched ball-search
-throughput ≥ 3× the scalar backend's.  Per-backend wall times are
-written to ``BENCH_preprocessing.json`` (the CI artifact tracking the
-preprocessing perf trajectory).
+network: outputs must be bit-identical, the batched ball-search
+throughput ≥ 3× the scalar backend's, and the forest-level selection
+engine ≥ 2.5× the per-tree DP walk on the same trees.  Per-backend wall
+times are written to ``BENCH_preprocessing.json`` (the CI artifact
+tracking the preprocessing perf trajectory).
 """
 
 import json
@@ -26,8 +27,13 @@ from repro.graphs.generators import road_network, scale_free
 from repro.graphs.weights import random_integer_weights
 from repro.preprocess import (
     ball_search,
+    batched_ball_trees,
+    block_from_trees,
     build_kr_graph,
     compute_radii_sweep,
+    dp_select,
+    forest_select,
+    greedy_select,
     sort_adjacency_by_weight,
 )
 
@@ -154,6 +160,32 @@ class TestBackendComparison:
             assert np.array_equal(pre_s.radii, pre_b.radii)
             assert pre_s.added_edges == pre_b.added_edges
 
+        # Selection-stage comparison (the PR-3 tentpole): identical ball
+        # trees, per-tree walkers vs the forest engine over one
+        # TreeBlock.  The block is timed out of band because the real
+        # pipeline gets it for free (the slot engine emits the flat
+        # layout directly), so the measured quantity is the selection
+        # stage alone — the per-tree Python that Amdahl-bounded
+        # build_kr_graph's end-to-end ratio before the forest engine.
+        sources = np.arange(g.n, dtype=np.int64)
+        _, trees = batched_ball_trees(g, sources, RHO)
+        blk = block_from_trees(trees)
+        select_speedups: dict[str, float] = {}
+        for heuristic, select in (("greedy", greedy_select), ("dp", dp_select)):
+            key = f"select_{heuristic}"
+            times[f"{key}_scalar"], sel_s = _timed(
+                lambda sel=select: [sel(t, K) for t in trees], repeats=2
+            )
+            times[f"{key}_batched"], sel_b = _timed(
+                forest_select, blk, heuristic, K, repeats=2
+            )
+            assert len(sel_s) == len(sel_b)
+            for a, b in zip(sel_s, sel_b):
+                assert np.array_equal(a, b)  # bit-identical selections
+            select_speedups[heuristic] = (
+                times[f"{key}_scalar"] / times[f"{key}_batched"]
+            )
+
         sweep_speedup = times["radii_sweep_scalar"] / times["radii_sweep_batched"]
         build_speedups = {
             h: times[f"build_kr_{h}_scalar"] / times[f"build_kr_{h}_batched"]
@@ -168,6 +200,7 @@ class TestBackendComparison:
             "speedup": {
                 "radii_sweep": round(sweep_speedup, 2),
                 **{f"build_kr_{h}": round(s, 2) for h, s in build_speedups.items()},
+                **{f"select_{h}": round(s, 2) for h, s in select_speedups.items()},
             },
         }
         out_path = os.environ.get(
@@ -192,6 +225,13 @@ class TestBackendComparison:
                         f"({s:.2f}x)"
                         for h, s in build_speedups.items()
                     ]
+                    + [
+                        f"selection[{h}] k={K} rho={RHO}: "
+                        f"per-tree {times[f'select_{h}_scalar']:.3f}s, "
+                        f"forest {times[f'select_{h}_batched']:.3f}s "
+                        f"({s:.2f}x)"
+                        for h, s in select_speedups.items()
+                    ]
                 ),
             )
         )
@@ -209,3 +249,11 @@ class TestBackendComparison:
         )
         assert sweep_speedup >= min_sweep, payload
         assert build_speedups["greedy"] >= min_build, payload
+        # The PR-3 acceptance gate: the forest engine must beat the
+        # per-tree DP walk >= 2.5x on the dp-heuristic selection stage
+        # of build_kr_graph (measured ~15-20x, best-of-2; the CI floor
+        # is env-lowered for shared-runner noise).
+        min_select = float(
+            os.environ.get("BENCH_PREPROCESSING_MIN_SELECT_SPEEDUP", "2.5")
+        )
+        assert select_speedups["dp"] >= min_select, payload

@@ -13,6 +13,15 @@ here is built on — run through a named **backend registry**
   grows whole blocks of balls with one flat CSR gather + scatter-min per
   round.
 
+Shortcut *selection* (§4.2's greedy/DP/full heuristics) has the same
+two-speed structure: the per-tree reference walkers
+(:mod:`~repro.preprocess.dp`, :mod:`~repro.preprocess.greedy`,
+:mod:`~repro.preprocess.shortcut_one`) and the forest-level engine
+(:mod:`~repro.preprocess.select_batched`) that runs them over whole
+:class:`TreeBlock` slot blocks per NumPy pass — registered as the
+batched backend's ``select_fn`` so ``build_kr_graph`` and
+``count_shortcuts_sweep`` are vectorized end to end.
+
 Backends are bit-identical on every output (settle orders, distances,
 min-hop trees, ``r_ρ`` arrays, shortcut selections); the batched engine
 is simply much faster, and ``n_jobs`` composes with either to fan source
@@ -30,7 +39,9 @@ from .batched import (
     batched_ball_search,
     batched_ball_trees,
     batched_radii,
+    batched_tree_block,
     default_slot_block,
+    iter_tree_blocks,
 )
 from .count import ShortcutCounts, count_shortcuts_sweep, sample_sources
 from .dp import dp_count, dp_select, dp_table
@@ -41,11 +52,21 @@ from .exact import (
     rho_nearest_distance,
     verify_kr_graph,
 )
-from .greedy import greedy_count, greedy_select
+from .greedy import greedy_count, greedy_depth_mask, greedy_select
 from .pipeline import HEURISTICS, PreprocessResult, build_kr_graph
 from .radii import compute_radii, compute_radii_sweep
-from .shortcut_one import full_select
-from .tree import BallTree, build_ball_tree
+from .select_batched import (
+    batched_select,
+    forest_counts,
+    forest_dp_counts,
+    forest_dp_select,
+    forest_dp_tables,
+    forest_select,
+    forest_select_positions,
+    forest_shortcuts,
+)
+from .shortcut_one import full_count, full_depth_mask, full_select
+from .tree import BallTree, TreeBlock, block_from_trees, build_ball_tree
 
 __all__ = [
     "BallBackendSpec",
@@ -55,11 +76,15 @@ __all__ = [
     "KrReport",
     "PreprocessResult",
     "ShortcutCounts",
+    "TreeBlock",
     "available_ball_backends",
     "ball_search",
     "batched_ball_search",
     "batched_ball_trees",
     "batched_radii",
+    "batched_select",
+    "batched_tree_block",
+    "block_from_trees",
     "build_ball_tree",
     "build_kr_graph",
     "compute_radii",
@@ -69,10 +94,21 @@ __all__ = [
     "dp_count",
     "dp_select",
     "dp_table",
+    "forest_counts",
+    "forest_dp_counts",
+    "forest_dp_select",
+    "forest_dp_tables",
+    "forest_select",
+    "forest_select_positions",
+    "forest_shortcuts",
+    "full_count",
+    "full_depth_mask",
     "full_select",
     "get_ball_backend",
     "greedy_count",
+    "greedy_depth_mask",
     "greedy_select",
+    "iter_tree_blocks",
     "k_radii",
     "k_radius",
     "register_ball_backend",

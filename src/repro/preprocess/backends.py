@@ -14,10 +14,35 @@ Every backend shares one calling convention::
        include_ties=True, lightest_edges=False, weight_sorted=False)
         -> list[BallSearchResult]
 
-and may optionally provide a *radii fast path* (``radii_fn``) computing
-``r_ρ(v)`` order statistics without materializing full ball results;
-:meth:`BallBackendSpec.compute_radii` falls back to full searches when a
-backend has none.
+and may optionally provide *fast paths* that skip intermediate
+materialization; the :class:`BallBackendSpec` methods fall back to full
+searches (or per-tree walks) when a backend has none:
+
+``radii_fn``
+    ``(graph, sources, rhos) -> (|sources|, |ρs|)`` — ``r_ρ(v)`` order
+    statistics without full ball results
+    (:meth:`BallBackendSpec.compute_radii`).
+``trees_fn``
+    ``(graph, sources, rho, *, include_ties) -> (radii, [BallTree])`` —
+    per-tree objects without ``BallSearchResult`` intermediaries
+    (:meth:`BallBackendSpec.compute_trees`).
+``block_fn``
+    ``(graph, sources, rho, *, include_ties) -> (radii, TreeBlock)`` —
+    the flat (slot, local-node) forest layout, skipping even the
+    per-tree objects (:meth:`BallBackendSpec.compute_tree_block`); the
+    shortcut-count sweep runs its prefix trims and forest counts off
+    this.
+``select_fn``
+    ``(graph, sources, rho, k, heuristic, *, include_ties) ->
+    (radii, src, dst, weight)`` — the *selection fast path*: ball
+    construction **and** §4.2 shortcut selection fused end to end
+    (:meth:`BallBackendSpec.compute_shortcuts`).  The batched backend
+    routes this through the forest-level engine
+    (:mod:`repro.preprocess.select_batched`), which runs the DP/greedy/
+    full heuristics over whole slot blocks of trees per NumPy pass; the
+    scalar fallback walks each tree with the reference per-tree
+    selectors (:data:`HEURISTICS`).  Outputs are bit-identical either
+    way — selections, ordering, dtypes.
 
 Built-in backends
 -----------------
@@ -34,15 +59,40 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from .ball import BallSearchResult, ball_search
-from .batched import batched_ball_search, batched_ball_trees, batched_radii
-from .tree import BallTree, build_ball_tree
+from .batched import (
+    batched_ball_search,
+    batched_ball_trees,
+    batched_radii,
+    batched_tree_block,
+)
+from .dp import dp_select
+from .greedy import greedy_select
+from .select_batched import batched_select
+from .shortcut_one import full_select
+from .tree import (
+    BallTree,
+    TreeBlock,
+    _concat_or_empty,
+    block_from_trees,
+    build_ball_tree,
+)
 
 __all__ = [
     "BallBackendSpec",
+    "HEURISTICS",
     "available_ball_backends",
     "get_ball_backend",
     "register_ball_backend",
 ]
+
+#: heuristic name -> (tree, k) -> selected local node ids — the per-tree
+#: reference selectors (§4.1–4.2), used directly by backends without a
+#: ``select_fn`` and re-exported by :mod:`repro.preprocess.pipeline`.
+HEURISTICS: dict[str, Callable] = {
+    "full": full_select,
+    "greedy": greedy_select,
+    "dp": dp_select,
+}
 
 BallBackendFn = Callable[..., "list[BallSearchResult]"]
 
@@ -60,6 +110,13 @@ class BallBackendSpec:
     trees_fn: optional ``(graph, sources, rho, *, include_ties) ->
         (radii, [BallTree])`` fast path for the (k,ρ)-pipeline;
         ``None`` falls back to per-ball tree construction.
+    block_fn: optional ``(graph, sources, rho, *, include_ties) ->
+        (radii, TreeBlock)`` forest-layout fast path; ``None`` falls
+        back to ``compute_trees`` + ``block_from_trees``.
+    select_fn: optional ``(graph, sources, rho, k, heuristic, *,
+        include_ties) -> (radii, src, dst, weight)`` selection fast
+        path (balls + §4.2 selection fused); ``None`` falls back to the
+        per-tree :data:`HEURISTICS` walkers over ``compute_trees``.
     description: one-liner for ``available_ball_backends`` listings.
     """
 
@@ -67,6 +124,8 @@ class BallBackendSpec:
     fn: BallBackendFn
     radii_fn: Callable[..., np.ndarray] | None = None
     trees_fn: Callable[..., "tuple[np.ndarray, list[BallTree]]"] | None = None
+    block_fn: Callable[..., "tuple[np.ndarray, TreeBlock]"] | None = None
+    select_fn: Callable[..., tuple] | None = None
     description: str = ""
 
     def search(
@@ -138,6 +197,69 @@ class BallBackendSpec:
             trees.append(build_ball_tree(ball))
         return radii, trees
 
+    def compute_tree_block(
+        self,
+        graph: CSRGraph,
+        sources: np.ndarray,
+        rho: int,
+        *,
+        include_ties: bool = True,
+    ) -> tuple[np.ndarray, TreeBlock]:
+        """``(r_ρ, forest TreeBlock)`` per source chunk — the flat layout
+        the forest selection/count engine consumes."""
+        if self.block_fn is not None:
+            return self.block_fn(graph, sources, rho, include_ties=include_ties)
+        radii, trees = self.compute_trees(
+            graph, sources, rho, include_ties=include_ties
+        )
+        return radii, block_from_trees(trees)
+
+    def compute_shortcuts(
+        self,
+        graph: CSRGraph,
+        sources: np.ndarray,
+        rho: int,
+        k: int,
+        heuristic: str,
+        *,
+        include_ties: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(r_ρ, src, dst, weight)`` — radii plus selected shortcut
+        triples per source chunk, the (k,ρ)-pipeline's whole worker step.
+
+        Dispatches to ``select_fn`` when the backend has one (the batched
+        backend's forest-level engine); the fallback walks each tree with
+        the per-tree reference selectors.  Outputs are bit-identical
+        across the two routes.
+        """
+        if heuristic not in HEURISTICS:
+            raise ValueError(
+                f"unknown heuristic {heuristic!r}; try {sorted(HEURISTICS)}"
+            )
+        if self.select_fn is not None:
+            return self.select_fn(
+                graph, sources, rho, k, heuristic, include_ties=include_ties
+            )
+        select = HEURISTICS[heuristic]
+        radii, trees = self.compute_trees(
+            graph, sources, rho, include_ties=include_ties
+        )
+        src_l: list[np.ndarray] = []
+        dst_l: list[np.ndarray] = []
+        w_l: list[np.ndarray] = []
+        for s, tree in zip(sources, trees):
+            chosen = select(tree, k)
+            if len(chosen):
+                src_l.append(np.full(len(chosen), int(s), dtype=np.int64))
+                dst_l.append(tree.vertices[chosen])
+                w_l.append(tree.dist[chosen])
+        return (
+            radii,
+            _concat_or_empty(src_l, np.int64),
+            _concat_or_empty(dst_l, np.int64),
+            _concat_or_empty(w_l, np.float64),
+        )
+
 
 _REGISTRY: dict[str, BallBackendSpec] = {}
 
@@ -148,12 +270,18 @@ def register_ball_backend(
     *,
     radii_fn: Callable[..., np.ndarray] | None = None,
     trees_fn: Callable[..., tuple] | None = None,
+    block_fn: Callable[..., tuple] | None = None,
+    select_fn: Callable[..., tuple] | None = None,
     description: str = "",
     overwrite: bool = False,
 ) -> BallBackendSpec:
     """Register ``fn`` under ``name``; returns the spec.
 
-    Re-registering an existing name raises unless ``overwrite=True``.
+    The optional fast paths (``radii_fn``, ``trees_fn``, ``block_fn``,
+    ``select_fn`` — see the module docstring for each convention) default
+    to ``None``, in which case the spec's ``compute_*`` methods fall back
+    to reference routes built on ``fn``.  Re-registering an existing name
+    raises unless ``overwrite=True``.
     """
     if not name or name == "auto":
         raise ValueError(f"invalid ball backend name {name!r}")
@@ -164,6 +292,8 @@ def register_ball_backend(
         fn=fn,
         radii_fn=radii_fn,
         trees_fn=trees_fn,
+        block_fn=block_fn,
+        select_fn=select_fn,
         description=description,
     )
     _REGISTRY[name] = spec
@@ -218,5 +348,7 @@ register_ball_backend(
     batched_ball_search,
     radii_fn=batched_radii,
     trees_fn=batched_ball_trees,
+    block_fn=batched_tree_block,
+    select_fn=batched_select,
     description="slot-based vectorized frontier kernel, many balls per round",
 )

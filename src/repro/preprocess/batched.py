@@ -74,13 +74,15 @@ import numpy as np
 from ..graphs.csr import CSRGraph
 from ..parallel.chunking import split_blocks
 from .ball import BallSearchResult
-from .tree import BallTree, _children_csr
+from .tree import BallTree, TreeBlock
 
 __all__ = [
     "batched_ball_search",
     "batched_ball_trees",
     "batched_radii",
+    "batched_tree_block",
     "default_slot_block",
+    "iter_tree_blocks",
 ]
 
 #: target bytes of dense per-block scratch (all arrays; see
@@ -571,6 +573,128 @@ def batched_ball_search(
     return results
 
 
+def _chunk_tree_block(
+    graph: CSRGraph,
+    chunk: np.ndarray,
+    rho: int,
+    caps: np.ndarray,
+    include_ties: bool,
+) -> tuple[np.ndarray, TreeBlock]:
+    """``(r_ρ per slot, TreeBlock)`` for one slot block — phases A and B
+    plus the flat local-parent remap, no per-tree materialization.
+
+    Scratch invariants are fully restored before returning (success
+    path); callers own the mid-block failure cleanup.
+    """
+    n = graph.n
+    dist, keys_pad, reach_counts = _relax_block(graph, chunk, rho, caps)
+    m_keys, m_dist, m_hops, m_parent, m_offsets = _settle_block(
+        graph, chunk, rho, caps, dist, keys_pad, reach_counts
+    )
+    m_verts = m_keys % n
+    # Dense global→local remap: every member key learns its settle
+    # position within its slot.  Like the claim scratch, stale entries
+    # are harmless — lookups only hit keys written this block (tree
+    # parents are always ball members).  (reuses the mindex scratch —
+    # _settle_block is done with it, and every key read below is
+    # rewritten here first)
+    local = _scratch("mindex", len(chunk) * n, 0, np.int32)
+    starts = np.repeat(m_offsets[:-1], np.diff(m_offsets))
+    local[m_keys] = (
+        np.arange(len(m_keys), dtype=np.int64) - starts
+    ).astype(np.int32)
+    plocal = local[m_keys - m_verts + m_parent].astype(np.int64)
+    plocal[m_parent < 0] = -1  # sources
+    sizes = np.diff(m_offsets)
+    minsz = np.minimum(rho, sizes)
+    radii = m_dist[m_offsets[:-1] + minsz - 1]
+    block = TreeBlock(
+        sources=np.ascontiguousarray(chunk, dtype=np.int64),
+        offsets=m_offsets,
+        vertices=m_verts,
+        dist=m_dist,
+        depth=m_hops,
+        parent=plocal,
+    )
+    if not include_ties:
+        block = block.trim(minsz)
+    # restore the scratch invariant
+    dist[_reached_keys(keys_pad, reach_counts)] = np.inf
+    return radii, block
+
+
+def iter_tree_blocks(
+    graph: CSRGraph,
+    sources: np.ndarray,
+    rho: int,
+    *,
+    include_ties: bool = True,
+    slot_block: int | None = None,
+):
+    """Yield ``(r_ρ chunk, TreeBlock)`` per slot block, in source order.
+
+    The streaming form of :func:`batched_tree_block`: at most one block
+    of dense state is live, which is how the forest selection engine
+    (:func:`repro.preprocess.select_batched.batched_select`) keeps the
+    end-to-end pipeline O(block · ρ) in memory.
+    """
+    sources = _check_sources(graph, sources, rho)
+    caps = _arc_caps(graph, rho, lightest_edges=False)
+    block = slot_block or default_slot_block(graph.n, len(sources))
+    try:
+        for chunk in split_blocks(sources, block):
+            yield _chunk_tree_block(graph, chunk, rho, caps, include_ties)
+    except BaseException:
+        _SCRATCH.clear()  # scratch may be mid-block dirty; rebuild next call
+        raise
+
+
+def batched_tree_block(
+    graph: CSRGraph,
+    sources: np.ndarray,
+    rho: int,
+    *,
+    include_ties: bool = True,
+    slot_block: int | None = None,
+) -> tuple[np.ndarray, TreeBlock]:
+    """``(r_ρ array, one TreeBlock over all sources)`` — the flat
+    (slot, local-node) forest layout, emitted directly by the slot engine
+    with no per-tree objects in between (bit-identical to
+    :func:`batched_ball_trees` + :func:`~repro.preprocess.tree.block_from_trees`).
+    """
+    parts = list(
+        iter_tree_blocks(
+            graph, sources, rho, include_ties=include_ties,
+            slot_block=slot_block,
+        )
+    )
+    if len(parts) == 1:
+        return parts[0]
+    if not parts:
+        return np.empty(0, dtype=np.float64), TreeBlock(
+            sources=np.empty(0, dtype=np.int64),
+            offsets=np.zeros(1, dtype=np.int64),
+            vertices=np.empty(0, dtype=np.int64),
+            dist=np.empty(0, dtype=np.float64),
+            depth=np.empty(0, dtype=np.int64),
+            parent=np.empty(0, dtype=np.int64),
+        )
+    radii = np.concatenate([r for r, _ in parts])
+    blocks = [b for _, b in parts]
+    sizes = np.concatenate([b.sizes() for b in blocks])
+    offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    cat = lambda field: np.concatenate([getattr(b, field) for b in blocks])
+    return radii, TreeBlock(
+        sources=cat("sources"),
+        offsets=offsets,
+        vertices=cat("vertices"),
+        dist=cat("dist"),
+        depth=cat("depth"),
+        parent=cat("parent"),
+    )
+
+
 def batched_ball_trees(
     graph: CSRGraph,
     sources: np.ndarray,
@@ -586,60 +710,19 @@ def batched_ball_trees(
     identical trees and radii), but the global→local id remap happens
     once per block through a dense position scratch instead of once per
     ball through a searchsorted, and no intermediate
-    :class:`BallSearchResult` is materialized.
+    :class:`BallSearchResult` is materialized.  Consumers that can stay
+    in the flat forest layout should prefer :func:`batched_tree_block` /
+    :func:`iter_tree_blocks` and skip these per-tree objects too.
     """
-    n = graph.n
-    sources = _check_sources(graph, sources, rho)
-    caps = _arc_caps(graph, rho, lightest_edges=False)
-    block = slot_block or default_slot_block(n, len(sources))
-    radii = np.empty(len(sources), dtype=np.float64)
+    radii = np.empty(len(np.asarray(sources)), dtype=np.float64)
     trees: list[BallTree] = []
     row = 0
-    try:
-        for chunk in split_blocks(sources, block):
-            dist, keys_pad, reach_counts = _relax_block(graph, chunk, rho, caps)
-            m_keys, m_dist, m_hops, m_parent, m_offsets = _settle_block(
-                graph, chunk, rho, caps, dist, keys_pad, reach_counts
-            )
-            m_verts = m_keys % n
-            # Dense global→local remap: every member key learns its
-            # settle position within its slot.  Like the claim scratch,
-            # stale entries are harmless — lookups only hit keys written
-            # this block (tree parents are always ball members).
-            # (reuses the mindex scratch — _settle_block is done with it,
-            # and every key read below is rewritten here first)
-            local = _scratch("mindex", len(chunk) * n, 0, np.int32)
-            starts = np.repeat(m_offsets[:-1], np.diff(m_offsets))
-            local[m_keys] = (
-                np.arange(len(m_keys), dtype=np.int64) - starts
-            ).astype(np.int32)
-            plocal = local[m_keys - m_verts + m_parent].astype(np.int64)
-            plocal[m_parent < 0] = -1  # sources
-            for s in range(len(chunk)):
-                lo, hi = int(m_offsets[s]), int(m_offsets[s + 1])
-                size = hi - lo
-                radii[row + s] = m_dist[lo + min(rho, size) - 1]
-                take = size if include_ties else min(rho, size)
-                sl = slice(lo, lo + take)
-                parent = plocal[sl]
-                child_ptr, child_idx = _children_csr(parent, take)
-                trees.append(
-                    BallTree(
-                        source=int(chunk[s]),
-                        vertices=m_verts[sl].copy(),
-                        dist=m_dist[sl].copy(),
-                        depth=m_hops[sl].copy(),
-                        parent=parent,
-                        child_ptr=child_ptr,
-                        child_idx=child_idx,
-                    )
-                )
-            row += len(chunk)
-            # restore the scratch invariant
-            dist[_reached_keys(keys_pad, reach_counts)] = np.inf
-    except BaseException:
-        _SCRATCH.clear()  # scratch may be mid-block dirty; rebuild next call
-        raise
+    for radii_chunk, block in iter_tree_blocks(
+        graph, sources, rho, include_ties=include_ties, slot_block=slot_block
+    ):
+        radii[row : row + block.num_trees] = radii_chunk
+        trees.extend(block.tree(i) for i in range(block.num_trees))
+        row += block.num_trees
     return radii, trees
 
 

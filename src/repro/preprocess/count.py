@@ -25,9 +25,9 @@ from ..parallel.chunking import split_blocks
 from ..parallel.pool import parallel_map
 from .backends import get_ball_backend
 from .batched import default_slot_block
-from .dp import dp_count
-from .greedy import greedy_count
-from .tree import build_ball_tree
+from .greedy import greedy_depth_mask
+from .select_batched import forest_dp_counts
+from .shortcut_one import full_depth_mask
 
 __all__ = ["ShortcutCounts", "count_shortcuts_sweep", "sample_sources"]
 
@@ -68,38 +68,60 @@ def _count_chunk(
     rhos: tuple[int, ...],
     heuristics: tuple[str, ...],
     include_ties: bool,
-    backend: str = "scalar",
+    backend: str,
 ) -> dict[str, dict[tuple[int, int], int]]:
     """Worker kernel: exact shortcut totals over one source chunk.
 
-    Balls come from the named backend in slot-block-sized groups, so the
-    batched engine amortizes its rounds while at most one group of
-    results is live (O(block · ρ) memory, not O(|chunk| · ρ)).
+    One forest :class:`~repro.preprocess.tree.TreeBlock` per slot-block
+    group at ρ_max (the named backend's block path), so at most one
+    group of trees is live (O(block · ρ) memory, not O(|chunk| · ρ));
+    every smaller ρ is a vectorized prefix trim of that block (settle
+    orders are prefix-closed) and all selection math runs through the
+    forest engine instead of per-tree Python walks.  ``backend`` is a
+    required keyword on purpose: every public entry point defaults to
+    ``"batched"``, and a silent default here once let private callers
+    drop onto the slow path unnoticed.
     """
     spec = get_ball_backend(backend)
     rho_max = max(rhos)
     counters = {h: {(k, r): 0 for k in ks for r in rhos} for h in heuristics}
     block = default_slot_block(graph.n, len(sources))
     for group in split_blocks(sources, block):
-        for ball in spec.search(
+        _, blk = spec.compute_tree_block(
             graph, group, rho_max, include_ties=include_ties
-        ):
-            for rho in rhos:
-                t = (
-                    ball.prefix_size(rho)
-                    if include_ties
-                    else min(rho, len(ball))
+        )
+        sizes = blk.sizes()
+        slot_ids = blk.slot_ids()
+        for rho in rhos:
+            if include_ties:
+                # §5.1 prefix: every node at distance <= r_rho.  Per-slot
+                # dist runs are sorted, so the ties-included prefix size
+                # is a mask count per slot (BallSearchResult.prefix_size,
+                # vectorized over the block).
+                r = blk.dist[blk.offsets[:-1] + np.minimum(rho, sizes) - 1]
+                prefix = np.bincount(
+                    slot_ids[blk.dist <= r[slot_ids]],
+                    minlength=blk.num_trees,
                 )
-                tree = build_ball_tree(ball, t)
-                for k in ks:
-                    if "greedy" in counters:
-                        counters["greedy"][(k, rho)] += greedy_count(tree, k)
-                    if "dp" in counters:
-                        counters["dp"][(k, rho)] += dp_count(tree, k)
-                    if "full" in counters:
-                        counters["full"][(k, rho)] += int(
-                            np.sum(tree.depth >= 2)
-                        )
+            else:
+                prefix = np.minimum(rho, sizes)
+            sub = blk.trim(prefix)
+            if "full" in counters:
+                # The (1,ρ) count is k-independent — shared depth rule
+                # (shortcut_one.full_depth_mask), computed once per ρ
+                # outside the k loop.
+                full_total = int(np.count_nonzero(full_depth_mask(sub.depth)))
+            for k in ks:
+                if "greedy" in counters:
+                    counters["greedy"][(k, rho)] += int(
+                        np.count_nonzero(greedy_depth_mask(sub.depth, k))
+                    )
+                if "dp" in counters:
+                    counters["dp"][(k, rho)] += int(
+                        forest_dp_counts(sub, k).sum()
+                    )
+                if "full" in counters:
+                    counters["full"][(k, rho)] += full_total
     return counters
 
 

@@ -68,10 +68,6 @@ def dp_select(tree: BallTree, k: int) -> np.ndarray:
     :func:`dp_count` (ties broken toward *not* shortcutting, which never
     increases the count)."""
     F = dp_table(tree, k)
-    t = len(tree)
-    child_sum1 = np.zeros(t, dtype=np.int64)  # Σ_w F(w, 1), re-derived
-    for u in range(t - 1, 0, -1):
-        child_sum1[tree.parent[u]] += F[u, 1]
     # child_sum at arbitrary t' is needed during the walk; recompute from F
     # lazily via children() — the walk touches each node once.
     selected: list[int] = []

@@ -19,26 +19,15 @@ weight.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 
 from ..graphs.build import add_shortcuts
 from ..graphs.csr import CSRGraph
 from ..parallel.pool import parallel_map
-from .backends import get_ball_backend
-from .dp import dp_select
-from .greedy import greedy_select
-from .shortcut_one import full_select
+from .backends import HEURISTICS, get_ball_backend
 
 __all__ = ["PreprocessResult", "build_kr_graph", "HEURISTICS"]
-
-#: heuristic name -> (tree, k) -> selected local node ids
-HEURISTICS: dict[str, Callable] = {
-    "full": full_select,
-    "greedy": greedy_select,
-    "dp": dp_select,
-}
 
 
 @dataclass
@@ -80,30 +69,20 @@ def _shortcuts_for_chunk(
     rho: int,
     heuristic: str,
     include_ties: bool,
-    backend: str = "scalar",
+    backend: str,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Worker kernel: radii and shortcut triples for a source chunk."""
-    select = HEURISTICS[heuristic]
-    radii, trees = get_ball_backend(backend).compute_trees(
-        graph, sources, rho, include_ties=include_ties
-    )
-    src_l: list[np.ndarray] = []
-    dst_l: list[np.ndarray] = []
-    w_l: list[np.ndarray] = []
-    for s, tree in zip(sources, trees):
-        chosen = select(tree, k)
-        if len(chosen):
-            src_l.append(np.full(len(chosen), int(s), dtype=np.int64))
-            dst_l.append(tree.vertices[chosen])
-            w_l.append(tree.dist[chosen])
-    cat = lambda parts, dt: (
-        np.concatenate(parts) if parts else np.empty(0, dtype=dt)
-    )
-    return (
-        radii,
-        cat(src_l, np.int64),
-        cat(dst_l, np.int64),
-        cat(w_l, np.float64),
+    """Worker kernel: radii and shortcut triples for a source chunk.
+
+    ``backend`` is a required keyword on purpose: every public entry
+    point defaults to ``"batched"``, and a silent default here once let
+    private callers drop onto the slow path unnoticed.  The whole step —
+    ball construction plus §4.2 selection — is the backend's
+    ``compute_shortcuts``: the batched backend fuses both through the
+    forest-level selection engine, the scalar backend walks each tree
+    with the reference selectors.
+    """
+    return get_ball_backend(backend).compute_shortcuts(
+        graph, sources, rho, k, heuristic, include_ties=include_ties
     )
 
 
@@ -123,10 +102,12 @@ def build_kr_graph(
     brought to hop 1) and therefore produces a (1,ρ)-graph — pass ``k=1``
     for clarity.  ``include_ties`` is §5.1's deterministic tie handling
     (recommended: it is what makes r_ρ(v) ≤ r̄_k(v) hold with equality at
-    the ball boundary).  ``backend`` picks the ball-search kernel through
-    :mod:`repro.preprocess.backends` (``"batched"`` slot engine by
-    default, ``"scalar"`` heap reference); radii and shortcut selections
-    are bit-identical across backends.
+    the ball boundary).  ``backend`` picks both kernels through
+    :mod:`repro.preprocess.backends` (``"batched"`` by default: the slot
+    ball engine plus the forest-level selection engine of
+    :mod:`repro.preprocess.select_batched`; ``"scalar"``: heap searches
+    and per-tree selection walks); radii and shortcut selections are
+    bit-identical across backends.
     """
     if heuristic not in HEURISTICS:
         raise ValueError(f"unknown heuristic {heuristic!r}; try {sorted(HEURISTICS)}")

@@ -36,10 +36,16 @@ __all__ = ["compute_radii", "compute_radii_sweep"]
 def _radii_for_chunk(
     graph: CSRGraph,
     sources: np.ndarray,
+    *,
     rhos: Sequence[int],
-    backend: str = "scalar",
+    backend: str,
 ) -> np.ndarray:
-    """Worker kernel: r_ρ for each source and each ρ (shape |chunk| × |ρ|)."""
+    """Worker kernel: r_ρ for each source and each ρ (shape |chunk| × |ρ|).
+
+    ``backend`` is a required keyword on purpose: every public entry
+    point defaults to ``"batched"``, and a silent default here once let
+    private callers drop onto the slow path unnoticed.
+    """
     return get_ball_backend(backend).compute_radii(graph, sources, rhos)
 
 

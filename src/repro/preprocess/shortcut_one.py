@@ -12,7 +12,19 @@ import numpy as np
 
 from .tree import BallTree
 
-__all__ = ["full_select"]
+__all__ = ["full_select", "full_count", "full_depth_mask"]
+
+
+def full_depth_mask(depth: np.ndarray, k: int = 1) -> np.ndarray:
+    """The one definition of the (1,ρ) rule — shortcut everything at depth
+    ≥ 2 — shared by :func:`full_select`, the forest engine
+    (:mod:`repro.preprocess.select_batched`), and the count sweep
+    (:mod:`repro.preprocess.count`).  ``depth`` may be one tree's depths
+    or a whole block's flat depth array; the rule is k-independent (``k``
+    is validated for interface uniformity only)."""
+    if k < 1:
+        raise ValueError("k >= 1 required")
+    return depth >= 2
 
 
 def full_select(tree: BallTree, k: int = 1) -> np.ndarray:
@@ -25,6 +37,10 @@ def full_select(tree: BallTree, k: int = 1) -> np.ndarray:
     interface uniformity; values > 1 still shortcut to depth ≥ 2 (a valid,
     if wasteful, (k,ρ)-ball).
     """
-    if k < 1:
-        raise ValueError("k >= 1 required")
-    return np.flatnonzero(tree.depth >= 2)
+    return np.flatnonzero(full_depth_mask(tree.depth, k))
+
+
+def full_count(tree: BallTree, k: int = 1) -> int:
+    """Number of edges the (1,ρ) strategy adds for this tree — the
+    k-independent Tables 2 fast path (no selection materialization)."""
+    return int(np.count_nonzero(full_depth_mask(tree.depth, k)))

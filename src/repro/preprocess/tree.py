@@ -15,12 +15,13 @@ whole ρ-sweep (Tables 2/3 iterate ρ over 10..1000 on the same trees).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from .ball import BallSearchResult
 
-__all__ = ["BallTree", "build_ball_tree"]
+__all__ = ["BallTree", "TreeBlock", "block_from_trees", "build_ball_tree"]
 
 
 @dataclass
@@ -57,6 +58,135 @@ class BallTree:
     def max_depth(self) -> int:
         """Deepest node's hop depth."""
         return int(self.depth.max()) if len(self.depth) else 0
+
+
+@dataclass
+class TreeBlock:
+    """A whole slot block of ball trees in one flat (slot, local-node) layout.
+
+    The forest-level selection engine (:mod:`repro.preprocess.select_batched`)
+    runs the §4.2 heuristics over *all* trees of a block at once; this is
+    its input format — the per-node fields of every tree concatenated in
+    slot order, each tree's nodes in settle (local-id) order, padded-free
+    with a CSR-style ``offsets`` array delimiting the slots.
+
+    Attributes
+    ----------
+    sources: ball center (original vertex id) per slot, shape ``(S,)``.
+    offsets: slot boundaries into the flat node arrays, shape ``(S+1,)`` —
+        slot ``s`` owns flat positions ``offsets[s]:offsets[s+1]``, with
+        position ``offsets[s]`` its root.
+    vertices: original vertex id per flat node.
+    dist: distance from the slot's source per flat node.
+    depth: tree hop depth per flat node (0 for roots).
+    parent: *local* parent id per flat node (-1 for roots), exactly as in
+        the corresponding :class:`BallTree`.
+    """
+
+    sources: np.ndarray
+    offsets: np.ndarray
+    vertices: np.ndarray
+    dist: np.ndarray
+    depth: np.ndarray
+    parent: np.ndarray
+
+    def __len__(self) -> int:
+        """Total node count across all trees."""
+        return len(self.vertices)
+
+    @property
+    def num_trees(self) -> int:
+        return len(self.sources)
+
+    def sizes(self) -> np.ndarray:
+        """Node count per slot."""
+        return np.diff(self.offsets)
+
+    def slot_ids(self) -> np.ndarray:
+        """Owning slot per flat node."""
+        return np.repeat(
+            np.arange(self.num_trees, dtype=np.int64), self.sizes()
+        )
+
+    def flat_parent(self) -> np.ndarray:
+        """Parent as a flat position (-1 for roots) — the forest's single
+        cross-tree pointer array, what the per-level DP scatters follow."""
+        fp = self.parent + np.repeat(self.offsets[:-1], self.sizes())
+        fp[self.parent < 0] = -1
+        return fp
+
+    def tree(self, i: int) -> BallTree:
+        """Materialize slot ``i`` as a standalone :class:`BallTree`."""
+        lo, hi = int(self.offsets[i]), int(self.offsets[i + 1])
+        parent = self.parent[lo:hi].copy()
+        child_ptr, child_idx = _children_csr(parent, hi - lo)
+        return BallTree(
+            source=int(self.sources[i]),
+            vertices=self.vertices[lo:hi].copy(),
+            dist=self.dist[lo:hi].copy(),
+            depth=self.depth[lo:hi].copy(),
+            parent=parent,
+            child_ptr=child_ptr,
+            child_idx=child_idx,
+        )
+
+    def trim(self, sizes: np.ndarray) -> "TreeBlock":
+        """Per-slot prefix trim: keep the first ``sizes[s]`` nodes of each
+        slot.  Valid for any ``1 <= sizes[s] <= len(slot s)`` because
+        settle orders are prefix-closed (parents precede children), the
+        same property :func:`build_ball_tree` relies on — so a ρ-sweep
+        reuses one block at ρ_max for every smaller ρ."""
+        sizes = np.asarray(sizes, dtype=np.int64)
+        cur = self.sizes()
+        if len(sizes) != self.num_trees or (
+            len(sizes) and not ((1 <= sizes) & (sizes <= cur)).all()
+        ):
+            raise ValueError("sizes must be in [1, len(slot)] per slot")
+        within = np.arange(len(self), dtype=np.int64) - np.repeat(
+            self.offsets[:-1], cur
+        )
+        keep = within < np.repeat(sizes, cur)
+        offsets = np.zeros(self.num_trees + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        return TreeBlock(
+            sources=self.sources,
+            offsets=offsets,
+            vertices=self.vertices[keep],
+            dist=self.dist[keep],
+            depth=self.depth[keep],
+            parent=self.parent[keep],
+        )
+
+
+def _concat_or_empty(parts, dtype) -> np.ndarray:
+    """Concatenate, or produce a typed empty array for an empty list.
+
+    Shared by every route that assembles per-tree results (scalar walk,
+    forest engine, block construction) so the empty-case dtype stays
+    identical across backends — part of the bit-identity contract.
+    """
+    return np.concatenate(parts) if len(parts) else np.empty(0, dtype=dtype)
+
+
+def block_from_trees(trees: Sequence[BallTree]) -> TreeBlock:
+    """Concatenate standalone :class:`BallTree` objects into a
+    :class:`TreeBlock` (the scalar-backend route into the forest engine;
+    the batched engine emits blocks directly, see
+    :func:`repro.preprocess.batched.batched_tree_block`)."""
+    sizes = np.array([len(t) for t in trees], dtype=np.int64)
+    offsets = np.zeros(len(trees) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    cat = lambda field, dt: _concat_or_empty(
+        [getattr(t, field) for t in trees], dt
+    )
+    return TreeBlock(
+        sources=np.array([t.source for t in trees], dtype=np.int64),
+        offsets=offsets,
+        vertices=cat("vertices", np.int64),
+        dist=cat("dist", np.float64),
+        depth=cat("depth", np.int64),
+        parent=cat("parent", np.int64),
+    )
 
 
 def _children_csr(parent: np.ndarray, t: int) -> tuple[np.ndarray, np.ndarray]:

@@ -106,6 +106,24 @@ class TestDP:
             expect = max(0, -(-(L - k) // k))  # ceil((L-k)/k)
             assert dp_count(tree, k) == expect
 
+    def test_select_realizes_count_optimum(self):
+        """Regression pin for the dead child_sum1 removal: on every
+        family, dp_select must still emit exactly dp_count's optimum
+        number of shortcuts, and they must cover within k."""
+        graphs = [
+            path_graph(20),
+            grid_2d(6, 6),
+            greedy_bad_tree(k=3, leaves=15),
+            random_connected_graph(50, 120, seed=9),
+            random_connected_graph(50, 120, seed=10, weight_high=2),
+        ]
+        for g in graphs:
+            tree = make_tree(g, 0, min(30, g.n))
+            for k in (1, 2, 3, 4):
+                sel = dp_select(tree, k)
+                assert len(sel) == dp_count(tree, k)
+                assert covered_within_k(tree, sel, k)
+
     def test_table_shape_and_row0(self):
         tree = make_tree(path_graph(5), 0, 5)
         F = dp_table(tree, 2)
