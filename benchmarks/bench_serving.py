@@ -1,0 +1,180 @@
+"""Serving-layer benchmark: warm starts, cache hits, zero-copy batches.
+
+The serving subsystem's three claims, measured and gated on a road-map
+workload:
+
+1. **Warm start** — restoring the (k,ρ)-preprocessing from a persisted
+   artifact must be ≥ 5× faster than re-running ``build_kr_graph``
+   (it is typically orders of magnitude faster; the floor is
+   env-tunable for noisy shared CI runners via
+   ``BENCH_SERVING_MIN_WARM_SPEEDUP``).
+2. **Query cache** — repeating a mixed workload against the planner
+   must be served from the LRU row cache with a measured speedup
+   (``BENCH_SERVING_MIN_CACHE_SPEEDUP`` floor) and zero extra solves.
+3. **Shared-memory batches** — ``solve_many_shm`` must be bit-identical
+   to the pickled ``solve_many`` on distances, parents and per-row
+   instrumentation (asserted, not just timed).
+
+Wall times and speedups land in ``BENCH_serving.json`` (path via
+``BENCH_SERVING_JSON``) — the CI artifact tracking the serving-layer
+perf trajectory from PR 4 onward.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.solver import PreprocessedSSSP
+from repro.graphs.generators import road_network
+from repro.graphs.weights import random_integer_weights
+from repro.preprocess import build_kr_graph
+from repro.serve import (
+    KNearest,
+    QueryPlanner,
+    load_artifact,
+    save_artifact,
+    solve_many_shm,
+)
+
+pytestmark = pytest.mark.paper_artifact("serving subsystem")
+
+N, K, RHO = 3000, 2, 24
+BATCH_SOURCES = 24
+CACHE_REPEATS = 5
+
+
+@pytest.fixture(scope="module")
+def big_road():
+    g, _coords = road_network(N, seed=1)
+    return random_integer_weights(g, low=1, high=100, seed=2)
+
+
+def _timed(fn, *args, repeats=1, **kwargs):
+    """Best-of-N wall time plus the last result."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+class TestServing:
+    """The PR-4 acceptance gate: warm-start ≥ 5× cold, measured cache
+    speedup, shm/pickle bit-identity, and a JSON perf artifact."""
+
+    def test_serving_stack_on_big_road(self, big_road, tmp_path, report_sink):
+        g = big_road
+        times: dict[str, float] = {}
+
+        # Cold start: the full (k,rho)-construction a process pays when
+        # it has no artifact.  Warm start: load + verify the persisted
+        # bundle against the serving graph's content hash.
+        times["cold_preprocess"], pre = _timed(
+            build_kr_graph, g, K, RHO, heuristic="dp", repeats=2
+        )
+        artifact = tmp_path / "road.kr.npz"
+        times["save_artifact"], _ = _timed(save_artifact, artifact, pre)
+        times["warm_load"], warm_pre = _timed(
+            load_artifact, artifact, expect_graph=g, repeats=2
+        )
+        assert warm_pre.graph == pre.graph
+        assert np.array_equal(warm_pre.radii, pre.radii)
+        warm_speedup = times["cold_preprocess"] / times["warm_load"]
+
+        sp = PreprocessedSSSP.from_preprocessed(warm_pre, input_graph=g)
+        rng = np.random.default_rng(5)
+        sources = rng.choice(g.n, BATCH_SOURCES, replace=False)
+
+        # Pickle vs shared-memory batch path: identical rows, and the
+        # matrix path's wall time recorded alongside.  Both run over the
+        # same 2-worker pool so per-row results really cross a process
+        # boundary (inline n_jobs=1 would never serialize anything).
+        times["batch_pickle"], results = _timed(
+            sp.solve_many, sources, track_parents=True, n_jobs=2, repeats=2
+        )
+        t0 = time.perf_counter()
+        dm = solve_many_shm(sp, sources, track_parents=True, n_jobs=2)
+        times["batch_shm"] = time.perf_counter() - t0
+        try:
+            for i, res in enumerate(results):
+                assert np.array_equal(dm.dist[i], res.dist)
+                assert np.array_equal(dm.parent[i], res.parent)
+                got = dm.result(i)
+                assert (got.steps, got.substeps, got.relaxations) == (
+                    res.steps,
+                    res.substeps,
+                    res.relaxations,
+                )
+        finally:
+            dm.close()
+            dm.unlink()
+
+        # Cache: one mixed workload (full rows, routes, k-nearest over a
+        # handful of hub sources), first pass solves, repeats must be
+        # pure cache reads.
+        hubs = sources[:8].tolist()
+        workload = (
+            [int(s) for s in hubs]
+            + [(int(hubs[i]), int(hubs[-1 - i])) for i in range(4)]
+            + [KNearest(int(hubs[0]), 10)]
+        )
+        planner = QueryPlanner(sp, capacity=64, track_parents=True)
+        times["cache_miss_pass"], _ = _timed(planner.execute, workload)
+        t0 = time.perf_counter()
+        for _ in range(CACHE_REPEATS):
+            planner.execute(workload)
+        times["cache_hit_pass"] = (time.perf_counter() - t0) / CACHE_REPEATS
+        stats = planner.stats()
+        assert stats["solves"] == len(hubs)  # repeats added zero solves
+        cache_speedup = times["cache_miss_pass"] / times["cache_hit_pass"]
+
+        payload = {
+            "workload": f"road_network(n={g.n}, m={g.m}), weights 1..100",
+            "k": K,
+            "rho": RHO,
+            "batch_sources": int(BATCH_SOURCES),
+            "seconds": {k: round(v, 5) for k, v in times.items()},
+            "speedup": {
+                "warm_start": round(warm_speedup, 2),
+                "cache_hit": round(cache_speedup, 2),
+                "shm_vs_pickle": round(
+                    times["batch_pickle"] / times["batch_shm"], 2
+                ),
+            },
+            "planner_stats": {
+                k: v for k, v in stats.items() if isinstance(v, int)
+            },
+        }
+        out_path = os.environ.get("BENCH_SERVING_JSON", "BENCH_serving.json")
+        with open(out_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        report_sink.append(
+            (
+                "serving stack (road n=%d)" % g.n,
+                "\n".join(
+                    [
+                        f"cold preprocess {times['cold_preprocess']:.3f}s vs "
+                        f"warm artifact load {times['warm_load'] * 1e3:.1f}ms "
+                        f"({warm_speedup:.0f}x)",
+                        f"batch of {BATCH_SOURCES}: pickle "
+                        f"{times['batch_pickle']:.3f}s, shm "
+                        f"{times['batch_shm']:.3f}s (bit-identical)",
+                        f"mixed workload x{len(workload)}: miss pass "
+                        f"{times['cache_miss_pass'] * 1e3:.1f}ms, hit pass "
+                        f"{times['cache_hit_pass'] * 1e3:.2f}ms "
+                        f"({cache_speedup:.0f}x)",
+                    ]
+                ),
+            )
+        )
+        # Acceptance gates (floors env-tunable for noisy CI runners; the
+        # issue-level bars are 5x warm start and a measured cache-hit
+        # speedup — typical measurements are far above both).
+        min_warm = float(os.environ.get("BENCH_SERVING_MIN_WARM_SPEEDUP", "5.0"))
+        min_cache = float(os.environ.get("BENCH_SERVING_MIN_CACHE_SPEEDUP", "5.0"))
+        assert warm_speedup >= min_warm, payload
+        assert cache_speedup >= min_cache, payload

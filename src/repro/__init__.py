@@ -64,17 +64,29 @@ from .preprocess import (
 )
 from .pram import Ledger
 from .analysis import max_steps_bound, max_substeps_bound
+from .serve import (
+    DistanceMatrix,
+    QueryPlanner,
+    RoutingService,
+    load_artifact,
+    load_solver,
+    save_artifact,
+    solve_many_shm,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BallSearchResult",
     "CSRGraph",
+    "DistanceMatrix",
     "GraphValidationError",
     "Ledger",
     "PreprocessedSSSP",
     "PreprocessResult",
+    "QueryPlanner",
     "RelaxationKernel",
+    "RoutingService",
     "SsspResult",
     "StepSchedule",
     "StepTrace",
@@ -96,6 +108,8 @@ __all__ = [
     "get_engine",
     "is_connected",
     "largest_connected_component",
+    "load_artifact",
+    "load_solver",
     "max_steps_bound",
     "max_substeps_bound",
     "normalize_weights",
@@ -106,6 +120,8 @@ __all__ = [
     "read_edge_list",
     "register_engine",
     "run_engine",
+    "save_artifact",
+    "solve_many_shm",
     "unit_weights",
     "validate_graph",
     "write_edge_list",

@@ -11,7 +11,25 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["SsspResult", "StepTrace"]
+__all__ = ["SsspResult", "StepTrace", "parent_path"]
+
+
+def parent_path(parent: np.ndarray, target: int) -> list[int]:
+    """Walk predecessor pointers from ``target`` back to the root.
+
+    Returns the vertex sequence source → … → ``target`` (the root is
+    the entry whose parent is ``-1``).  Shared by
+    :meth:`SsspResult.path_to` and the serving planner's cached rows so
+    the parent-encoding invariants (root sentinel, cycle guard) live in
+    exactly one place.
+    """
+    out = [int(target)]
+    while parent[out[-1]] >= 0:
+        out.append(int(parent[out[-1]]))
+        if len(out) > len(parent):
+            raise RuntimeError("parent cycle detected")
+    out.reverse()
+    return out
 
 
 @dataclass(frozen=True)
@@ -80,13 +98,7 @@ class SsspResult:
             raise ValueError("solver did not record parents")
         if not np.isfinite(self.dist[v]):
             raise ValueError(f"vertex {v} is unreachable")
-        out = [int(v)]
-        while self.parent[out[-1]] >= 0:
-            out.append(int(self.parent[out[-1]]))
-            if len(out) > len(self.dist):
-                raise RuntimeError("parent cycle detected")
-        out.reverse()
-        return out
+        return parent_path(self.parent, v)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

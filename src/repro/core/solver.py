@@ -123,12 +123,35 @@ class PreprocessedSSSP:
 
     @property
     def queries_answered(self) -> int:
-        """Number of queries so far — the amortization denominator."""
+        """Number of queries so far — the amortization denominator.
+
+        Every query path increments it: :meth:`solve` and
+        :meth:`distances` by one, :meth:`solve_many` and
+        :meth:`mean_steps` by the number of *requested* sources
+        (duplicates included — the denominator counts answered queries,
+        not distinct solves), and external batch paths such as
+        :func:`repro.serve.shm.solve_many_shm` through
+        :meth:`count_queries`.
+        """
         return self._queries
 
+    def count_queries(self, n: int = 1) -> None:
+        """Charge ``n`` answered queries to the amortization counter.
+
+        Hook for query paths living outside this class (the serving
+        layer's shared-memory batch path) so ``queries_answered`` stays
+        the one true denominator.
+        """
+        self._queries += int(n)
+
     # ------------------------------------------------------------------ #
-    def _resolve_engine(self, engine: Engine) -> str:
-        """Map ``"auto"`` to a concrete registered engine name."""
+    def resolve_engine(self, engine: Engine) -> str:
+        """Map ``"auto"`` to a concrete registered engine name.
+
+        Public because the serving layer keys caches and artifacts by
+        the *resolved* name — two requests for ``"auto"`` and
+        ``"vectorized"`` on a weighted graph must share cache entries.
+        """
         if engine == "auto":
             return "unweighted" if self.graph.is_unweighted else "vectorized"
         return engine
@@ -158,7 +181,7 @@ class PreprocessedSSSP:
         """
         self._queries += 1
         return solve_with_engine(
-            self._resolve_engine(engine),
+            self.resolve_engine(engine),
             self.graph,
             source,
             self.radii,
@@ -181,6 +204,11 @@ class PreprocessedSSSP:
     ) -> list[SsspResult]:
         """Answer a batch of queries; one result per source, input order.
 
+        Repeated sources are deduplicated before fan-out — each distinct
+        source is solved exactly once and its result is fanned back to
+        every input position that requested it (duplicate positions
+        share one ``SsspResult`` object; treat results as read-only).
+
         ``n_jobs > 1`` (0 = all cores) fans source chunks out to a
         fork-based process pool.  The augmented CSR graph and radii are
         staged once and inherited copy-on-write by every worker — no
@@ -189,17 +217,19 @@ class PreprocessedSSSP:
         ``n_jobs``.
         """
         source_arr = np.asarray(list(sources), dtype=np.int64)
-        name = self._resolve_engine(engine)
+        name = self.resolve_engine(engine)
         # fail fast (unknown engine, unsupported parents) before forking
         spec = get_engine(name)
         if track_parents and not spec.supports_parents:
             raise ValueError(f"the {name} engine does not track parents")
         self._queries += len(source_arr)
+        unique, inverse = np.unique(source_arr, return_inverse=True)
         payload = (self.graph, self.radii, name, track_parents)
         blocks = parallel_map_shared(
-            _solve_chunk, payload, source_arr, n_jobs=n_jobs
+            _solve_chunk, payload, unique, n_jobs=n_jobs
         )
-        return [res for block in blocks for res in block]
+        flat = [res for block in blocks for res in block]
+        return [flat[i] for i in inverse]
 
     def mean_steps(self, sources: Iterable[int], *, n_jobs: int = 1) -> float:
         """Average step count over ``sources`` — the §5.3 metric."""

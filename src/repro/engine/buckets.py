@@ -24,6 +24,17 @@ exact analogue of the heaps' lazy-deletion discipline, so the fresh-key
 sequence the queue yields is identical to the heaps' (pinned by
 ``tests/engine/test_buckets.py::TestHeapEquivalence``).
 
+With ``auto_resize=True`` the width is only a starting hint: following
+Brown's calendar-queue resize rule (Brown 1988, §4), whenever the entry
+population doubles (or collapses) since the last calibration the queue
+re-estimates the width from the live key distribution — spread divided
+by the target bucket count for a small constant occupancy per bucket —
+and redistributes in one vectorized pass.  Scans pop exact ``(key,
+vertex)``-ordered entries rather than bucket boundaries, so resizing
+changes *cost only*, never the popped sequence; the amortized price is
+O(1) per entry (each redistribution is paid for by the doubling that
+triggered it).
+
 The structure is deliberately generic over "current key": callers pass
 a vectorized ``key_of(vertices) -> keys`` callable at query time, so
 one class serves both Q (keyed by ``δ(v)``) and R (keyed by
@@ -45,6 +56,15 @@ KeyFn = Callable[[np.ndarray], np.ndarray]
 #: bucket index reachable from a float key.
 _INF_BUCKET = np.iinfo(np.int64).max
 
+#: auto-resize: entries below this never trigger a recalibration (tiny
+#: queues are cheap under any width).
+_RETUNE_MIN = 64
+
+#: auto-resize: aim for this many entries per bucket — a few per bucket
+#: keeps both the per-bucket repack scans and the ``min(buckets)``
+#: bucket-index scans short (Brown 1988 recommends small constants).
+_TARGET_OCCUPANCY = 16
+
 
 class LazyBucketQueue:
     """Monotone bucket priority queue with lazy batched inserts.
@@ -58,6 +78,10 @@ class LazyBucketQueue:
         bucket that sorts after every finite bucket; passing ``False``
         (when the caller knows its keys are finite) skips the
         inf-routing work on every flush.
+    auto_resize: treat ``width`` as a starting hint and recalibrate it
+        from the live key population whenever the entry count doubles
+        or collapses (Brown's calendar-queue resize rule).  Popped
+        sequences are unaffected — only scan cost changes.
 
     Notes
     -----
@@ -68,18 +92,34 @@ class LazyBucketQueue:
     lazy scheme amortized O(1) per entry.
     """
 
-    __slots__ = ("width", "maybe_inf", "_buckets", "_pending", "_size")
+    __slots__ = (
+        "width",
+        "maybe_inf",
+        "auto_resize",
+        "_buckets",
+        "_pending",
+        "_size",
+        "_tuned_size",
+        "_retunes",
+    )
 
-    def __init__(self, width: float, *, maybe_inf: bool = True) -> None:
+    def __init__(
+        self, width: float, *, maybe_inf: bool = True, auto_resize: bool = False
+    ) -> None:
         if not (width > 0 and math.isfinite(width)):
             raise ValueError(f"bucket width must be positive and finite, got {width}")
         self.width = float(width)
         self.maybe_inf = maybe_inf
+        self.auto_resize = auto_resize
         #: bucket index -> list of (keys, vertices) array segments
         self._buckets: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
         #: batched inserts not yet distributed into buckets
         self._pending: list[tuple[np.ndarray, np.ndarray]] = []
         self._size = 0
+        #: entry count at the last recalibration (resize trigger baseline)
+        self._tuned_size = 0
+        #: recalibrations performed (observability for tests/benchmarks)
+        self._retunes = 0
 
     def __len__(self) -> int:
         """Number of stored entries (including stale ones)."""
@@ -99,16 +139,22 @@ class LazyBucketQueue:
         self._size += len(vertices)
 
     def _flush(self) -> None:
-        """Distribute pending entries into their buckets, vectorized."""
+        """Distribute pending entries into their buckets, vectorized;
+        recalibrate the width afterwards when auto-resize triggers."""
         pending = self._pending
-        if not pending:
-            return
-        self._pending = []
-        if len(pending) == 1:
-            keys, verts = pending[0]
-        else:
-            keys = np.concatenate([p[0] for p in pending])
-            verts = np.concatenate([p[1] for p in pending])
+        if pending:
+            self._pending = []
+            if len(pending) == 1:
+                keys, verts = pending[0]
+            else:
+                keys = np.concatenate([p[0] for p in pending])
+                verts = np.concatenate([p[1] for p in pending])
+            self._distribute(keys, verts)
+        if self.auto_resize:
+            self._maybe_retune()
+
+    def _distribute(self, keys: np.ndarray, verts: np.ndarray) -> None:
+        """Scatter ``(keys, verts)`` into buckets under the current width."""
         if self.maybe_inf:
             finite = np.isfinite(keys)
             idx = np.floor_divide(np.where(finite, keys, 0.0), self.width).astype(
@@ -133,6 +179,49 @@ class LazyBucketQueue:
                 (keys[lo:hi], verts[lo:hi])
             )
             lo = hi
+
+    # ------------------------------------------------------------------ #
+    # Brown 1988 §4: calendar resize
+    # ------------------------------------------------------------------ #
+    def _maybe_retune(self) -> None:
+        """Fire a recalibration when the population doubled or collapsed
+        since the last one (never below the ``_RETUNE_MIN`` floor)."""
+        size = self._size
+        if size >= max(_RETUNE_MIN, 2 * self._tuned_size) or (
+            self._tuned_size >= _RETUNE_MIN and 4 * size <= self._tuned_size
+        ):
+            self._retune(size)
+
+    def _retune(self, size: int) -> None:
+        """Re-estimate the width from the live keys and redistribute.
+
+        Width = finite key spread / target bucket count, i.e. a few
+        entries per bucket (Brown's rule of sampling the current event
+        population).  Degenerate populations (all-equal, all-infinite,
+        too few keys) keep the current width; a new width within 2x of
+        the old is not worth the redistribution and is skipped.
+        """
+        self._tuned_size = size
+        buckets = self._buckets
+        if not buckets:
+            return
+        segments = [seg for segs in buckets.values() for seg in segs]
+        keys, verts = self._concat(segments)
+        finite = keys[np.isfinite(keys)] if self.maybe_inf else keys
+        if len(finite) < 2:
+            return
+        spread = float(finite.max()) - float(finite.min())
+        if not (spread > 0 and math.isfinite(spread)):
+            return
+        width = spread / max(1.0, len(finite) / _TARGET_OCCUPANCY)
+        if not (width > 0 and math.isfinite(width)):
+            return
+        if 0.5 <= width / self.width <= 2.0:
+            return  # close enough — skip the churn
+        self.width = width
+        self._retunes += 1
+        self._buckets = {}
+        self._distribute(keys, verts)
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -85,6 +85,11 @@ def default_bucket_width(graph) -> float:
     advance by roughly one edge weight per relaxation, so the mean
     weight (floored at the smallest positive weight) is a robust
     default.  Falls back to 1.0 on edgeless / all-zero-weight graphs.
+
+    Since the queues self-tune (``LazyBucketQueue(auto_resize=True)``,
+    the :class:`RadiusBucketSchedule` default), this is only the
+    starting hint — Brown's resize rule takes over once the live key
+    population says otherwise.
     """
     if graph.num_arcs == 0:
         return 1.0
@@ -166,23 +171,38 @@ class RadiusBucketSchedule:
     so it is kept as a lazy flat frontier: segments of first-reached
     vertices, concatenated and partitioned by ``δ(v) ≤ d_i`` once per
     step.
+
+    By default (``width=None``) the :func:`default_bucket_width`
+    heuristic is only a *starting hint*: the queue recalibrates itself
+    from the live key population via Brown's calendar-queue resize rule
+    (see :class:`LazyBucketQueue`), so no graph can be pathological for
+    the fixed-width guess.  Passing an explicit ``width`` pins it unless
+    ``auto_resize=True`` is also given.
     """
 
     name = "radius-bucket"
 
     def __init__(
-        self, radii: np.ndarray | None, *, width: float | None = None
+        self,
+        radii: np.ndarray | None,
+        *,
+        width: float | None = None,
+        auto_resize: bool | None = None,
     ) -> None:
         self._radii = radii
         self._width = width
+        self._auto = auto_resize
 
     def bind(self, kernel: RelaxationKernel) -> None:
         self._kernel = kernel
         n = kernel.graph.n
         self.r = _as_radius_array(self._radii, n)
         width = self._width or default_bucket_width(kernel.graph)
+        auto = self._auto if self._auto is not None else self._width is None
         has_inf = bool(np.isinf(self.r).any())
-        self._rq = LazyBucketQueue(width, maybe_inf=has_inf)  # by δ(v) + r(v)
+        self._rq = LazyBucketQueue(  # by δ(v) + r(v)
+            width, maybe_inf=has_inf, auto_resize=auto
+        )
         self._reached = np.zeros(n, dtype=bool)
         self._reached[kernel.settled.nonzero()[0]] = True
         self._segments: list[np.ndarray] = []  # lazy frontier (Q)

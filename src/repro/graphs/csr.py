@@ -14,6 +14,7 @@ instead of per-edge Python loops.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Tuple
 
 import numpy as np
@@ -50,6 +51,7 @@ class CSRGraph:
         "_min_pos_weight",
         "_max_weight",
         "_is_unweighted",
+        "_content_hash",
         "__weakref__",  # id-keyed caches evict via weakref.finalize
     )
 
@@ -76,6 +78,7 @@ class CSRGraph:
         self._min_pos_weight: float | None = None
         self._max_weight: float | None = None
         self._is_unweighted: bool | None = None
+        self._content_hash: str | None = None
 
     # ------------------------------------------------------------------ #
     # Size properties
@@ -126,6 +129,28 @@ class CSRGraph:
                 len(self.weights) == 0 or np.all(self.weights == 1.0)
             )
         return self._is_unweighted
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def content_hash(self) -> str:
+        """Stable hex digest of the graph's content.
+
+        Two graphs hash equal iff their CSR arrays are byte-identical
+        (same vertices, edges, ordering and weights) — the identity key
+        the serving layer uses to pair preprocessing artifacts and
+        cached query results with the graph they were computed on.
+        Cached after the first call: the arrays are immutable and the
+        O(n + m) digest must not repeat per query.
+        """
+        if self._content_hash is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.int64(self.n).tobytes())
+            h.update(self.indptr.tobytes())
+            h.update(self.indices.tobytes())
+            h.update(self.weights.tobytes())
+            self._content_hash = h.hexdigest()
+        return self._content_hash
 
     # ------------------------------------------------------------------ #
     # Local structure

@@ -24,6 +24,7 @@ Two entry points share that contract:
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import threading
 from functools import partial
@@ -40,16 +41,23 @@ def _invoke(fn: Callable, fn_args: tuple, fn_kwargs: dict, chunk: np.ndarray) ->
     return fn(*fn_args, chunk, **fn_kwargs)
 
 
-#: fork-inherited payload for :func:`parallel_map_shared`; set in the
-#: parent immediately before the pool forks, cleared afterwards.  The
-#: lock serializes stage-and-fork so concurrent callers (a threaded
-#: serving process) cannot fork workers against each other's payload.
-_SHARED: Any = None
+#: fork-inherited payloads for :func:`parallel_map_shared`, keyed by a
+#: per-call token.  A payload is staged before the pool forks and
+#: removed once its map completes; tokens keep concurrent callers (a
+#: threaded serving process) and *worker respawns* correct — a pool that
+#: replaces a crashed worker mid-map forks it from the parent at that
+#: moment, and the token still resolves to the right payload even if
+#: another thread staged its own in between.  The lock only guards the
+#: dict mutations, never a fork or a map.
+_SHARED_MAP: dict[int, Any] = {}
 _SHARED_LOCK = threading.Lock()
+_SHARED_TOKENS = itertools.count()
 
 
-def _invoke_shared(fn: Callable, fn_kwargs: dict, chunk: np.ndarray) -> Any:
-    return fn(_SHARED, chunk, **fn_kwargs)
+def _invoke_shared(
+    fn: Callable, fn_kwargs: dict, token: int, chunk: np.ndarray
+) -> Any:
+    return fn(_SHARED_MAP[token], chunk, **fn_kwargs)
 
 
 def parallel_map(
@@ -112,7 +120,6 @@ def parallel_map_shared(
     Returns one result per chunk, in deterministic input order, exactly
     like :func:`parallel_map`.
     """
-    global _SHARED
     fn_kwargs = fn_kwargs or {}
     jobs = resolve_jobs(n_jobs)
     if len(items) == 0:
@@ -128,10 +135,17 @@ def parallel_map_shared(
         call = partial(_invoke, fn, (shared,), fn_kwargs)
         with ctx.Pool(processes=jobs) as pool:
             return pool.map(call, chunks)
+    # Children snapshot the payload map copy-on-write whenever they fork
+    # (pool start *or* mid-map worker respawn), so the payload stays
+    # staged under its token for the whole map; the lock protects only
+    # the dict itself, so a threaded serving process keeps several batch
+    # queries in flight without serializing on staging.
     with _SHARED_LOCK:
-        _SHARED = shared
-        try:
-            with ctx.Pool(processes=jobs) as pool:
-                return pool.map(partial(_invoke_shared, fn, fn_kwargs), chunks)
-        finally:
-            _SHARED = None
+        token = next(_SHARED_TOKENS)
+        _SHARED_MAP[token] = shared
+    try:
+        with ctx.Pool(processes=jobs) as pool:
+            return pool.map(partial(_invoke_shared, fn, fn_kwargs, token), chunks)
+    finally:
+        with _SHARED_LOCK:
+            del _SHARED_MAP[token]

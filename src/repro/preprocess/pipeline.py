@@ -44,6 +44,9 @@ class PreprocessResult:
     new_edges: undirected edges genuinely new to the graph after merge
         (duplicates across sources / existing edges collapse).
     k, rho, heuristic: the configuration.
+    source_hash: :meth:`~repro.graphs.csr.CSRGraph.content_hash` of the
+        *input* graph, so a persisted artifact can later be verified
+        against the graph a serving process intends to query.
     """
 
     graph: CSRGraph
@@ -53,12 +56,25 @@ class PreprocessResult:
     k: int
     rho: int
     heuristic: str
+    source_hash: str = ""
 
     @property
     def edge_factor(self) -> float:
         """added_edges / m of the input graph — Figure 3's y-axis."""
         base_m = self.graph.m - self.new_edges
         return self.added_edges / base_m if base_m else float("inf")
+
+    def save(self, path) -> None:
+        """Persist this result as a serving artifact (``.npz`` bundle).
+
+        The export hook into :mod:`repro.serve.artifacts` (imported
+        lazily — preprocessing must not depend on the serving layer):
+        ``load_artifact(path)`` restores an equal record in milliseconds,
+        skipping the whole (k,ρ)-construction.
+        """
+        from ..serve.artifacts import save_artifact
+
+        save_artifact(path, self)
 
 
 def _shortcuts_for_chunk(
@@ -143,4 +159,5 @@ def build_kr_graph(
         k=k,
         rho=rho,
         heuristic=heuristic,
+        source_hash=graph.content_hash(),
     )

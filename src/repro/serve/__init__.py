@@ -1,0 +1,63 @@
+"""Query-serving subsystem: persist, share, cache, serve.
+
+The paper's operating model — preprocess once, query many (§5.4) —
+becomes a production serving story in four cooperating parts:
+
+* :mod:`~repro.serve.artifacts` — the (k,ρ)-preprocessing persisted as
+  a versioned, checksummed ``.npz`` bundle; a server warm-starts in
+  milliseconds instead of re-running ``build_kr_graph``.
+* :mod:`~repro.serve.shm` — batch results written straight into a
+  ``multiprocessing.shared_memory`` distance matrix
+  (:class:`DistanceMatrix`), bit-identical to the pickled
+  ``solve_many`` path without the per-row serialization.
+* :mod:`~repro.serve.planner` — :class:`QueryPlanner`: an LRU
+  source-row cache keyed by (graph hash, engine, source), request
+  deduplication, and coalescing of mixed single-source /
+  point-to-point / k-nearest batches onto one fan-out.
+* :mod:`~repro.serve.service` — :class:`RoutingService`, the
+  synchronous facade tying it all together (see
+  ``examples/routing_service.py``).
+"""
+
+from .artifacts import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactGraphMismatchError,
+    ArtifactVersionError,
+    load_artifact,
+    load_solver,
+    save_artifact,
+)
+from .planner import (
+    KNearest,
+    Nearest,
+    PointToPoint,
+    QueryPlanner,
+    Route,
+    SingleSource,
+)
+from .service import RoutingService
+from .shm import DistanceMatrix, solve_many_shm
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ArtifactCorruptError",
+    "ArtifactError",
+    "ArtifactGraphMismatchError",
+    "ArtifactVersionError",
+    "DistanceMatrix",
+    "KNearest",
+    "Nearest",
+    "PointToPoint",
+    "QueryPlanner",
+    "Route",
+    "RoutingService",
+    "SingleSource",
+    "load_artifact",
+    "load_solver",
+    "save_artifact",
+    "solve_many_shm",
+]

@@ -1,0 +1,271 @@
+"""Persistent preprocessing artifacts — preprocess once, serve forever.
+
+The paper's amortization argument (§5.4) assumes the (k,ρ)-construction
+cost is paid *once* per graph; a serving process that re-runs
+:func:`repro.preprocess.build_kr_graph` on every start pays it once per
+restart instead.  This module closes that gap: a complete
+:class:`~repro.preprocess.pipeline.PreprocessResult` — the augmented
+CSR arrays, the radii, and the (k, ρ, heuristic) configuration — is
+persisted as one versioned ``.npz`` bundle and restored in milliseconds,
+round-tripping through
+:meth:`repro.core.solver.PreprocessedSSSP.from_preprocessed` into a
+query-ready facade.
+
+Integrity is never assumed:
+
+* every bundle carries a **payload checksum** over all arrays and
+  metadata — bit rot, truncation and hand-editing raise
+  :class:`ArtifactCorruptError` instead of silently serving wrong routes;
+* a **format version** field gates schema evolution
+  (:class:`ArtifactVersionError` on mismatch);
+* the **source-graph content hash** recorded at build time is compared
+  against the graph the caller intends to serve
+  (:class:`ArtifactGraphMismatchError`), so an artifact can never be
+  paired with a graph it was not built from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from ..core.solver import PreprocessedSSSP
+from ..graphs.csr import CSRGraph
+from ..preprocess.pipeline import PreprocessResult
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "ArtifactCorruptError",
+    "ArtifactVersionError",
+    "ArtifactGraphMismatchError",
+    "save_artifact",
+    "load_artifact",
+    "load_solver",
+]
+
+#: magic string identifying a bundle as ours (first field checked on load).
+ARTIFACT_FORMAT = "repro-kr-artifact"
+
+#: bump on any incompatible schema change; loaders refuse other versions.
+ARTIFACT_VERSION = 1
+
+#: every array field a version-1 bundle must contain.
+_ARRAY_FIELDS = ("indptr", "indices", "weights", "radii")
+_META_FIELDS = ("k", "rho", "heuristic", "added_edges", "new_edges", "source_hash")
+
+
+class ArtifactError(RuntimeError):
+    """Base class for every artifact load/save failure."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """The bundle is unreadable, truncated, incomplete, or fails its
+    payload checksum — its contents cannot be trusted."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """The bundle's format version is not the one this code reads."""
+
+
+class ArtifactGraphMismatchError(ArtifactError):
+    """The bundle was preprocessed from a different graph than the one
+    the caller wants to serve."""
+
+
+def _payload_hash(
+    arrays: dict[str, np.ndarray], meta: tuple
+) -> str:
+    """Checksum over every array byte plus the metadata tuple."""
+    h = hashlib.blake2b(digest_size=16)
+    for name in _ARRAY_FIELDS:
+        arr = arrays[name]
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(arr.tobytes())
+    h.update(repr(meta).encode())
+    return h.hexdigest()
+
+
+def save_artifact(path: str | Path, pre: PreprocessResult) -> Path:
+    """Write ``pre`` to ``path`` as a versioned ``.npz`` bundle.
+
+    The file is written exactly at ``path`` (no ``.npz`` suffix is
+    appended).  Returns the path written.
+    """
+    path = Path(path)
+    arrays = {
+        "indptr": pre.graph.indptr,
+        "indices": pre.graph.indices,
+        "weights": pre.graph.weights,
+        "radii": np.ascontiguousarray(pre.radii, dtype=np.float64),
+    }
+    meta = (
+        int(pre.k),
+        int(pre.rho),
+        str(pre.heuristic),
+        int(pre.added_edges),
+        int(pre.new_edges),
+        str(pre.source_hash),
+    )
+    with open(path, "wb") as fh:
+        np.savez(
+            fh,
+            format=ARTIFACT_FORMAT,
+            version=np.int64(ARTIFACT_VERSION),
+            k=np.int64(pre.k),
+            rho=np.int64(pre.rho),
+            heuristic=str(pre.heuristic),
+            added_edges=np.int64(pre.added_edges),
+            new_edges=np.int64(pre.new_edges),
+            source_hash=str(pre.source_hash),
+            payload_hash=_payload_hash(arrays, meta),
+            **arrays,
+        )
+    return path
+
+
+def _read_bundle(path: Path) -> dict[str, np.ndarray]:
+    """Load every member of the ``.npz``, mapping low-level failures
+    (missing file aside) to :class:`ArtifactCorruptError`."""
+    if not path.exists():
+        raise FileNotFoundError(f"no artifact at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            return {name: npz[name] for name in npz.files}
+    except (zipfile.BadZipFile, ValueError, KeyError, OSError, EOFError) as exc:
+        raise ArtifactCorruptError(
+            f"artifact {path} is unreadable (corrupt or truncated): {exc}"
+        ) from exc
+
+
+def load_artifact(
+    path: str | Path, *, expect_graph: CSRGraph | None = None
+) -> PreprocessResult:
+    """Restore a :class:`PreprocessResult` saved by :func:`save_artifact`.
+
+    Parameters
+    ----------
+    path: the ``.npz`` bundle.
+    expect_graph: when given, the bundle's recorded source-graph hash
+        must equal ``expect_graph.content_hash()`` —
+        :class:`ArtifactGraphMismatchError` otherwise.  Pass the graph a
+        serving process is about to answer queries on; this is what
+        stops a stale or misplaced artifact from silently serving routes
+        for some other graph.
+
+    Raises
+    ------
+    ArtifactCorruptError: unreadable/truncated file, missing fields, or
+        payload checksum mismatch.
+    ArtifactVersionError: bundle written by an incompatible version.
+    ArtifactGraphMismatchError: ``expect_graph`` hash mismatch.
+    """
+    path = Path(path)
+    bundle = _read_bundle(path)
+    fmt = bundle.get("format")
+    if fmt is None or str(fmt) != ARTIFACT_FORMAT:
+        raise ArtifactCorruptError(
+            f"{path} is not a {ARTIFACT_FORMAT} bundle (format field "
+            f"{str(fmt) if fmt is not None else '<missing>'!r})"
+        )
+    if "version" not in bundle:
+        raise ArtifactCorruptError(f"{path} is missing its version field")
+    version = int(bundle["version"])
+    if version != ARTIFACT_VERSION:
+        raise ArtifactVersionError(
+            f"{path} has artifact version {version}; this build reads "
+            f"version {ARTIFACT_VERSION} — re-run preprocessing to regenerate"
+        )
+    missing = [
+        f
+        for f in (*_ARRAY_FIELDS, *_META_FIELDS, "payload_hash")
+        if f not in bundle
+    ]
+    if missing:
+        raise ArtifactCorruptError(
+            f"{path} is missing required fields: {', '.join(missing)}"
+        )
+    arrays = {name: bundle[name] for name in _ARRAY_FIELDS}
+    meta = (
+        int(bundle["k"]),
+        int(bundle["rho"]),
+        str(bundle["heuristic"]),
+        int(bundle["added_edges"]),
+        int(bundle["new_edges"]),
+        str(bundle["source_hash"]),
+    )
+    if _payload_hash(arrays, meta) != str(bundle["payload_hash"]):
+        raise ArtifactCorruptError(
+            f"{path} failed its payload checksum — the stored arrays or "
+            "metadata were altered after the artifact was written"
+        )
+    if expect_graph is not None:
+        expected = expect_graph.content_hash()
+        if meta[5] != expected:
+            raise ArtifactGraphMismatchError(
+                f"{path} was preprocessed from a different graph "
+                f"(artifact source hash {meta[5] or '<unrecorded>'}, "
+                f"serving graph hash {expected})"
+            )
+    # The checksum certified the arrays byte-identical to what the save
+    # path wrote, but the checksum is keyless — any writer can produce a
+    # self-consistent bundle — so the invariants that would make queries
+    # *silently wrong* are still enforced: shape consistency, monotone
+    # indptr, in-range arc heads (a negative index would gather a
+    # wrong-but-valid neighbor via numpy wraparound), and finite
+    # non-negative weights.  Only the O(m log m) symmetry/simplicity
+    # sorts are skipped — a violation there makes the graph *different*,
+    # not the solvers incorrect — which is most of the warm-start win.
+    indptr, indices, weights = (
+        arrays["indptr"],
+        arrays["indices"],
+        arrays["weights"],
+    )
+    radii = np.ascontiguousarray(arrays["radii"], dtype=np.float64)
+    if (
+        indptr.ndim != 1
+        or len(indptr) < 1
+        or indptr[0] != 0
+        or indptr[-1] != len(indices)
+        or len(indices) != len(weights)
+        or len(radii) != len(indptr) - 1
+        or np.any(np.diff(indptr) < 0)
+    ):
+        raise ArtifactCorruptError(
+            f"{path} holds inconsistent CSR/radii array shapes"
+        )
+    n = len(indptr) - 1
+    if len(indices) and (indices.min() < 0 or indices.max() >= n):
+        raise ArtifactCorruptError(f"{path} holds out-of-range arc heads")
+    if np.any(~np.isfinite(weights)) or np.any(weights < 0):
+        raise ArtifactCorruptError(
+            f"{path} holds negative or non-finite edge weights"
+        )
+    graph = CSRGraph(indptr, indices, weights, validate=False)
+    return PreprocessResult(
+        graph=graph,
+        radii=radii,
+        added_edges=meta[3],
+        new_edges=meta[4],
+        k=meta[0],
+        rho=meta[1],
+        heuristic=meta[2],
+        source_hash=meta[5],
+    )
+
+
+def load_solver(
+    path: str | Path, *, expect_graph: CSRGraph | None = None
+) -> PreprocessedSSSP:
+    """One-call warm start: artifact → query-ready facade.
+
+    Equivalent to ``PreprocessedSSSP.from_preprocessed(load_artifact(...))``
+    — what a server runs at boot instead of ``build_kr_graph``.
+    """
+    pre = load_artifact(path, expect_graph=expect_graph)
+    return PreprocessedSSSP.from_preprocessed(pre, input_graph=expect_graph)

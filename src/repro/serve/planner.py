@@ -1,0 +1,350 @@
+"""Query planner — the caching, coalescing brain of the serving layer.
+
+The paper amortizes one (k,ρ)-preprocessing pass over many SSSP
+queries; real query traffic amortizes further, because it repeats
+itself: a routing service sees the same depots, landmarks and hub
+vertices as sources over and over, and most requests are not "all n
+distances from s" but "distance s→t" or "the 10 closest facilities to
+s" — tiny reads against a source row someone else already paid for.
+
+:class:`QueryPlanner` exploits both regularities over any
+:class:`~repro.core.solver.PreprocessedSSSP`:
+
+* **LRU source-row cache** keyed by ``(graph hash, engine, source)``:
+  a solved distance (and parent) row is kept and every later query
+  touching that source — single-source, point-to-point, k-nearest —
+  is answered from it without running a solver.
+* **Request deduplication**: queries in one batch sharing a source
+  collapse onto one solve.
+* **Batch coalescing**: all cache-missing sources of a mixed batch go
+  to ``solve_many`` as *one* fan-out (one pool, one copy-on-write
+  staging), not one solver call per request.
+
+Hit/miss/eviction/coalescing counters are exposed via :meth:`stats`
+for the serving benchmark (``benchmarks/bench_serving.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.result import parent_path
+from ..core.solver import PreprocessedSSSP
+from ..engine.registry import get_engine
+
+__all__ = [
+    "SingleSource",
+    "PointToPoint",
+    "KNearest",
+    "Route",
+    "Nearest",
+    "QueryPlanner",
+]
+
+
+# --------------------------------------------------------------------- #
+# Query and answer records
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SingleSource:
+    """All distances from ``source``; answered with the full row."""
+
+    source: int
+
+
+@dataclass(frozen=True)
+class PointToPoint:
+    """One distance (and, when parents are tracked, one path)."""
+
+    source: int
+    target: int
+
+
+@dataclass(frozen=True)
+class KNearest:
+    """The ``k`` closest *reachable* vertices to ``source`` (excluding
+    itself; fewer than ``k`` come back when the component is smaller)."""
+
+    source: int
+    k: int
+
+
+@dataclass(frozen=True)
+class Route:
+    """Answer to a :class:`PointToPoint` query.
+
+    ``path`` is the vertex sequence source → … → target in the
+    *augmented* (k,ρ)-graph — consecutive hops may be shortcut edges,
+    whose weights are exact input-graph shortest-path distances, so
+    ``distance`` is always the true input-graph metric.  ``None`` when
+    the planner does not track parents or the target is unreachable.
+    """
+
+    source: int
+    target: int
+    distance: float
+    path: tuple[int, ...] | None = None
+
+
+@dataclass(frozen=True)
+class Nearest:
+    """Answer to a :class:`KNearest` query: vertices sorted by
+    ``(distance, vertex)``, with their distances."""
+
+    source: int
+    vertices: np.ndarray
+    distances: np.ndarray
+
+
+class _Row:
+    """One cached source row: read-only distance/parent arrays."""
+
+    __slots__ = ("dist", "parent")
+
+    def __init__(self, dist: np.ndarray, parent: np.ndarray | None) -> None:
+        dist = np.asarray(dist)
+        dist.setflags(write=False)
+        if parent is not None:
+            parent = np.asarray(parent)
+            parent.setflags(write=False)
+        self.dist = dist
+        self.parent = parent
+
+
+def _normalize(query) -> SingleSource | PointToPoint | KNearest:
+    """Accept ergonomic shorthands: ``int`` → single-source,
+    ``(s, t)`` → point-to-point."""
+    if isinstance(query, (SingleSource, PointToPoint, KNearest)):
+        return query
+    if isinstance(query, (int, np.integer)):
+        return SingleSource(int(query))
+    if isinstance(query, tuple) and len(query) == 2:
+        return PointToPoint(int(query[0]), int(query[1]))
+    raise TypeError(
+        f"unsupported query {query!r}; expected SingleSource / PointToPoint "
+        "/ KNearest, an int source, or an (s, t) pair"
+    )
+
+
+class QueryPlanner:
+    """LRU-cached, batch-coalescing query executor.
+
+    Parameters
+    ----------
+    solver: the preprocessed facade queries run against.
+    engine: engine selector; resolved once so ``"auto"`` and its
+        concrete name share cache entries.
+    capacity: maximum cached source rows (LRU eviction); ``0`` disables
+        caching entirely (every query misses, nothing is stored).
+    track_parents: cache parent rows too, enabling :meth:`route` paths.
+    n_jobs: worker processes for coalesced batch solves.
+    """
+
+    def __init__(
+        self,
+        solver: PreprocessedSSSP,
+        *,
+        engine: str = "auto",
+        capacity: int = 256,
+        track_parents: bool = False,
+        n_jobs: int = 1,
+    ) -> None:
+        if capacity < 0:
+            raise ValueError("capacity >= 0 required")
+        self._solver = solver
+        self._engine = solver.resolve_engine(engine)
+        if track_parents and not get_engine(self._engine).supports_parents:
+            if engine == "auto":
+                # "auto" may pick the parentless §3.4 engine (unit-weight
+                # augmented graph); parent tracking asks for route paths,
+                # so fall back to the general engine instead of failing
+                # the first query.
+                self._engine = "vectorized"
+            else:
+                raise ValueError(
+                    f"the {self._engine} engine does not track parents; "
+                    "pass track_parents=False or pick another engine"
+                )
+        self._graph_hash = solver.graph.content_hash()
+        self._capacity = capacity
+        self._track_parents = track_parents
+        self._n_jobs = n_jobs
+        self._cache: OrderedDict[tuple[str, str, int], _Row] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._coalesced = 0
+        self._batches = 0
+        self._solves = 0
+
+    @property
+    def engine(self) -> str:
+        """The resolved registry engine name every query runs through."""
+        return self._engine
+
+    # ------------------------------------------------------------------ #
+    # Cache plumbing
+    # ------------------------------------------------------------------ #
+    def _key(self, source: int) -> tuple[str, str, int]:
+        return (self._graph_hash, self._engine, int(source))
+
+    def _lookup(self, source: int) -> _Row | None:
+        """Cache probe; refreshes LRU recency, counts hit/miss."""
+        key = self._key(source)
+        row = self._cache.get(key)
+        if row is None:
+            self._misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self._hits += 1
+        return row
+
+    def _insert(self, source: int, row: _Row) -> None:
+        if self._capacity == 0:
+            return
+        key = self._key(source)
+        self._cache[key] = row
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._capacity:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+
+    def _fetch_rows(self, sources: Iterable[int]) -> dict[int, _Row]:
+        """The planning core: cache-hit what we can, coalesce the rest.
+
+        Distinct missing sources go to ``solve_many`` as one batch (its
+        own dedup is a no-op here since the miss list is already
+        distinct); every row is inserted into the cache before any
+        answer is built.
+        """
+        wanted: list[int] = []
+        seen: set[int] = set()
+        for s in sources:
+            s = int(s)
+            if s not in seen:
+                seen.add(s)
+                wanted.append(s)
+        rows: dict[int, _Row] = {}
+        missing: list[int] = []
+        for s in wanted:
+            row = self._lookup(s)
+            if row is None:
+                missing.append(s)
+            else:
+                rows[s] = row
+        if missing:
+            self._batches += 1
+            self._solves += len(missing)
+            results = self._solver.solve_many(
+                missing,
+                engine=self._engine,
+                track_parents=self._track_parents,
+                n_jobs=self._n_jobs,
+            )
+            for s, res in zip(missing, results):
+                row = _Row(res.dist, res.parent)
+                rows[s] = row
+                self._insert(s, row)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Answer construction
+    # ------------------------------------------------------------------ #
+    def _path(self, row: _Row, source: int, target: int) -> tuple[int, ...] | None:
+        if row.parent is None or not np.isfinite(row.dist[target]):
+            return None
+        return tuple(parent_path(row.parent, target))
+
+    def _answer(self, query, rows: dict[int, _Row]):
+        if isinstance(query, SingleSource):
+            return rows[query.source].dist
+        if isinstance(query, PointToPoint):
+            row = rows[query.source]
+            return Route(
+                source=query.source,
+                target=query.target,
+                distance=float(row.dist[query.target]),
+                path=self._path(row, query.source, query.target),
+            )
+        row = rows[query.source]
+        dist = row.dist
+        # candidates: reachable vertices other than the source — an
+        # unreachable vertex must never be presented as "nearest"
+        others = np.nonzero(np.isfinite(dist))[0]
+        others = others[others != query.source]
+        k = min(query.k, len(others))
+        if k <= 0:
+            empty = np.empty(0, dtype=np.int64)
+            return Nearest(query.source, empty, np.empty(0))
+        d = dist[others]
+        # deterministic (distance, vertex) order; argpartition bounds the
+        # sort to the k winners instead of all n
+        part = (
+            np.argpartition(d, k - 1)[:k]
+            if k < len(others)
+            else np.arange(len(others))
+        )
+        order = np.lexsort((others[part], d[part]))
+        take = part[order]
+        return Nearest(query.source, others[take], d[take])
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def _check_vertex(self, v: int, what: str) -> None:
+        """Range-check a query vertex up front: numpy would accept a
+        negative index and silently serve the answer for vertex
+        ``n + v`` — unacceptable from a serving API."""
+        if not 0 <= v < self._solver.graph.n:
+            raise ValueError(
+                f"{what} {v} out of range for a graph with "
+                f"n={self._solver.graph.n} vertices"
+            )
+
+    def execute(self, queries: Sequence) -> list:
+        """Answer a mixed batch: one coalesced solve for all cache
+        misses, answers in input order."""
+        normalized = [_normalize(q) for q in queries]
+        for q in normalized:
+            self._check_vertex(q.source, "source")
+            if isinstance(q, PointToPoint):
+                self._check_vertex(q.target, "target")
+        rows = self._fetch_rows(q.source for q in normalized)
+        distinct = len({q.source for q in normalized})
+        self._coalesced += len(normalized) - distinct
+        return [self._answer(q, rows) for q in normalized]
+
+    def distances(self, source: int) -> np.ndarray:
+        """Full distance row from ``source`` (read-only; cached)."""
+        return self.execute([SingleSource(int(source))])[0]
+
+    def route(self, source: int, target: int) -> Route:
+        """Point-to-point answer served from the cached source row."""
+        return self.execute([PointToPoint(int(source), int(target))])[0]
+
+    def nearest(self, source: int, k: int) -> Nearest:
+        """The ``k`` closest vertices to ``source``."""
+        return self.execute([KNearest(int(source), int(k))])[0]
+
+    def warm(self, sources: Iterable[int]) -> None:
+        """Pre-populate the cache (e.g. known depots at boot)."""
+        self._fetch_rows(sources)
+
+    def stats(self) -> dict:
+        """Counter snapshot for benchmarking and monitoring."""
+        return {
+            "engine": self._engine,
+            "graph_hash": self._graph_hash,
+            "capacity": self._capacity,
+            "cached_rows": len(self._cache),
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "coalesced": self._coalesced,
+            "batches": self._batches,
+            "solves": self._solves,
+        }

@@ -1,0 +1,281 @@
+"""Shared-memory batch results — ``solve_many`` without pickling.
+
+:meth:`repro.core.solver.PreprocessedSSSP.solve_many` returns a list of
+:class:`~repro.core.result.SsspResult` objects, each carrying an
+``n``-long distance array that travels from worker to parent through the
+pool's pickle pipe.  For a huge batch that serialization is the
+bottleneck: an (n_sources × n) float64 matrix is copied byte-for-byte
+through a pipe the kernel already mapped into both processes.
+
+This module gives batches a zero-copy output path: the parent allocates
+one ``multiprocessing.shared_memory`` block holding the distance matrix
+(and, optionally, the parent matrix), workers attach by name and write
+their rows *in place*, and only tiny per-row counters (steps, substeps,
+relaxations) come back through the pipe.  The rows are produced by the
+same :func:`~repro.engine.registry.solve_with_engine` calls as the
+pickle path, so the output is bit-identical — pinned per engine by
+``tests/serve/test_shm.py``.
+
+:class:`DistanceMatrix` is a context manager owning the block::
+
+    with solve_many_shm(sp, sources, n_jobs=8) as dm:
+        nearest_depot = dm.dist.argmin(axis=0)
+
+On exit the segment is closed and unlinked; without the ``with`` the
+caller must pair :meth:`DistanceMatrix.close` / ``unlink`` manually.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Iterable
+
+import numpy as np
+
+from ..core.result import SsspResult
+from ..core.solver import PreprocessedSSSP
+from ..engine.registry import get_engine, solve_with_engine
+from ..parallel.pool import parallel_map_shared
+
+__all__ = ["DistanceMatrix", "solve_many_shm"]
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting ownership.
+
+    ``SharedMemory(name=...)`` re-registers the segment with the
+    resource tracker (bpo-38119).  Our attachers are always children of
+    the creating process (fork/spawn pool workers) or the creator
+    itself (the ``n_jobs=1`` inline path), so they share its tracker
+    and the re-register is an idempotent no-op on the tracker's name
+    set — unregistering here would instead *cancel* the owner's
+    registration and break its ``unlink``.  Hence: attach, nothing else.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _views(
+    buf, n_sources: int, n: int, track_parents: bool
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Map the segment layout: dist matrix, then optional parent matrix."""
+    dist = np.ndarray((n_sources, n), dtype=np.float64, buffer=buf)
+    parent = None
+    if track_parents:
+        parent = np.ndarray(
+            (n_sources, n), dtype=np.int64, buffer=buf, offset=dist.nbytes
+        )
+    return dist, parent
+
+
+class DistanceMatrix:
+    """An (n_sources × n) batch result living in shared memory.
+
+    Attributes
+    ----------
+    sources: the requested source per row, in input order.
+    dist: float64 view, ``dist[i]`` = distances from ``sources[i]``
+        (``inf`` where unreachable).
+    parent: int64 view of predecessors, or ``None`` when parents were
+        not requested.
+    steps / substeps / max_substeps / relaxations: per-row
+        instrumentation (ordinary arrays — they are tiny and travel
+        back through the pipe).
+    engine: resolved registry name that produced the rows.
+    algorithm: the solver's ``SsspResult.algorithm`` string.
+
+    The creating process owns the segment: ``close()`` detaches this
+    process's mapping, ``unlink()`` frees the segment system-wide, and
+    the context manager does both.
+
+    .. warning::
+        ``dist`` and ``parent`` are *views into the mapping*, as is any
+        slice taken from them.  Once ``close()`` runs (including via the
+        context manager's exit) the mapping is gone and touching a
+        retained view is a use-after-free — numpy cannot raise for it
+        (this is inherent to mmap-backed arrays, cf. the
+        :mod:`multiprocessing.shared_memory` docs).  Data that must
+        outlive the segment has to be copied out first:
+        :meth:`result` returns owning copies, or take ``dm.dist.copy()``
+        / ``dm.dist[i].copy()`` before leaving the ``with`` block.
+    """
+
+    def __init__(
+        self, sources: np.ndarray, n: int, *, track_parents: bool = False
+    ) -> None:
+        self.sources = np.ascontiguousarray(sources, dtype=np.int64).copy()
+        self.n = int(n)
+        n_sources = len(self.sources)
+        nbytes = 8 * n_sources * self.n * (2 if track_parents else 1)
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        self._unlinked = False
+        self.dist, self.parent = _views(
+            self._shm.buf, n_sources, self.n, track_parents
+        )
+        # deterministic contents even for rows no worker writes (n = 0
+        # sources aside): unreachable everywhere, no predecessors.
+        self.dist.fill(np.inf)
+        if self.parent is not None:
+            self.parent.fill(-1)
+        self.steps = np.zeros(n_sources, dtype=np.int64)
+        self.substeps = np.zeros(n_sources, dtype=np.int64)
+        self.max_substeps = np.zeros(n_sources, dtype=np.int64)
+        self.relaxations = np.zeros(n_sources, dtype=np.int64)
+        self.engine = ""
+        self.algorithm = ""
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.sources)
+
+    @property
+    def name(self) -> str:
+        """System-wide segment name workers attach by."""
+        return self._shm.name
+
+    def result(self, i: int) -> SsspResult:
+        """Row ``i`` repackaged as a standard :class:`SsspResult`.
+
+        The arrays are *copies* (safe to keep after the segment is
+        unlinked); everything else matches the pickle path bit for bit.
+        """
+        return SsspResult(
+            dist=self.dist[i].copy(),
+            parent=self.parent[i].copy() if self.parent is not None else None,
+            steps=int(self.steps[i]),
+            substeps=int(self.substeps[i]),
+            max_substeps=int(self.max_substeps[i]),
+            relaxations=int(self.relaxations[i]),
+            algorithm=self.algorithm,
+            params={"source": int(self.sources[i])},
+        )
+
+    def close(self) -> None:
+        """Release this process's mapping.
+
+        The matrix's own ``dist``/``parent`` attributes are dropped so
+        later attribute access fails loudly, but copies of those views
+        held by the caller become dangling (see the class warning) —
+        copy data out *before* closing.
+        """
+        self.dist = self.parent = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Free the segment system-wide (owner's responsibility)."""
+        if not self._unlinked:
+            self._unlinked = True
+            self._shm.unlink()
+
+    def __enter__(self) -> "DistanceMatrix":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()
+
+
+def _row_groups(inverse: np.ndarray, n_unique: int) -> tuple[np.ndarray, np.ndarray]:
+    """Group input rows by unique-source id in O(S log S), once.
+
+    Returns ``(order, bounds)``: the rows requesting unique source ``u``
+    are ``order[bounds[u]:bounds[u + 1]]`` — the worker-side scatter and
+    the parent-side counter fan-out both slice this instead of scanning
+    ``inverse`` per source (which would be O(unique × S)).
+    """
+    order = np.argsort(inverse, kind="stable")
+    bounds = np.searchsorted(
+        inverse[order], np.arange(n_unique + 1, dtype=np.int64)
+    )
+    return order, bounds
+
+
+def _solve_rows(payload: tuple, items: np.ndarray) -> tuple:
+    """Pool worker: solve a chunk of unique sources, write rows in place.
+
+    ``items`` indexes the deduplicated source array; each solve's row is
+    scattered to every input position that requested that source.  Only
+    the per-source counters return through the pipe.
+    """
+    (graph, radii, engine, track_parents, unique, order, bounds, shm_name, n_rows) = (
+        payload
+    )
+    shm = _attach(shm_name)
+    try:
+        dist, parent = _views(shm.buf, n_rows, graph.n, track_parents)
+        stats = np.zeros((4, len(items)), dtype=np.int64)
+        algorithm = ""
+        for j, u in enumerate(items):
+            res = solve_with_engine(
+                engine, graph, int(unique[u]), radii, track_parents=track_parents
+            )
+            rows = order[bounds[u] : bounds[u + 1]]
+            dist[rows] = res.dist
+            if parent is not None:
+                parent[rows] = res.parent
+            stats[:, j] = (res.steps, res.substeps, res.max_substeps, res.relaxations)
+            algorithm = res.algorithm
+        return items, stats, algorithm
+    finally:
+        shm.close()
+
+
+def solve_many_shm(
+    solver: PreprocessedSSSP,
+    sources: Iterable[int],
+    *,
+    engine: str = "auto",
+    track_parents: bool = False,
+    n_jobs: int = 1,
+) -> DistanceMatrix:
+    """Batched multi-source solve writing into shared memory.
+
+    Semantics match :meth:`PreprocessedSSSP.solve_many` exactly — same
+    engine dispatch, same deduplication of repeated sources, same
+    deterministic input-order rows for any ``n_jobs`` — but the result
+    is one :class:`DistanceMatrix` instead of a list of pickled
+    ``SsspResult`` objects.  The caller owns the returned matrix; use it
+    as a context manager (or call ``close()``/``unlink()``) to free the
+    segment.
+    """
+    source_arr = np.asarray(list(sources), dtype=np.int64)
+    name = solver.resolve_engine(engine)
+    spec = get_engine(name)  # fail fast before allocating the segment
+    if track_parents and not spec.supports_parents:
+        raise ValueError(f"the {name} engine does not track parents")
+    solver.count_queries(len(source_arr))
+    dm = DistanceMatrix(source_arr, solver.graph.n, track_parents=track_parents)
+    dm.engine = name
+    try:
+        unique, inverse = np.unique(source_arr, return_inverse=True)
+        order, bounds = _row_groups(inverse, len(unique))
+        payload = (
+            solver.graph,
+            solver.radii,
+            name,
+            track_parents,
+            unique,
+            order,
+            bounds,
+            dm.name,
+            len(source_arr),
+        )
+        blocks = parallel_map_shared(
+            _solve_rows,
+            payload,
+            np.arange(len(unique), dtype=np.int64),
+            n_jobs=n_jobs,
+        )
+        for items, stats, algorithm in blocks:
+            for j, u in enumerate(items):
+                rows = order[bounds[u] : bounds[u + 1]]
+                dm.steps[rows] = stats[0, j]
+                dm.substeps[rows] = stats[1, j]
+                dm.max_substeps[rows] = stats[2, j]
+                dm.relaxations[rows] = stats[3, j]
+            if algorithm:
+                dm.algorithm = algorithm
+    except Exception:
+        dm.close()
+        dm.unlink()
+        raise
+    return dm

@@ -92,3 +92,75 @@ class TestDispatch:
     def test_empty_batch(self, solver):
         _, sp = solver
         assert sp.solve_many([], n_jobs=4) == []
+
+
+class TestSourceDedup:
+    """Repeated sources are solved once and fanned back in input order."""
+
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_duplicates_answered_in_input_order(self, solver, n_jobs):
+        g, sp = solver
+        dup_sources = [7, 0, 7, 19, 0, 7]
+        results = sp.solve_many(dup_sources, n_jobs=n_jobs)
+        assert [r.params["source"] for r in results] == dup_sources
+        for s, res in zip(dup_sources, results):
+            assert np.array_equal(res.dist, dijkstra(g, s).dist)
+
+    def test_duplicates_share_one_solve(self, solver):
+        """The compute side sees each distinct source once: duplicate
+        positions share the result object of the unique solve."""
+        _, sp = solver
+        results = sp.solve_many([3, 11, 3, 3, 11])
+        assert results[0] is results[2] is results[3]
+        assert results[1] is results[4]
+        assert results[0] is not results[1]
+
+    def test_duplicated_equals_deduplicated_run(self, solver):
+        _, sp = solver
+        a = sp.solve_many([0, 7, 19])
+        b = sp.solve_many([0, 7, 0, 19, 7])
+        for x, y in zip(a, (b[0], b[1], b[3])):
+            assert np.array_equal(x.dist, y.dist)
+            assert (x.steps, x.substeps, x.relaxations) == (
+                y.steps,
+                y.substeps,
+                y.relaxations,
+            )
+
+    def test_mean_steps_weights_duplicates(self, solver):
+        """mean_steps averages over *requested* sources, so a duplicated
+        source keeps its weight in the mean."""
+        _, sp = solver
+        lone = sp.solve_many([0, 7])
+        expected = (2 * lone[0].steps + lone[1].steps) / 3
+        assert sp.mean_steps([0, 0, 7]) == expected
+
+
+class TestQueryCounter:
+    """queries_answered is the amortization denominator: every query
+    path charges it — solve, solve_many (duplicates included), and
+    mean_steps."""
+
+    def test_counter_across_all_paths(self):
+        g = random_connected_graph(30, 70, seed=2)
+        sp = PreprocessedSSSP(g, k=1, rho=6, heuristic="full")
+        assert sp.queries_answered == 0
+        sp.solve(0)
+        assert sp.queries_answered == 1
+        sp.distances(5)
+        assert sp.queries_answered == 2
+        sp.solve_many([0, 1, 2, 1])  # dedup must not shrink the count
+        assert sp.queries_answered == 6
+        sp.mean_steps([3, 4])
+        assert sp.queries_answered == 8
+        sp.solve_many([], n_jobs=2)
+        assert sp.queries_answered == 8
+
+    def test_count_queries_hook(self):
+        """External batch paths (the serving layer's shared-memory
+        matrix) charge the same counter through count_queries."""
+        g = random_connected_graph(20, 50, seed=3)
+        sp = PreprocessedSSSP(g, k=1, rho=4, heuristic="full")
+        sp.count_queries(5)
+        sp.count_queries()
+        assert sp.queries_answered == 6

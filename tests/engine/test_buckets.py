@@ -123,6 +123,109 @@ class TestPopFreshUntil:
         assert out.tolist() == [0]
 
 
+class TestAutoResize:
+    """Brown 1988 §4 recalibration: width is a hint, semantics are not."""
+
+    def test_bad_hint_gets_recalibrated(self):
+        """A width off by orders of magnitude is corrected once the
+        population doubles past the floor."""
+        rng = np.random.default_rng(3)
+        n = 500
+        dist = rng.uniform(0, 1000, n)
+        dead = np.zeros(n, dtype=bool)
+        q = LazyBucketQueue(1e-7, auto_resize=True)
+        q.push(np.arange(n), dist)
+        q.min_fresh_key(lambda vs: dist[vs], dead)  # flush → retune
+        assert q._retunes >= 1
+        assert q.width > 1e-3  # pulled toward spread / (live / occupancy)
+
+    def test_fixed_width_never_retunes(self):
+        rng = np.random.default_rng(4)
+        n = 300
+        dist = rng.uniform(0, 1000, n)
+        dead = np.zeros(n, dtype=bool)
+        q = LazyBucketQueue(1e-7, auto_resize=False)
+        q.push(np.arange(n), dist)
+        q.min_fresh_key(lambda vs: dist[vs], dead)
+        assert q._retunes == 0
+        assert q.width == 1e-7
+
+    def test_resize_preserves_entries_and_min(self):
+        rng = np.random.default_rng(5)
+        n = 400
+        dist = rng.uniform(5, 50, n)
+        dead = np.zeros(n, dtype=bool)
+        key = lambda vs: dist[vs]
+        tuned = LazyBucketQueue(1e9, auto_resize=True)
+        fixed = LazyBucketQueue(1.0)
+        for q in (tuned, fixed):
+            q.push(np.arange(n), dist)
+        assert tuned.min_fresh_key(key, dead) == fixed.min_fresh_key(key, dead)
+        assert len(tuned) == len(fixed) == n
+
+    @pytest.mark.parametrize("hint", [1e-6, 1.0, 1e6])
+    def test_pop_sequence_identical_to_heap_under_resize(self, hint):
+        """The popped (key, vertex) sequence must not depend on the hint
+        or on how many recalibrations fired along the way."""
+        import heapq
+
+        rng = np.random.default_rng(11)
+        n = 600
+        dist = rng.uniform(0, 2000, n)
+        dead = np.zeros(n, dtype=bool)
+        key = lambda vs: dist[vs]
+        q = LazyBucketQueue(hint, auto_resize=True)
+        heap = []
+        got: list[int] = []
+        want: list[int] = []
+        for lo in range(0, n, 100):  # interleave pushes and partial drains
+            batch = np.arange(lo, lo + 100)
+            q.push(batch, dist[batch])
+            for v in batch.tolist():
+                heapq.heappush(heap, (dist[v], v))
+            bound = float(np.quantile(dist[: lo + 100], 0.4))
+            got.extend(q.pop_fresh_until(bound, key, dead).tolist())
+            while heap and heap[0][0] <= bound:
+                k, v = heapq.heappop(heap)
+                if not dead[v] and k == dist[v]:
+                    want.append(v)
+        got.extend(q.pop_fresh_until(math.inf, key, dead).tolist())
+        while heap:
+            k, v = heapq.heappop(heap)
+            if not dead[v] and k == dist[v]:
+                want.append(v)
+        assert got == want
+
+    def test_shrink_trigger_recalibrates_after_collapse(self):
+        """After a drain leaves a sliver of the population, the next
+        flush fires the collapse branch of the trigger."""
+        rng = np.random.default_rng(6)
+        n = 1000
+        dist = rng.uniform(0, 100, n)
+        dead = np.zeros(n, dtype=bool)
+        key = lambda vs: dist[vs]
+        q = LazyBucketQueue(0.001, auto_resize=True)
+        q.push(np.arange(n), dist)
+        q.min_fresh_key(key, dead)  # flush at full population → retune
+        tuned_at = q._tuned_size
+        q.pop_fresh_until(float(np.quantile(dist, 0.95)), key, dead)
+        q.push(np.array([0]), np.array([dist[0]]))  # any flush re-checks
+        q.min_fresh_key(key, dead)
+        assert q._tuned_size < tuned_at  # collapse branch fired
+
+    def test_infinite_keys_survive_resize(self):
+        dist = np.full(200, math.inf)
+        dist[:100] = np.linspace(0, 1000, 100)
+        dead = np.zeros(200, dtype=bool)
+        key = lambda vs: dist[vs]
+        q = LazyBucketQueue(1e-8, auto_resize=True)
+        q.push(np.arange(200), dist)
+        assert q.min_fresh_key(key, dead) == 0.0
+        out = q.pop_fresh_until(math.inf, key, dead)
+        assert len(out) == 200
+        assert out[:100].tolist() == list(range(100))  # finite prefix order
+
+
 class TestHeapEquivalence:
     def test_random_sequences_match_heap(self):
         """Pushed with random keys and random staleness, the fresh-key

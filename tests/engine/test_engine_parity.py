@@ -162,6 +162,33 @@ class TestBucketHeapEquivalence:
             )
             assert np.allclose(res.dist, dijkstra(g, 0).dist)
 
+    @pytest.mark.parametrize("hint", [1e-6, 1e5])
+    def test_auto_resize_full_parity_under_bad_hint(self, hint):
+        """Self-tuning (Brown 1988 §4) makes the width a hint only: even
+        a pathological starting width must reproduce the heap schedule's
+        distances AND step/substep accounting exactly."""
+        g = random_connected_graph(80, 200, seed=13, weight_high=50)
+        pre = build_kr_graph(g, k=2, rho=12, heuristic="dp")
+        a = run_engine(
+            pre.graph, 0, RadiusSchedule(pre.radii), track_trace=True
+        )
+        b = run_engine(
+            pre.graph,
+            0,
+            RadiusBucketSchedule(pre.radii, width=hint, auto_resize=True),
+            track_trace=True,
+        )
+        assert np.array_equal(a.dist, b.dist)
+        assert (a.steps, a.substeps, a.max_substeps, a.relaxations) == (
+            b.steps,
+            b.substeps,
+            b.max_substeps,
+            b.relaxations,
+        )
+        assert [(t.radius, t.substeps, t.settled) for t in a.trace] == [
+            (t.radius, t.substeps, t.settled) for t in b.trace
+        ]
+
 
 class TestScheduleSemantics:
     def test_bellman_ford_schedule_single_step(self):

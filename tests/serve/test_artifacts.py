@@ -1,0 +1,250 @@
+"""Artifact store: round-trip fidelity and integrity failure modes.
+
+A serving process trusts an artifact with its routes, so every way a
+bundle can lie — truncation, bit rot, version skew, wrong source graph,
+missing fields — must raise a clear :class:`ArtifactError` subclass
+instead of silently serving wrong answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import dijkstra
+from repro.core.solver import PreprocessedSSSP
+from repro.preprocess import build_kr_graph
+from repro.serve import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactGraphMismatchError,
+    ArtifactVersionError,
+    load_artifact,
+    load_solver,
+    save_artifact,
+)
+
+from tests.helpers import random_connected_graph
+
+K, RHO = 2, 8
+
+
+@pytest.fixture(scope="module")
+def case():
+    g = random_connected_graph(70, 160, seed=21, weight_high=40)
+    return g, build_kr_graph(g, K, RHO, heuristic="dp")
+
+
+@pytest.fixture()
+def saved(case, tmp_path):
+    g, pre = case
+    path = tmp_path / "kr.npz"
+    save_artifact(path, pre)
+    return g, pre, path
+
+
+class TestRoundTrip:
+    def test_every_field_restored(self, saved):
+        g, pre, path = saved
+        back = load_artifact(path)
+        assert back.graph == pre.graph
+        assert np.array_equal(back.radii, pre.radii)
+        assert (back.k, back.rho, back.heuristic) == (pre.k, pre.rho, pre.heuristic)
+        assert back.added_edges == pre.added_edges
+        assert back.new_edges == pre.new_edges
+        assert back.source_hash == pre.source_hash == g.content_hash()
+
+    def test_round_trips_through_solver_facade(self, saved):
+        """The whole point: a warm-started facade answers exactly like
+        the one that paid for preprocessing."""
+        g, pre, path = saved
+        cold = PreprocessedSSSP.from_preprocessed(pre)
+        warm = PreprocessedSSSP.from_preprocessed(load_artifact(path))
+        for s in (0, 13, 42):
+            a, b = cold.solve(s), warm.solve(s)
+            assert np.array_equal(a.dist, b.dist)
+            assert (a.steps, a.substeps) == (b.steps, b.substeps)
+            assert np.array_equal(a.dist, dijkstra(g, s).dist)
+
+    def test_load_solver_one_call(self, saved):
+        g, _pre, path = saved
+        sp = load_solver(path, expect_graph=g)
+        assert np.array_equal(sp.solve(7).dist, dijkstra(g, 7).dist)
+        assert sp.queries_answered == 1
+
+    def test_exact_path_no_suffix_appended(self, case, tmp_path):
+        _g, pre = case
+        path = tmp_path / "bundle.artifact"  # no .npz suffix
+        assert save_artifact(path, pre) == path
+        assert path.exists()
+        assert load_artifact(path).graph == pre.graph
+
+    def test_preprocess_result_save_hook(self, case, tmp_path):
+        """PreprocessResult.save is the pipeline-side export hook."""
+        _g, pre = case
+        path = tmp_path / "hook.npz"
+        pre.save(path)
+        assert load_artifact(path).graph == pre.graph
+
+    def test_expect_graph_accepts_the_right_graph(self, saved):
+        g, _pre, path = saved
+        load_artifact(path, expect_graph=g)  # must not raise
+
+
+class TestGraphMismatch:
+    def test_different_weights_rejected(self, saved, tmp_path):
+        g, _pre, path = saved
+        from repro.graphs.build import reweighted
+
+        other = reweighted(g, np.asarray(g.weights) + 1.0)
+        with pytest.raises(ArtifactGraphMismatchError, match="different graph"):
+            load_artifact(path, expect_graph=other)
+
+    def test_different_topology_rejected(self, saved):
+        _g, _pre, path = saved
+        other = random_connected_graph(70, 160, seed=99)
+        with pytest.raises(ArtifactGraphMismatchError):
+            load_solver(path, expect_graph=other)
+
+    def test_mismatch_is_an_artifact_error(self, saved):
+        """One except-clause catches every artifact failure mode."""
+        _g, _pre, path = saved
+        other = random_connected_graph(10, 20, seed=1)
+        with pytest.raises(ArtifactError):
+            load_artifact(path, expect_graph=other)
+
+
+class TestVersionMismatch:
+    def _resave_with(self, path, **overrides):
+        with np.load(path, allow_pickle=False) as npz:
+            fields = {name: npz[name] for name in npz.files}
+        fields.update(overrides)
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+
+    def test_future_version_rejected(self, saved):
+        _g, _pre, path = saved
+        self._resave_with(path, version=np.int64(ARTIFACT_VERSION + 1))
+        with pytest.raises(ArtifactVersionError, match="re-run preprocessing"):
+            load_artifact(path)
+
+    def test_missing_version_is_corrupt(self, saved):
+        _g, _pre, path = saved
+        with np.load(path, allow_pickle=False) as npz:
+            fields = {n: npz[n] for n in npz.files if n != "version"}
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+        with pytest.raises(ArtifactCorruptError, match="version"):
+            load_artifact(path)
+
+    def test_wrong_format_magic_rejected(self, saved):
+        _g, _pre, path = saved
+        self._resave_with(path, format="some-other-format")
+        with pytest.raises(ArtifactCorruptError, match=ARTIFACT_FORMAT):
+            load_artifact(path)
+
+
+class TestCorruption:
+    def test_truncated_file(self, saved):
+        _g, _pre, path = saved
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ArtifactCorruptError, match="corrupt or truncated"):
+            load_artifact(path)
+
+    def test_flipped_payload_bytes(self, saved):
+        """Bit rot in the middle of the bundle must not load."""
+        _g, _pre, path = saved
+        raw = bytearray(path.read_bytes())
+        mid = len(raw) // 2
+        for i in range(mid, mid + 64):
+            raw[i] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ArtifactCorruptError):
+            load_artifact(path)
+
+    def test_junk_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz bundle at all")
+        with pytest.raises(ArtifactCorruptError):
+            load_artifact(path)
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        """A missing path is an ordinary FileNotFoundError, not a
+        corruption claim."""
+        with pytest.raises(FileNotFoundError):
+            load_artifact(tmp_path / "never-written.npz")
+
+    def test_missing_required_field(self, saved):
+        _g, _pre, path = saved
+        with np.load(path, allow_pickle=False) as npz:
+            fields = {n: npz[n] for n in npz.files if n != "radii"}
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+        with pytest.raises(ArtifactCorruptError, match="radii"):
+            load_artifact(path)
+
+    def test_tampered_array_fails_checksum(self, saved):
+        """Altering stored arrays (without breaking the zip container)
+        trips the payload checksum."""
+        _g, pre, path = saved
+        with np.load(path, allow_pickle=False) as npz:
+            fields = {n: npz[n] for n in npz.files}
+        radii = fields["radii"].copy()
+        radii[0] += 1.0  # a subtly wrong radius would mis-schedule steps
+        fields["radii"] = radii
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            load_artifact(path)
+
+    def test_checksum_consistent_but_invalid_arrays_rejected(self, saved):
+        """A writer that recomputes the (keyless) checksum over bad CSR
+        arrays still must not load: negative arc heads would gather
+        wrong-but-valid neighbors via numpy wraparound."""
+        from repro.serve.artifacts import _ARRAY_FIELDS, _payload_hash
+
+        _g, _pre, path = saved
+        with np.load(path, allow_pickle=False) as npz:
+            fields = {n: npz[n] for n in npz.files}
+        indices = fields["indices"].copy()
+        indices[0] = -3
+        fields["indices"] = indices
+        meta = tuple(
+            f(fields[k])
+            for f, k in zip(
+                (int, int, str, int, int, str),
+                ("k", "rho", "heuristic", "added_edges", "new_edges", "source_hash"),
+            )
+        )
+        fields["payload_hash"] = _payload_hash(
+            {n: fields[n] for n in _ARRAY_FIELDS}, meta
+        )
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+        with pytest.raises(ArtifactCorruptError, match="out-of-range"):
+            load_artifact(path)
+
+    def test_tampered_metadata_fails_checksum(self, saved):
+        _g, _pre, path = saved
+        with np.load(path, allow_pickle=False) as npz:
+            fields = {n: npz[n] for n in npz.files}
+        fields["k"] = np.int64(int(fields["k"]) + 3)
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            load_artifact(path)
+
+
+class TestSourceHashHook:
+    def test_build_kr_graph_records_source_hash(self):
+        g = random_connected_graph(25, 60, seed=5)
+        pre = build_kr_graph(g, 1, 4, heuristic="full")
+        assert pre.source_hash == g.content_hash()
+
+    def test_content_hash_is_content_only(self):
+        g = random_connected_graph(25, 60, seed=5)
+        h = random_connected_graph(25, 60, seed=5)
+        assert g is not h
+        assert g.content_hash() == h.content_hash()
+        assert g.content_hash() != random_connected_graph(25, 60, seed=6).content_hash()

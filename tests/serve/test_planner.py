@@ -1,0 +1,231 @@
+"""Query planner: cache behavior, coalescing, and answer correctness."""
+
+import numpy as np
+import pytest
+
+from repro.core import dijkstra
+from repro.core.solver import PreprocessedSSSP
+from repro.serve import KNearest, Nearest, PointToPoint, QueryPlanner, Route, SingleSource
+
+from tests.helpers import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def case():
+    g = random_connected_graph(50, 120, seed=17, weight_high=25)
+    return g, PreprocessedSSSP(g, k=2, rho=8, heuristic="dp")
+
+
+def make_planner(case, **kwargs):
+    _, sp = case
+    kwargs.setdefault("track_parents", True)
+    return QueryPlanner(sp, **kwargs)
+
+
+class TestCorrectness:
+    def test_single_source_matches_dijkstra(self, case):
+        g, _ = case
+        planner = make_planner(case)
+        for s in (0, 7, 23):
+            assert np.array_equal(planner.distances(s), dijkstra(g, s).dist)
+
+    def test_point_to_point(self, case):
+        g, _ = case
+        planner = make_planner(case)
+        route = planner.route(3, 40)
+        ref = dijkstra(g, 3).dist
+        assert isinstance(route, Route)
+        assert route.distance == ref[40]
+        assert route.path[0] == 3 and route.path[-1] == 40
+
+    def test_route_path_telescopes_on_augmented_graph(self, case):
+        """Each hop is a real (possibly shortcut) edge whose weights sum
+        to the exact distance."""
+        _, sp = case
+        planner = make_planner(case)
+        route = planner.route(5, 31)
+        aug = sp.graph
+        total = 0.0
+        for u, v in zip(route.path, route.path[1:]):
+            total += aug.edge_weight(u, v)
+        assert total == route.distance
+
+    def test_route_without_parent_tracking_has_no_path(self, case):
+        planner = make_planner(case, track_parents=False)
+        route = planner.route(3, 40)
+        assert route.path is None
+        assert route.distance == dijkstra(case[0], 3).dist[40]
+
+    def test_k_nearest(self, case):
+        g, _ = case
+        planner = make_planner(case)
+        near = planner.nearest(11, 5)
+        ref = dijkstra(g, 11).dist
+        assert isinstance(near, Nearest)
+        assert len(near.vertices) == 5
+        assert 11 not in near.vertices
+        assert np.array_equal(near.distances, ref[near.vertices])
+        # the k smallest non-source distances, sorted (distance, vertex)
+        assert np.array_equal(near.distances, np.sort(ref)[1:6])
+        assert near.distances.tolist() == sorted(near.distances.tolist())
+
+    def test_k_nearest_clamps_to_graph(self, case):
+        g, _ = case
+        planner = make_planner(case)
+        near = planner.nearest(0, 10_000)
+        assert len(near.vertices) == g.n - 1
+
+    def test_k_nearest_deterministic_tie_break(self, case):
+        planner = make_planner(case)
+        a = planner.nearest(2, 8)
+        b = planner.nearest(2, 8)
+        assert np.array_equal(a.vertices, b.vertices)
+
+    def test_k_nearest_never_returns_unreachable(self):
+        """On a disconnected graph, vertices in other components must
+        not be presented as 'nearest' — fewer results come back."""
+        from repro.graphs import from_edge_list, unit_weights
+
+        g = unit_weights(from_edge_list(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]))
+        sp = PreprocessedSSSP(g, k=1, rho=1, heuristic="full")
+        planner = QueryPlanner(sp)
+        near = planner.nearest(0, 5)
+        assert near.vertices.tolist() == [1, 2]
+        assert np.isfinite(near.distances).all()
+
+
+class TestCache:
+    def test_hit_miss_counters(self, case):
+        planner = make_planner(case, capacity=8)
+        planner.distances(0)
+        planner.distances(0)
+        planner.route(0, 5)
+        s = planner.stats()
+        assert s["misses"] == 1
+        assert s["hits"] == 2
+        assert s["solves"] == 1
+
+    def test_point_to_point_served_from_cached_row(self, case):
+        """After one single-source query, any route from that source is
+        a pure cache read."""
+        planner = make_planner(case)
+        planner.distances(9)
+        before = planner.stats()["solves"]
+        for t in (1, 2, 3, 4):
+            planner.route(9, t)
+        s = planner.stats()
+        assert s["solves"] == before
+        assert s["hits"] >= 4
+
+    def test_eviction_lru_order(self, case):
+        planner = make_planner(case, capacity=2)
+        planner.distances(0)   # cache: {0}
+        planner.distances(1)   # cache: {0, 1}
+        planner.distances(0)   # refresh 0 → LRU order {1, 0}
+        planner.distances(2)   # evicts 1
+        assert planner.stats()["evictions"] == 1
+        before = planner.stats()["solves"]
+        planner.distances(0)   # still cached
+        assert planner.stats()["solves"] == before
+        planner.distances(1)   # evicted → re-solve
+        assert planner.stats()["solves"] == before + 1
+
+    def test_capacity_zero_disables_cache(self, case):
+        planner = make_planner(case, capacity=0)
+        planner.distances(0)
+        planner.distances(0)
+        s = planner.stats()
+        assert s["cached_rows"] == 0
+        assert s["hits"] == 0
+        assert s["solves"] == 2
+
+    def test_negative_capacity_rejected(self, case):
+        with pytest.raises(ValueError, match="capacity"):
+            make_planner(case, capacity=-1)
+
+    def test_cached_rows_are_read_only(self, case):
+        planner = make_planner(case)
+        row = planner.distances(4)
+        with pytest.raises(ValueError):
+            row[0] = -1.0
+
+    def test_auto_and_concrete_engine_share_cache(self, case):
+        """'auto' resolves before keying, so it hits rows cached under
+        the concrete name."""
+        _, sp = case
+        planner = make_planner(case, engine="auto")
+        assert planner.stats()["engine"] == sp.resolve_engine("auto")
+
+
+class TestBatching:
+    def test_mixed_batch_answers_in_order(self, case):
+        g, _ = case
+        planner = make_planner(case)
+        ref0 = dijkstra(g, 0).dist
+        answers = planner.execute(
+            [SingleSource(0), PointToPoint(0, 9), KNearest(0, 3), SingleSource(7)]
+        )
+        assert np.array_equal(answers[0], ref0)
+        assert answers[1].distance == ref0[9]
+        assert np.array_equal(answers[2].distances, np.sort(ref0)[1:4])
+        assert np.array_equal(answers[3], dijkstra(g, 7).dist)
+
+    def test_batch_coalesces_shared_sources(self, case):
+        """Five queries over two distinct sources = one batch, two
+        solves, three coalesced requests."""
+        planner = make_planner(case)
+        planner.execute(
+            [
+                SingleSource(3),
+                PointToPoint(3, 10),
+                KNearest(3, 2),
+                PointToPoint(8, 1),
+                SingleSource(8),
+            ]
+        )
+        s = planner.stats()
+        assert s["batches"] == 1
+        assert s["solves"] == 2
+        assert s["coalesced"] == 3
+
+    def test_batch_mixes_hits_and_misses(self, case):
+        planner = make_planner(case)
+        planner.distances(5)
+        planner.execute([SingleSource(5), SingleSource(6)])
+        s = planner.stats()
+        assert s["hits"] == 1
+        assert s["misses"] == 2  # first 5, then 6
+
+    def test_shorthand_queries(self, case):
+        g, _ = case
+        planner = make_planner(case)
+        answers = planner.execute([4, (4, 12)])
+        assert np.array_equal(answers[0], dijkstra(g, 4).dist)
+        assert answers[1] == planner.route(4, 12)
+
+    def test_unsupported_query_type_rejected(self, case):
+        planner = make_planner(case)
+        with pytest.raises(TypeError, match="unsupported query"):
+            planner.execute(["not-a-query"])
+
+    def test_out_of_range_vertices_rejected(self, case):
+        """Negative indices must not silently serve vertex n+v (numpy
+        wraparound); past-the-end must be a clear error, not an
+        IndexError from deep inside."""
+        g, _ = case
+        planner = make_planner(case)
+        with pytest.raises(ValueError, match="target -1 out of range"):
+            planner.route(3, -1)
+        with pytest.raises(ValueError, match="target"):
+            planner.route(3, g.n)
+        with pytest.raises(ValueError, match="source"):
+            planner.distances(-2)
+        with pytest.raises(ValueError, match="source"):
+            planner.nearest(g.n + 5, 3)
+
+    def test_warm_prepopulates(self, case):
+        planner = make_planner(case)
+        planner.warm([1, 2, 3])
+        before = planner.stats()["solves"]
+        planner.distances(2)
+        assert planner.stats()["solves"] == before

@@ -1,0 +1,193 @@
+"""Shared-memory batch path: bit-identity with the pickle path.
+
+The acceptance bar for the zero-copy output path is absolute: for every
+engine in the registry, ``solve_many_shm`` must reproduce the pickled
+``solve_many`` results bit for bit — distances, parents, and the
+per-row instrumentation.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core import dijkstra
+from repro.core.solver import PreprocessedSSSP
+from repro.engine import available_engines, get_engine
+from repro.graphs.generators import grid_2d
+from repro.serve import DistanceMatrix, solve_many_shm
+
+from tests.helpers import random_connected_graph
+
+SOURCES = [0, 9, 27, 9, 41, 0]  # duplicates on purpose
+
+
+@pytest.fixture(scope="module")
+def weighted_solver():
+    g = random_connected_graph(60, 140, seed=31, weight_high=30)
+    return g, PreprocessedSSSP(g, k=2, rho=10, heuristic="dp")
+
+
+@pytest.fixture(scope="module")
+def unit_solver():
+    """rho small enough that every shortcut weight stays 1 — keeps the
+    augmented graph unit-weight so the §3.4 engine is applicable."""
+    sp = PreprocessedSSSP(grid_2d(7, 7), k=1, rho=2, heuristic="full")
+    assert sp.graph.is_unweighted
+    return sp
+
+
+class TestParityEveryEngine:
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_bit_identical_to_pickle_path(
+        self, engine, weighted_solver, unit_solver
+    ):
+        if engine == "unweighted":
+            sp = unit_solver
+        else:
+            _, sp = weighted_solver
+        track_parents = get_engine(engine).supports_parents
+        expected = sp.solve_many(SOURCES, engine=engine, track_parents=track_parents)
+        with solve_many_shm(
+            sp, SOURCES, engine=engine, track_parents=track_parents
+        ) as dm:
+            assert dm.sources.tolist() == SOURCES
+            for i, res in enumerate(expected):
+                assert np.array_equal(dm.dist[i], res.dist)
+                if track_parents:
+                    assert np.array_equal(dm.parent[i], res.parent)
+                got = dm.result(i)
+                assert np.array_equal(got.dist, res.dist)
+                assert (got.steps, got.substeps, got.max_substeps) == (
+                    res.steps,
+                    res.substeps,
+                    res.max_substeps,
+                )
+                assert got.relaxations == res.relaxations
+                assert got.algorithm == res.algorithm
+                assert got.params == res.params
+
+    @pytest.mark.parametrize("n_jobs", [1, 4])
+    def test_worker_count_invariant(self, weighted_solver, n_jobs):
+        g, sp = weighted_solver
+        with solve_many_shm(sp, SOURCES, n_jobs=n_jobs) as dm:
+            for i, s in enumerate(SOURCES):
+                assert np.array_equal(dm.dist[i], dijkstra(g, s).dist)
+
+    def test_parallel_bitwise_equals_serial(self, weighted_solver):
+        _, sp = weighted_solver
+        with solve_many_shm(sp, SOURCES, n_jobs=1) as a, solve_many_shm(
+            sp, SOURCES, n_jobs=4
+        ) as b:
+            assert np.array_equal(a.dist, b.dist)
+            assert np.array_equal(a.steps, b.steps)
+            assert np.array_equal(a.relaxations, b.relaxations)
+
+
+class TestDedupAndOrder:
+    def test_duplicate_rows_identical(self, weighted_solver):
+        _, sp = weighted_solver
+        with solve_many_shm(sp, [5, 12, 5, 5], track_parents=True) as dm:
+            assert np.array_equal(dm.dist[0], dm.dist[2])
+            assert np.array_equal(dm.dist[0], dm.dist[3])
+            assert np.array_equal(dm.parent[0], dm.parent[2])
+            assert dm.steps[0] == dm.steps[2] == dm.steps[3]
+            assert not np.array_equal(dm.dist[0], dm.dist[1])
+
+    def test_rows_follow_input_order(self, weighted_solver):
+        g, sp = weighted_solver
+        order = [41, 0, 27]
+        with solve_many_shm(sp, order) as dm:
+            for i, s in enumerate(order):
+                assert dm.result(i).params["source"] == s
+                assert np.array_equal(dm.dist[i], dijkstra(g, s).dist)
+
+    def test_empty_batch(self, weighted_solver):
+        _, sp = weighted_solver
+        with solve_many_shm(sp, []) as dm:
+            assert len(dm) == 0
+            assert dm.dist.shape == (0, sp.graph.n)
+
+
+class TestLifecycle:
+    def test_segment_freed_on_context_exit(self, weighted_solver):
+        _, sp = weighted_solver
+        with solve_many_shm(sp, [0, 9]) as dm:
+            name = dm.name
+            attached = shared_memory.SharedMemory(name=name)
+            attached.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_manual_close_unlink(self, weighted_solver):
+        _, sp = weighted_solver
+        dm = solve_many_shm(sp, [0])
+        name = dm.name
+        dm.close()
+        dm.unlink()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_results_survive_unlink(self, weighted_solver):
+        """result() copies are independent of the segment lifetime."""
+        g, sp = weighted_solver
+        with solve_many_shm(sp, [9]) as dm:
+            res = dm.result(0)
+        assert np.array_equal(res.dist, dijkstra(g, 9).dist)
+
+    def test_failed_solve_frees_segment(self, weighted_solver, monkeypatch):
+        """An engine blowing up mid-batch must not leak the segment."""
+        _, sp = weighted_solver
+        import repro.serve.shm as shm_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(shm_mod, "parallel_map_shared", boom)
+        before = sp.queries_answered
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            solve_many_shm(sp, [0, 9])
+        assert sp.queries_answered == before + 2  # charged before the failure
+
+
+class TestValidation:
+    def test_unknown_engine_rejected_before_allocation(self, weighted_solver):
+        _, sp = weighted_solver
+        with pytest.raises(ValueError, match="registered engines"):
+            solve_many_shm(sp, [0], engine="quantum")
+
+    def test_parent_support_enforced(self, weighted_solver):
+        _, sp = weighted_solver
+        with pytest.raises(ValueError, match="does not track parents"):
+            solve_many_shm(sp, [0], engine="bst", track_parents=True)
+
+    def test_charges_query_counter(self):
+        g = random_connected_graph(25, 60, seed=2)
+        sp = PreprocessedSSSP(g, k=1, rho=4, heuristic="full")
+        with solve_many_shm(sp, [0, 1, 0]):
+            pass
+        assert sp.queries_answered == 3
+
+
+class TestDistanceMatrix:
+    def test_unwritten_rows_read_unreachable(self):
+        """Construction initializes deterministically: inf distances,
+        -1 parents."""
+        dm = DistanceMatrix(np.array([3, 4]), 5, track_parents=True)
+        try:
+            assert np.isinf(dm.dist).all()
+            assert (dm.parent == -1).all()
+        finally:
+            dm.close()
+            dm.unlink()
+
+    def test_disconnected_graph_rows(self):
+        from repro.graphs import from_edge_list, unit_weights
+
+        g = unit_weights(from_edge_list(6, [(0, 1, 1.0), (2, 3, 1.0)]))
+        sp = PreprocessedSSSP(g, k=1, rho=1, heuristic="full")
+        with solve_many_shm(sp, [0, 2]) as dm:
+            assert dm.dist[0, 1] == 1.0
+            assert np.isinf(dm.dist[0, 2:]).all()
+            assert dm.dist[1, 3] == 1.0
+            assert np.isinf(dm.dist[1, 0:2]).all()

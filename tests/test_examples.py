@@ -56,6 +56,14 @@ def test_parallel_preprocessing(capsys):
     assert "bit-identical" in out
 
 
+def test_routing_service(capsys):
+    load_example("routing_service").main(n=300, rho=10)
+    out = capsys.readouterr().out
+    assert "warm start from artifact" in out
+    assert "cache hits" in out
+    assert "bit-identical to the pickle path" in out
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -64,6 +72,7 @@ def test_parallel_preprocessing(capsys):
         "web_frontier",
         "pram_cost_model",
         "parallel_preprocessing",
+        "routing_service",
     ],
 )
 def test_examples_have_docstrings_and_main(name):
