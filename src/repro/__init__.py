@@ -67,6 +67,7 @@ from .analysis import max_steps_bound, max_substeps_bound
 from .serve import (
     DistanceMatrix,
     QueryPlanner,
+    RoutingHTTPServer,
     RoutingService,
     load_artifact,
     load_solver,
@@ -86,6 +87,7 @@ __all__ = [
     "PreprocessResult",
     "QueryPlanner",
     "RelaxationKernel",
+    "RoutingHTTPServer",
     "RoutingService",
     "SsspResult",
     "StepSchedule",

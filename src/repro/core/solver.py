@@ -23,6 +23,7 @@ embed; the lower-level pieces stay available for research use.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 import numpy as np
@@ -88,6 +89,7 @@ class PreprocessedSSSP:
             graph, k, rho, heuristic=heuristic, n_jobs=n_jobs
         )
         self._queries = 0
+        self._queries_lock = threading.Lock()
 
     @classmethod
     def from_preprocessed(
@@ -103,6 +105,7 @@ class PreprocessedSSSP:
         self._input = input_graph if input_graph is not None else pre.graph
         self._pre = pre
         self._queries = 0
+        self._queries_lock = threading.Lock()
         return self
 
     # ------------------------------------------------------------------ #
@@ -140,9 +143,13 @@ class PreprocessedSSSP:
 
         Hook for query paths living outside this class (the serving
         layer's shared-memory batch path) so ``queries_answered`` stays
-        the one true denominator.
+        the one true denominator.  Lock-protected: a threaded serving
+        front end charges this counter from many threads, and a bare
+        ``+=`` is a read-modify-write that loses increments under
+        preemption.
         """
-        self._queries += int(n)
+        with self._queries_lock:
+            self._queries += int(n)
 
     # ------------------------------------------------------------------ #
     def resolve_engine(self, engine: Engine) -> str:
@@ -179,7 +186,7 @@ class PreprocessedSSSP:
         carry exact shortest-path weights, so augmentation never changes
         the metric (Lemma 4.1 discussion).
         """
-        self._queries += 1
+        self.count_queries(1)
         return solve_with_engine(
             self.resolve_engine(engine),
             self.graph,
@@ -222,7 +229,7 @@ class PreprocessedSSSP:
         spec = get_engine(name)
         if track_parents and not spec.supports_parents:
             raise ValueError(f"the {name} engine does not track parents")
-        self._queries += len(source_arr)
+        self.count_queries(len(source_arr))
         unique, inverse = np.unique(source_arr, return_inverse=True)
         payload = (self.graph, self.radii, name, track_parents)
         blocks = parallel_map_shared(

@@ -20,6 +20,25 @@ Two entry points share that contract:
   children inherit it copy-on-write instead of deserializing a private
   copy per task — the substrate under batched multi-source queries
   (:meth:`repro.core.solver.PreprocessedSSSP.solve_many`).
+
+Thread/fork safety (the contract the threaded serving front end —
+``repro.serve.http`` worker threads driving planner solves — relies
+on):
+
+* Both entry points may be called concurrently from multiple threads.
+  Staged payloads are keyed by a per-call token, so concurrent maps
+  never see each other's payloads, and the staging lock is released
+  before the pool forks — batches overlap instead of serializing.
+* Forking from a multi-threaded parent is safe *here* because the
+  child only ever runs the worker function: it reads the inherited
+  payload dict directly and never acquires ``_SHARED_LOCK`` (a lock
+  another parent thread might have held at fork time, which would be
+  permanently stuck in the child).  Keep it that way — any new code
+  that runs in workers must not touch the staging lock.
+* Worker functions receive read-only shared state; anything they
+  mutate must be chunk-local (results travel back through the pipe or
+  a ``multiprocessing.shared_memory`` segment, cf.
+  :mod:`repro.serve.shm`).
 """
 
 from __future__ import annotations

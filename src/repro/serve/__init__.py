@@ -13,10 +13,15 @@ becomes a production serving story in four cooperating parts:
 * :mod:`~repro.serve.planner` — :class:`QueryPlanner`: an LRU
   source-row cache keyed by (graph hash, engine, source), request
   deduplication, and coalescing of mixed single-source /
-  point-to-point / k-nearest batches onto one fan-out.
+  point-to-point / k-nearest batches onto one fan-out — thread-safe
+  via striped locks and single-flight in-flight solve tracking, so a
+  threaded front end drives one planner from every worker thread.
 * :mod:`~repro.serve.service` — :class:`RoutingService`, the
   synchronous facade tying it all together (see
   ``examples/routing_service.py``).
+* :mod:`~repro.serve.http` — :class:`RoutingHTTPServer`, a
+  stdlib-only threaded JSON front end over one service (see
+  ``examples/http_routing_service.py``).
 """
 
 from .artifacts import (
@@ -30,6 +35,7 @@ from .artifacts import (
     load_solver,
     save_artifact,
 )
+from .http import RoutingHTTPServer, serve
 from .planner import (
     KNearest,
     Nearest,
@@ -54,10 +60,12 @@ __all__ = [
     "PointToPoint",
     "QueryPlanner",
     "Route",
+    "RoutingHTTPServer",
     "RoutingService",
     "SingleSource",
     "load_artifact",
     "load_solver",
     "save_artifact",
+    "serve",
     "solve_many_shm",
 ]

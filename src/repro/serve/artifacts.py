@@ -22,6 +22,17 @@ Integrity is never assumed:
   against the graph the caller intends to serve
   (:class:`ArtifactGraphMismatchError`), so an artifact can never be
   paired with a graph it was not built from.
+
+Graphs near RAM size can warm-start without materializing the CSR
+arrays at all: ``load_artifact(..., mmap=True)`` maps each array member
+of the bundle read-only straight off disk (``np.savez`` stores members
+uncompressed, so every ``.npy`` payload is a contiguous byte range of
+the file — exactly what ``np.memmap`` wants; the same trick
+``np.load(mmap_mode="r")`` applies to bare ``.npy`` files, which it
+cannot do inside an ``.npz``).  The checksum is still verified — it
+streams through the mapping once via the buffer protocol, so pages are
+touched but never copied into a second in-RAM array — and the returned
+graph's arrays are read-only memmap views the solvers use in place.
 """
 
 from __future__ import annotations
@@ -80,13 +91,22 @@ class ArtifactGraphMismatchError(ArtifactError):
 def _payload_hash(
     arrays: dict[str, np.ndarray], meta: tuple
 ) -> str:
-    """Checksum over every array byte plus the metadata tuple."""
+    """Checksum over every array byte plus the metadata tuple.
+
+    Contiguous arrays are fed to the digest through the buffer protocol
+    — no ``tobytes()`` copy — so verifying a memory-mapped bundle
+    streams pages through the hash instead of materializing a second
+    in-RAM array per field (byte-identical digest either way).
+    """
     h = hashlib.blake2b(digest_size=16)
     for name in _ARRAY_FIELDS:
         arr = arrays[name]
         h.update(name.encode())
         h.update(str(arr.dtype).encode())
-        h.update(arr.tobytes())
+        if arr.flags.c_contiguous:
+            h.update(arr.data)
+        else:  # pragma: no cover - save path always writes contiguous
+            h.update(arr.tobytes())
     h.update(repr(meta).encode())
     return h.hexdigest()
 
@@ -129,14 +149,85 @@ def save_artifact(path: str | Path, pre: PreprocessResult) -> Path:
     return path
 
 
-def _read_bundle(path: Path) -> dict[str, np.ndarray]:
+#: zip local-file-header layout: 30 fixed bytes, then name, then extra.
+_ZIP_LOCAL_MAGIC = b"PK\x03\x04"
+_ZIP_LOCAL_FIXED = 30
+
+
+def _mmap_member(
+    fh, path: Path, info: zipfile.ZipInfo
+) -> np.ndarray | None:
+    """Map one stored ``.npy`` zip member read-only, or return ``None``
+    when mapping is impossible (compressed member, exotic npy version)
+    and the caller should fall back to an eager read.
+
+    ``np.savez`` writes members with ``ZIP_STORED``, so the member's
+    array payload is a contiguous range of the bundle file; we locate it
+    by walking the member's local header (whose name/extra lengths may
+    legitimately differ from the central directory's) and then the npy
+    header, and hand the resulting offset to :class:`numpy.memmap`.
+    """
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    fh.seek(info.header_offset)
+    local = fh.read(_ZIP_LOCAL_FIXED)
+    if len(local) != _ZIP_LOCAL_FIXED or local[:4] != _ZIP_LOCAL_MAGIC:
+        raise ArtifactCorruptError(
+            f"{path}: member {info.filename!r} has a corrupt local zip header"
+        )
+    name_len = int.from_bytes(local[26:28], "little")
+    extra_len = int.from_bytes(local[28:30], "little")
+    fh.seek(info.header_offset + _ZIP_LOCAL_FIXED + name_len + extra_len)
+    try:
+        version = np.lib.format.read_magic(fh)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+        else:
+            return None
+    except ValueError as exc:
+        raise ArtifactCorruptError(
+            f"{path}: member {info.filename!r} has a corrupt npy header: {exc}"
+        ) from exc
+    if dtype.hasobject:  # pragma: no cover - we never save object arrays
+        return None
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=fh.tell(),
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
+def _read_bundle(path: Path, *, mmap: bool = False) -> dict[str, np.ndarray]:
     """Load every member of the ``.npz``, mapping low-level failures
-    (missing file aside) to :class:`ArtifactCorruptError`."""
+    (missing file aside) to :class:`ArtifactCorruptError`.
+
+    With ``mmap=True`` the bulk array fields come back as read-only
+    :class:`numpy.memmap` views over the bundle file instead of heap
+    copies; tiny metadata fields are always read eagerly.
+    """
     if not path.exists():
         raise FileNotFoundError(f"no artifact at {path}")
     try:
         with np.load(path, allow_pickle=False) as npz:
-            return {name: npz[name] for name in npz.files}
+            names = list(npz.files)
+            skip = set(_ARRAY_FIELDS) if mmap else set()
+            bundle = {n: npz[n] for n in names if n not in skip}
+        if mmap:
+            with open(path, "rb") as fh, zipfile.ZipFile(fh) as zf:
+                for name in _ARRAY_FIELDS:
+                    if name not in names:
+                        continue  # caller reports the missing field
+                    arr = _mmap_member(fh, path, zf.getinfo(name + ".npy"))
+                    if arr is None:  # pragma: no cover - non-savez bundle
+                        with np.load(path, allow_pickle=False) as npz:
+                            arr = npz[name]
+                    bundle[name] = arr
+        return bundle
     except (zipfile.BadZipFile, ValueError, KeyError, OSError, EOFError) as exc:
         raise ArtifactCorruptError(
             f"artifact {path} is unreadable (corrupt or truncated): {exc}"
@@ -144,7 +235,10 @@ def _read_bundle(path: Path) -> dict[str, np.ndarray]:
 
 
 def load_artifact(
-    path: str | Path, *, expect_graph: CSRGraph | None = None
+    path: str | Path,
+    *,
+    expect_graph: CSRGraph | None = None,
+    mmap: bool = False,
 ) -> PreprocessResult:
     """Restore a :class:`PreprocessResult` saved by :func:`save_artifact`.
 
@@ -157,6 +251,13 @@ def load_artifact(
         serving process is about to answer queries on; this is what
         stops a stale or misplaced artifact from silently serving routes
         for some other graph.
+    mmap: map the CSR/radii arrays read-only off the bundle file
+        (:class:`numpy.memmap`) instead of materializing heap copies —
+        the warm-start knob for graphs near RAM size.  Checksum and
+        structural verification run either way (the checksum streams
+        through the mapping without a second copy); the returned
+        graph's arrays stay memory-mapped, paged in on demand, and the
+        bundle file must outlive the returned object.
 
     Raises
     ------
@@ -166,7 +267,7 @@ def load_artifact(
     ArtifactGraphMismatchError: ``expect_graph`` hash mismatch.
     """
     path = Path(path)
-    bundle = _read_bundle(path)
+    bundle = _read_bundle(path, mmap=mmap)
     fmt = bundle.get("format")
     if fmt is None or str(fmt) != ARTIFACT_FORMAT:
         raise ArtifactCorruptError(
@@ -260,12 +361,17 @@ def load_artifact(
 
 
 def load_solver(
-    path: str | Path, *, expect_graph: CSRGraph | None = None
+    path: str | Path,
+    *,
+    expect_graph: CSRGraph | None = None,
+    mmap: bool = False,
 ) -> PreprocessedSSSP:
     """One-call warm start: artifact → query-ready facade.
 
     Equivalent to ``PreprocessedSSSP.from_preprocessed(load_artifact(...))``
     — what a server runs at boot instead of ``build_kr_graph``.
+    ``mmap=True`` keeps the augmented CSR arrays memory-mapped (see
+    :func:`load_artifact`).
     """
-    pre = load_artifact(path, expect_graph=expect_graph)
+    pre = load_artifact(path, expect_graph=expect_graph, mmap=mmap)
     return PreprocessedSSSP.from_preprocessed(pre, input_graph=expect_graph)

@@ -1,0 +1,406 @@
+"""HTTP front end — the network face of :class:`RoutingService`.
+
+A stdlib-only JSON API over the serving stack: a
+:class:`~http.server.ThreadingHTTPServer` dispatches each request on
+its own thread straight into the thread-safe
+:class:`~repro.serve.planner.QueryPlanner` (striped cache, single-flight
+solves), so concurrent clients share cached rows and coalesce duplicate
+misses exactly like in-process callers.  No framework, no dependencies —
+the container this repo targets has only the scientific stack.
+
+Endpoints
+---------
+===========================  ====================================================
+``GET /healthz``             liveness probe → ``{"status": "ok"}``
+``GET /stats``               planner + preprocessing counters (JSON)
+``GET /distances/{s}``       full distance row from ``s`` (``null`` = unreachable)
+``GET /route/{s}/{t}``       distance and (when tracked) path ``s → t``
+``GET /nearest/{s}/{k}``     the ``k`` closest reachable vertices to ``s``
+``POST /batch``              mixed query list, answered as one coalesced batch
+===========================  ====================================================
+
+Error contract: request problems (malformed paths, non-integer ids,
+out-of-range vertices, negative ``k``, bad JSON) map to **4xx** with a
+JSON body ``{"error": <type>, "message": <detail>}``; unexpected
+server-side failures (a typed :class:`~repro.serve.artifacts.ArtifactError`,
+an engine blow-up) map to **5xx** with the same shape.  ``Infinity`` is
+not valid JSON, so unreachable distances serialize as ``null``.
+
+Usage::
+
+    service = RoutingService.from_artifact("road.kr.npz", expect_graph=g)
+    with RoutingHTTPServer(service, port=8080) as server:   # starts serving
+        print("listening on", server.url)
+        ...
+    # context exit = graceful shutdown: stop accepting, finish in-flight
+    # requests, close the socket
+
+``examples/http_routing_service.py`` drives a live server end to end
+(including a concurrent client burst); ``POST /batch`` bodies look like::
+
+    {"queries": [
+        {"type": "distances", "source": 3},
+        {"type": "route", "source": 3, "target": 94},
+        {"type": "nearest", "source": 3, "k": 5}
+    ]}
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse
+
+import numpy as np
+
+from .planner import KNearest, Nearest, PointToPoint, Route, SingleSource
+from .service import RoutingService
+
+__all__ = ["RoutingHTTPServer", "serve"]
+
+#: request bodies larger than this are refused with 413 (a batch of
+#: thousands of queries fits in a few KiB; anything bigger is abuse).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_INT_RE = re.compile(r"[+-]?\d+\Z")
+
+
+class _HTTPError(Exception):
+    """Internal: carries an HTTP status for the error-mapping layer."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_int(text: str, what: str) -> int:
+    if not _INT_RE.match(text):
+        raise _HTTPError(400, f"{what} must be an integer, got {text!r}")
+    return int(text)
+
+
+def _finite(value: float) -> float | None:
+    """JSON has no Infinity: unreachable distances become ``null``."""
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+def _distances_payload(source: int, dist: np.ndarray) -> dict:
+    finite = np.isfinite(dist)
+    return {
+        "type": "distances",
+        "source": int(source),
+        "n": int(len(dist)),
+        "reachable": int(finite.sum()),
+        "distances": [
+            float(d) if ok else None for d, ok in zip(dist.tolist(), finite.tolist())
+        ],
+    }
+
+
+def _route_payload(route: Route) -> dict:
+    return {
+        "type": "route",
+        "source": int(route.source),
+        "target": int(route.target),
+        "distance": _finite(route.distance),
+        "reachable": bool(np.isfinite(route.distance)),
+        "path": None if route.path is None else [int(v) for v in route.path],
+    }
+
+
+def _nearest_payload(near: Nearest, k: int) -> dict:
+    return {
+        "type": "nearest",
+        "source": int(near.source),
+        "k": int(k),
+        "count": int(len(near.vertices)),
+        "vertices": [int(v) for v in near.vertices],
+        "distances": [float(d) for d in near.distances],
+    }
+
+
+def _answer_payload(query, answer) -> dict:
+    if isinstance(query, SingleSource):
+        return _distances_payload(query.source, answer)
+    if isinstance(query, PointToPoint):
+        return _route_payload(answer)
+    return _nearest_payload(answer, query.k)
+
+
+def _parse_batch_query(item, index: int):
+    """One JSON batch entry → a planner query record.
+
+    Values pass through untouched (including JSON ``true``/``false``):
+    the planner's own validation is the single source of truth for what
+    a vertex id is, and its ``TypeError``/``ValueError`` map to 400.
+    """
+    if not isinstance(item, dict):
+        raise _HTTPError(400, f"query {index}: expected an object, got {item!r}")
+    kind = item.get("type")
+    try:
+        if kind == "distances":
+            return SingleSource(item["source"])
+        if kind == "route":
+            return PointToPoint(item["source"], item["target"])
+        if kind == "nearest":
+            return KNearest(item["source"], item["k"])
+    except KeyError as exc:
+        raise _HTTPError(400, f"query {index}: missing field {exc.args[0]!r}")
+    raise _HTTPError(
+        400,
+        f"query {index}: unknown type {kind!r} "
+        "(expected 'distances', 'route', or 'nearest')",
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-routing/1.0"
+
+    def setup(self) -> None:
+        # Bound every socket read (idle keep-alive waits included) by
+        # the server's request timeout: without it, one idle persistent
+        # connection blocks its non-daemon handler thread in readline()
+        # forever, and close() — which joins handler threads — hangs
+        # until the client goes away.
+        self.timeout = self.server.request_timeout
+        super().setup()
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:
+        self._respond("GET")
+
+    def do_POST(self) -> None:
+        self._respond("POST")
+
+    def log_message(self, fmt: str, *args) -> None:
+        if self.server.verbose:  # pragma: no cover - debug aid
+            super().log_message(fmt, *args)
+
+    # ------------------------------------------------------------------ #
+    def _respond(self, method: str) -> None:
+        self._body_read = False
+        try:
+            payload = self._route_request(method)
+            status = 200
+        except _HTTPError as exc:
+            names = {404: "NotFound", 411: "LengthRequired", 413: "PayloadTooLarge"}
+            status, payload = exc.status, {
+                "error": names.get(exc.status, "BadRequest"),
+                "message": str(exc),
+            }
+        except (ValueError, TypeError) as exc:
+            # the planner's validation layer: out-of-range vertices,
+            # bools-as-ids, negative k, malformed query records
+            status, payload = 400, {
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        except Exception as exc:  # typed server-side failures → 5xx
+            status, payload = 500, {
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        body = json.dumps(payload).encode()
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if self._undrained_body():
+                # this request carried a body we never (or never
+                # correctly) drained — an error path refused it early, a
+                # body arrived on a bodiless endpoint, or it used
+                # chunked framing we don't decode; under HTTP/1.1
+                # keep-alive the leftover bytes would be parsed as the
+                # next request line (connection desync) — advertise and
+                # perform a close instead.  send_header("Connection",
+                # "close") also flips self.close_connection for us.
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError:  # pragma: no cover - client went away mid-write
+            self.close_connection = True
+
+    def _undrained_body(self) -> bool:
+        """True when request body bytes may remain on the socket.
+
+        Chunked transfer encoding always counts: we never decode it, so
+        even a "read" body would leave its framing on the wire."""
+        if self.headers.get("Transfer-Encoding"):
+            return True
+        if self._body_read:
+            return False
+        raw = (self.headers.get("Content-Length") or "").strip()
+        try:
+            return int(raw) > 0
+        except ValueError:
+            return False
+
+    def _route_request(self, method: str):
+        service = self.server.service
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        if method == "POST":
+            if parts == ["batch"]:
+                return self._batch(service)
+            raise _HTTPError(404, f"no POST endpoint at {self.path!r}")
+        if not parts:
+            return {
+                "service": "repro-routing",
+                "endpoints": [
+                    "GET /healthz",
+                    "GET /stats",
+                    "GET /distances/{s}",
+                    "GET /route/{s}/{t}",
+                    "GET /nearest/{s}/{k}",
+                    "POST /batch",
+                ],
+            }
+        if parts == ["healthz"]:
+            return {"status": "ok"}
+        if parts == ["stats"]:
+            return service.stats()
+        if parts[0] == "distances" and len(parts) == 2:
+            source = _parse_int(parts[1], "source")
+            return _distances_payload(source, service.distances(source))
+        if parts[0] == "route" and len(parts) == 3:
+            source = _parse_int(parts[1], "source")
+            target = _parse_int(parts[2], "target")
+            return _route_payload(service.route(source, target))
+        if parts[0] == "nearest" and len(parts) == 3:
+            source = _parse_int(parts[1], "source")
+            k = _parse_int(parts[2], "k")
+            return _nearest_payload(service.nearest(source, k), k)
+        raise _HTTPError(404, f"no GET endpoint at {self.path!r}")
+
+    def _batch(self, service: RoutingService):
+        length = self.headers.get("Content-Length")
+        if length is None or not _INT_RE.match(length):
+            raise _HTTPError(411, "POST /batch requires a Content-Length header")
+        length = int(length)
+        if length < 0:
+            # rfile.read(-1) would block reading until EOF/timeout,
+            # pinning a handler thread per malicious request
+            raise _HTTPError(400, "Content-Length must be non-negative")
+        if length > MAX_BODY_BYTES:
+            raise _HTTPError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        self._body_read = True  # connection stays reusable from here on
+        try:
+            doc = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise _HTTPError(400, f"request body is not valid JSON: {exc}")
+        items = doc.get("queries") if isinstance(doc, dict) else doc
+        if not isinstance(items, list):
+            raise _HTTPError(
+                400, "expected a JSON list or {'queries': [...]} body"
+            )
+        queries = [_parse_batch_query(item, i) for i, item in enumerate(items)]
+        answers = service.batch(queries)
+        return {
+            "count": len(answers),
+            "answers": [
+                _answer_payload(q, a) for q, a in zip(queries, answers)
+            ],
+        }
+
+
+class RoutingHTTPServer(ThreadingHTTPServer):
+    """Threaded JSON front end over one :class:`RoutingService`.
+
+    Each connection is handled on its own thread; all of them funnel
+    into the same planner, whose striped cache and single-flight table
+    make that safe (and fast — see ``benchmarks/bench_serving.py``).
+
+    Use as a context manager for the full lifecycle, or call
+    :meth:`start` / :meth:`close` explicitly::
+
+        server = RoutingHTTPServer(service)      # port=0 → ephemeral
+        server.start()                           # background accept loop
+        ...
+        server.close()                           # graceful: drain, then close
+
+    ``close`` stops accepting, lets in-flight handlers finish
+    (``block_on_close``), and releases the socket.  Idle keep-alive
+    connections cannot stall it past ``request_timeout`` seconds: every
+    socket read is bounded by that timeout, after which the handler
+    closes the connection.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        service: RoutingService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+        request_timeout: float = 10.0,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.verbose = verbose
+        #: per-socket-read timeout (seconds).  Bounds how long an idle
+        #: keep-alive connection can pin a handler thread — and
+        #: therefore how long :meth:`close` can block draining it.
+        self.request_timeout = request_timeout
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (resolves ephemeral ports)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "RoutingHTTPServer":
+        """Run the accept loop on a background thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="routing-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Graceful shutdown: stop the accept loop, drain handler
+        threads, release the socket.  Idempotent."""
+        if self._thread is not None:
+            self.shutdown()
+            self._thread.join()
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "RoutingHTTPServer":
+        # tolerate an already-running server: `with serve(svc) as s:`
+        # hands us one that start()ed inside the helper
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def serve(
+    service: RoutingService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+    request_timeout: float = 10.0,
+) -> RoutingHTTPServer:
+    """Convenience: construct a :class:`RoutingHTTPServer` and start it."""
+    return RoutingHTTPServer(
+        service,
+        host=host,
+        port=port,
+        verbose=verbose,
+        request_timeout=request_timeout,
+    ).start()

@@ -1,4 +1,4 @@
-"""Query planner — the caching, coalescing brain of the serving layer.
+"""Query planner — the caching, coalescing, thread-safe brain of serving.
 
 The paper amortizes one (k,ρ)-preprocessing pass over many SSSP
 queries; real query traffic amortizes further, because it repeats
@@ -20,12 +20,36 @@ s" — tiny reads against a source row someone else already paid for.
   to ``solve_many`` as *one* fan-out (one pool, one copy-on-write
   staging), not one solver call per request.
 
-Hit/miss/eviction/coalescing counters are exposed via :meth:`stats`
-for the serving benchmark (``benchmarks/bench_serving.py``).
+Concurrency model (an HTTP/gRPC front end calls one planner from many
+worker threads):
+
+* **Striped locking** — the cache is sharded into N independent
+  stripes, each an ``OrderedDict`` LRU with its own mutex and its own
+  hit/miss/eviction counters (aggregated by :meth:`stats`).  A source
+  is assigned to ``hash(source) % N``, so threads touching different
+  sources contend only on the GIL, never on a shared lock, and a
+  stripe's lock is held only for the dict probe/insert — never across
+  a solve or answer construction.
+* **Single-flight solves** — a planner-wide in-flight table dedups
+  *concurrent* misses: the first thread to miss a source becomes its
+  leader and runs the (coalesced) ``solve_many``; any other thread
+  missing the same source in the meantime blocks on the leader's
+  event and receives the very same row object.  No duplicated solver
+  work, and answers stay bit-identical to the serial path because the
+  row is produced by the same ``solve_many`` call either way.
+* Eviction is **per stripe** (each stripe owns ``capacity / N`` slots),
+  so the global LRU order of the serial planner is only reproduced
+  exactly with ``stripes=1``; total cached rows never exceed
+  ``capacity`` either way.
+
+Hit/miss/eviction/coalescing/single-flight counters are exposed via
+:meth:`stats` for the serving benchmark
+(``benchmarks/bench_serving.py``) and the HTTP ``/stats`` endpoint.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -115,15 +139,72 @@ class _Row:
         self.parent = parent
 
 
+class _Stripe:
+    """One lock-protected shard of the LRU row cache.
+
+    Counters live here (not on the planner) so the hot path touches a
+    single mutex per probe; :meth:`QueryPlanner.stats` aggregates.
+    """
+
+    __slots__ = ("lock", "rows", "capacity", "lookups", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        self.lock = threading.Lock()
+        self.rows: OrderedDict[tuple[str, str, int], _Row] = OrderedDict()
+        self.capacity = capacity
+        # ``lookups`` is counted independently of hits/misses so the
+        # exported ``hits + misses == lookups`` invariant is a real
+        # lost-update check, not an identity.
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class _InFlight:
+    """Single-flight record: the leader publishes ``row`` (or ``error``)
+    and sets ``event``; followers wait on it instead of re-solving."""
+
+    __slots__ = ("event", "row", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.row: _Row | None = None
+        self.error: BaseException | None = None
+
+
+def _coerce_vertex(value, what: str) -> int:
+    """Strict vertex-id coercion for the serving API.
+
+    ``bool`` is an ``int`` subclass, so ``True`` would silently become
+    vertex 1 under a plain ``isinstance(..., int)`` check — reject it
+    (and anything non-integral) instead of guessing."""
+    if isinstance(value, (bool, np.bool_)):
+        raise TypeError(f"{what} must be an integer vertex id, not a bool")
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(
+            f"{what} must be an integer vertex id, got "
+            f"{type(value).__name__} {value!r}"
+        )
+    return int(value)
+
+
 def _normalize(query) -> SingleSource | PointToPoint | KNearest:
     """Accept ergonomic shorthands: ``int`` → single-source,
-    ``(s, t)`` → point-to-point."""
+    ``(s, t)`` → point-to-point.  Bools are rejected, not coerced."""
     if isinstance(query, (SingleSource, PointToPoint, KNearest)):
         return query
+    if isinstance(query, (bool, np.bool_)):
+        raise TypeError(
+            "unsupported query: bool is not a vertex id (True would "
+            "silently mean vertex 1)"
+        )
     if isinstance(query, (int, np.integer)):
         return SingleSource(int(query))
     if isinstance(query, tuple) and len(query) == 2:
-        return PointToPoint(int(query[0]), int(query[1]))
+        return PointToPoint(
+            _coerce_vertex(query[0], "source"), _coerce_vertex(query[1], "target")
+        )
     raise TypeError(
         f"unsupported query {query!r}; expected SingleSource / PointToPoint "
         "/ KNearest, an int source, or an (s, t) pair"
@@ -131,17 +212,25 @@ def _normalize(query) -> SingleSource | PointToPoint | KNearest:
 
 
 class QueryPlanner:
-    """LRU-cached, batch-coalescing query executor.
+    """LRU-cached, batch-coalescing, thread-safe query executor.
 
     Parameters
     ----------
     solver: the preprocessed facade queries run against.
     engine: engine selector; resolved once so ``"auto"`` and its
         concrete name share cache entries.
-    capacity: maximum cached source rows (LRU eviction); ``0`` disables
-        caching entirely (every query misses, nothing is stored).
+    capacity: maximum cached source rows across all stripes (LRU
+        eviction per stripe); ``0`` disables caching entirely (every
+        query misses, nothing is stored — concurrent identical misses
+        still collapse onto one solve via single-flight).
     track_parents: cache parent rows too, enabling :meth:`route` paths.
     n_jobs: worker processes for coalesced batch solves.
+    stripes: lock stripes for concurrent access.  The effective count
+        is clamped to ``capacity`` so every stripe owns at least one
+        slot; ``stripes=1`` restores the serial planner's exact global
+        LRU eviction order.
+
+    All public methods are safe to call from multiple threads.
     """
 
     def __init__(
@@ -152,9 +241,12 @@ class QueryPlanner:
         capacity: int = 256,
         track_parents: bool = False,
         n_jobs: int = 1,
+        stripes: int = 8,
     ) -> None:
         if capacity < 0:
             raise ValueError("capacity >= 0 required")
+        if stripes < 1:
+            raise ValueError("stripes >= 1 required")
         self._solver = solver
         self._engine = solver.resolve_engine(engine)
         if track_parents and not get_engine(self._engine).supports_parents:
@@ -173,13 +265,22 @@ class QueryPlanner:
         self._capacity = capacity
         self._track_parents = track_parents
         self._n_jobs = n_jobs
-        self._cache: OrderedDict[tuple[str, str, int], _Row] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        n_stripes = max(1, min(stripes, capacity)) if capacity > 0 else 1
+        base, extra = divmod(capacity, n_stripes)
+        self._stripes = tuple(
+            _Stripe(base + (1 if i < extra else 0)) for i in range(n_stripes)
+        )
+        # Single-flight table + batch-level counters.  ``_flight_lock``
+        # guards only the in-flight dict; it is never held across a
+        # solve, a stripe operation, or an event wait (no lock nesting
+        # anywhere → no ordering to get wrong).
+        self._flight_lock = threading.Lock()
+        self._inflight: dict[tuple[str, str, int], _InFlight] = {}
+        self._stats_lock = threading.Lock()
         self._coalesced = 0
         self._batches = 0
         self._solves = 0
+        self._flight_waits = 0
 
     @property
     def engine(self) -> str:
@@ -192,34 +293,57 @@ class QueryPlanner:
     def _key(self, source: int) -> tuple[str, str, int]:
         return (self._graph_hash, self._engine, int(source))
 
+    def _stripe(self, source: int) -> _Stripe:
+        return self._stripes[hash(int(source)) % len(self._stripes)]
+
     def _lookup(self, source: int) -> _Row | None:
         """Cache probe; refreshes LRU recency, counts hit/miss."""
         key = self._key(source)
-        row = self._cache.get(key)
-        if row is None:
-            self._misses += 1
-            return None
-        self._cache.move_to_end(key)
-        self._hits += 1
-        return row
+        stripe = self._stripe(source)
+        with stripe.lock:
+            stripe.lookups += 1
+            row = stripe.rows.get(key)
+            if row is None:
+                stripe.misses += 1
+                return None
+            stripe.rows.move_to_end(key)
+            stripe.hits += 1
+            return row
+
+    def _peek(self, source: int) -> _Row | None:
+        """Counter-free cache re-check (no hit/miss, no LRU refresh).
+
+        Used by a thread that just won a single-flight slot: between its
+        (already-counted) miss and the slot registration, the previous
+        leader may have published the row and retired its flight — in
+        that window the row is in the cache, and re-solving it would
+        duplicate work the single-flight design exists to prevent."""
+        stripe = self._stripe(source)
+        with stripe.lock:
+            return stripe.rows.get(self._key(source))
 
     def _insert(self, source: int, row: _Row) -> None:
-        if self._capacity == 0:
-            return
-        key = self._key(source)
-        self._cache[key] = row
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._capacity:
-            self._cache.popitem(last=False)
-            self._evictions += 1
+        stripe = self._stripe(source)
+        with stripe.lock:
+            if stripe.capacity == 0:
+                return
+            key = self._key(source)
+            stripe.rows[key] = row
+            stripe.rows.move_to_end(key)
+            while len(stripe.rows) > stripe.capacity:
+                stripe.rows.popitem(last=False)
+                stripe.evictions += 1
 
     def _fetch_rows(self, sources: Iterable[int]) -> dict[int, _Row]:
         """The planning core: cache-hit what we can, coalesce the rest.
 
-        Distinct missing sources go to ``solve_many`` as one batch (its
-        own dedup is a no-op here since the miss list is already
-        distinct); every row is inserted into the cache before any
-        answer is built.
+        Distinct missing sources split into *leaders* (this thread won
+        the in-flight slot and solves them as one ``solve_many`` batch)
+        and *followers* (another thread is already solving that source;
+        block on its event and share its row).  Every leader row is
+        inserted into the cache and published to the in-flight record
+        before any answer is built, so followers get the identical row
+        object even when ``capacity=0`` or an eviction races the wait.
         """
         wanted: list[int] = []
         seen: set[int] = set()
@@ -229,26 +353,84 @@ class QueryPlanner:
                 seen.add(s)
                 wanted.append(s)
         rows: dict[int, _Row] = {}
-        missing: list[int] = []
-        for s in wanted:
-            row = self._lookup(s)
-            if row is None:
-                missing.append(s)
-            else:
+        followers: list[tuple[int, _InFlight]] = []
+        # flights this thread leads but has not yet published; covered
+        # end to end by the except below, so no exception anywhere in
+        # the probe/salvage/solve region can strand a registered flight
+        # (a stranded entry would block every future request for that
+        # source forever — its followers wait without a timeout)
+        pending: list[tuple[int, _InFlight]] = []
+        try:
+            for s in wanted:
+                row = self._lookup(s)
+                if row is not None:
+                    rows[s] = row
+                    continue
+                with self._flight_lock:
+                    flight = self._inflight.get(self._key(s))
+                    if flight is None:
+                        flight = _InFlight()
+                        # track before making it discoverable, so the
+                        # cleanup below always sees it
+                        pending.append((s, flight))
+                        self._inflight[self._key(s)] = flight
+                    else:
+                        followers.append((s, flight))
+            # Close the probe→registration race: a previous leader may
+            # have published this source (cache insert precedes flight
+            # retirement) between our miss and our slot win — serve the
+            # cached row instead of re-solving it.
+            i = 0
+            while i < len(pending):
+                s, flight = pending[i]
+                row = self._peek(s)
+                if row is None:
+                    i += 1
+                    continue
                 rows[s] = row
-        if missing:
-            self._batches += 1
-            self._solves += len(missing)
-            results = self._solver.solve_many(
-                missing,
-                engine=self._engine,
-                track_parents=self._track_parents,
-                n_jobs=self._n_jobs,
-            )
-            for s, res in zip(missing, results):
-                row = _Row(res.dist, res.parent)
-                rows[s] = row
-                self._insert(s, row)
+                flight.row = row
+                with self._flight_lock:
+                    self._inflight.pop(self._key(s), None)
+                flight.event.set()
+                pending.pop(i)
+            if pending:
+                missing = [s for s, _ in pending]
+                results = self._solver.solve_many(
+                    missing,
+                    engine=self._engine,
+                    track_parents=self._track_parents,
+                    n_jobs=self._n_jobs,
+                )
+                with self._stats_lock:
+                    self._batches += 1
+                    self._solves += len(missing)
+                for res in results:
+                    s, flight = pending[0]
+                    row = _Row(res.dist, res.parent)
+                    rows[s] = row
+                    self._insert(s, row)
+                    flight.row = row
+                    with self._flight_lock:
+                        self._inflight.pop(self._key(s), None)
+                    flight.event.set()
+                    pending.pop(0)
+        except BaseException as exc:
+            # Never strand a waiter: every registered-but-unpublished
+            # flight gets the error and its event set before we re-raise.
+            for s, flight in pending:
+                flight.error = exc
+                with self._flight_lock:
+                    self._inflight.pop(self._key(s), None)
+                flight.event.set()
+            raise
+        if followers:
+            for s, flight in followers:
+                flight.event.wait()
+                if flight.error is not None:
+                    raise flight.error
+                rows[s] = flight.row
+            with self._stats_lock:
+                self._flight_waits += len(followers)
         return rows
 
     # ------------------------------------------------------------------ #
@@ -296,55 +478,103 @@ class QueryPlanner:
     # Public API
     # ------------------------------------------------------------------ #
     def _check_vertex(self, v: int, what: str) -> None:
-        """Range-check a query vertex up front: numpy would accept a
-        negative index and silently serve the answer for vertex
-        ``n + v`` — unacceptable from a serving API."""
+        """Type- and range-check a query vertex up front: numpy would
+        accept a negative index and silently serve the answer for vertex
+        ``n + v``, and ``bool`` would silently mean vertex 0/1 —
+        unacceptable from a serving API."""
+        v = _coerce_vertex(v, what)
         if not 0 <= v < self._solver.graph.n:
             raise ValueError(
                 f"{what} {v} out of range for a graph with "
                 f"n={self._solver.graph.n} vertices"
             )
 
+    def _validate(self, query) -> None:
+        self._check_vertex(query.source, "source")
+        if isinstance(query, PointToPoint):
+            self._check_vertex(query.target, "target")
+        elif isinstance(query, KNearest):
+            if isinstance(query.k, (bool, np.bool_)) or not isinstance(
+                query.k, (int, np.integer)
+            ):
+                raise TypeError(f"k must be an integer, got {query.k!r}")
+            if query.k < 0:
+                raise ValueError(f"k must be >= 0, got {query.k}")
+
     def execute(self, queries: Sequence) -> list:
         """Answer a mixed batch: one coalesced solve for all cache
         misses, answers in input order."""
         normalized = [_normalize(q) for q in queries]
         for q in normalized:
-            self._check_vertex(q.source, "source")
-            if isinstance(q, PointToPoint):
-                self._check_vertex(q.target, "target")
+            self._validate(q)
         rows = self._fetch_rows(q.source for q in normalized)
-        distinct = len({q.source for q in normalized})
-        self._coalesced += len(normalized) - distinct
+        distinct = len({int(q.source) for q in normalized})
+        with self._stats_lock:
+            self._coalesced += len(normalized) - distinct
         return [self._answer(q, rows) for q in normalized]
 
     def distances(self, source: int) -> np.ndarray:
         """Full distance row from ``source`` (read-only; cached)."""
-        return self.execute([SingleSource(int(source))])[0]
+        return self.execute([SingleSource(source)])[0]
 
     def route(self, source: int, target: int) -> Route:
         """Point-to-point answer served from the cached source row."""
-        return self.execute([PointToPoint(int(source), int(target))])[0]
+        return self.execute([PointToPoint(source, target)])[0]
 
     def nearest(self, source: int, k: int) -> Nearest:
         """The ``k`` closest vertices to ``source``."""
-        return self.execute([KNearest(int(source), int(k))])[0]
+        return self.execute([KNearest(source, k)])[0]
 
     def warm(self, sources: Iterable[int]) -> None:
-        """Pre-populate the cache (e.g. known depots at boot)."""
-        self._fetch_rows(sources)
+        """Pre-populate the cache (e.g. known depots at boot).
+
+        Sources pass through the same type/range validation as every
+        other entry point — ``warm([-1])`` raises instead of silently
+        solving from vertex ``n - 1`` and caching it under key ``-1``.
+        """
+        checked = []
+        for s in sources:
+            self._check_vertex(s, "source")
+            checked.append(int(s))
+        self._fetch_rows(checked)
 
     def stats(self) -> dict:
-        """Counter snapshot for benchmarking and monitoring."""
+        """Counter snapshot for benchmarking and monitoring.
+
+        Aggregated across stripes.  Each counter is monotone and
+        individually exact; the snapshot as a whole is not atomic under
+        concurrent traffic (a probe may land between two stripe reads),
+        but at quiescence ``hits + misses == lookups`` and
+        ``cached_rows <= capacity`` always hold.
+        """
+        lookups = hits = misses = evictions = cached = 0
+        for stripe in self._stripes:
+            with stripe.lock:
+                lookups += stripe.lookups
+                hits += stripe.hits
+                misses += stripe.misses
+                evictions += stripe.evictions
+                cached += len(stripe.rows)
+        with self._stats_lock:
+            coalesced = self._coalesced
+            batches = self._batches
+            solves = self._solves
+            flight_waits = self._flight_waits
+        with self._flight_lock:
+            inflight = len(self._inflight)
         return {
             "engine": self._engine,
             "graph_hash": self._graph_hash,
             "capacity": self._capacity,
-            "cached_rows": len(self._cache),
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "coalesced": self._coalesced,
-            "batches": self._batches,
-            "solves": self._solves,
+            "stripes": len(self._stripes),
+            "cached_rows": cached,
+            "hits": hits,
+            "misses": misses,
+            "lookups": lookups,
+            "evictions": evictions,
+            "coalesced": coalesced,
+            "batches": batches,
+            "solves": solves,
+            "single_flight_waits": flight_waits,
+            "inflight": inflight,
         }

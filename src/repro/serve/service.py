@@ -1,11 +1,14 @@
 """`RoutingService` — the synchronous serving facade.
 
 One object wires the whole serving stack together: the preprocessed
-(k,ρ)-graph (built cold, or warm-started from a persisted artifact),
-the engine registry, the caching/coalescing
+(k,ρ)-graph (built cold, or warm-started from a persisted artifact,
+optionally memory-mapped), the engine registry, the caching/coalescing
 :class:`~repro.serve.planner.QueryPlanner`, and the shared-memory bulk
-path.  It is the embeddable core a network front end (HTTP/gRPC worker
-threads) would call into::
+path.  It is the embeddable core a network front end calls into — and
+that is safe: the planner underneath is thread-safe (striped cache,
+single-flight solves), so :mod:`repro.serve.http`'s
+``ThreadingHTTPServer`` worker threads all drive one service instance
+concurrently::
 
     svc = RoutingService(graph, k=2, rho=32)        # cold start
     svc.save_artifact("kr.npz")                     # persist once
@@ -46,6 +49,10 @@ class RoutingService:
         :func:`~repro.preprocess.build_kr_graph` on a cold start.
     engine: engine selector for every query (resolved once).
     cache_capacity: planner LRU size (source rows).
+    cache_stripes: lock stripes for the planner cache — the service is
+        safe to call from many threads (an HTTP front end's worker
+        threads); see :class:`~repro.serve.planner.QueryPlanner` for the
+        striping / single-flight model.
     track_parents: record predecessors so :meth:`route` returns paths
         (the default — it is a *routing* service).  Distance-only
         workloads should pass ``False``: it halves cached-row memory
@@ -65,6 +72,7 @@ class RoutingService:
         heuristic: str = "dp",
         engine: str = "auto",
         cache_capacity: int = 256,
+        cache_stripes: int = 8,
         track_parents: bool = True,
         preprocess_jobs: int = 1,
         query_jobs: int = 1,
@@ -82,6 +90,7 @@ class RoutingService:
             capacity=cache_capacity,
             track_parents=track_parents,
             n_jobs=query_jobs,
+            stripes=cache_stripes,
         )
 
     # ------------------------------------------------------------------ #
@@ -93,16 +102,21 @@ class RoutingService:
         path: str | Path,
         *,
         expect_graph: CSRGraph | None = None,
+        mmap: bool = False,
         **kwargs,
     ) -> "RoutingService":
         """Warm start: restore the preprocessing from an artifact bundle.
 
         ``expect_graph`` (recommended) pins the artifact to the graph
-        this service is meant to answer for; remaining keyword arguments
-        are the serving knobs of the constructor.  Preprocessing knobs
-        are rejected — the artifact *is* the preprocessing, so a
-        ``k``/``rho``/``heuristic`` here would be silently ignored, and
-        the caller who wants different ones must rebuild and re-save.
+        this service is meant to answer for; ``mmap=True`` keeps the
+        augmented CSR arrays memory-mapped off the bundle file (the
+        near-RAM-size knob — see
+        :func:`repro.serve.artifacts.load_artifact`); remaining keyword
+        arguments are the serving knobs of the constructor.
+        Preprocessing knobs are rejected — the artifact *is* the
+        preprocessing, so a ``k``/``rho``/``heuristic`` here would be
+        silently ignored, and the caller who wants different ones must
+        rebuild and re-save.
         """
         baked = {"graph", "solver", "k", "rho", "heuristic", "preprocess_jobs"}
         rejected = baked & kwargs.keys()
@@ -112,7 +126,7 @@ class RoutingService:
                 "artifact fixes the preprocessing; rebuild with "
                 "RoutingService(graph, ...) to change it"
             )
-        pre = load_artifact(path, expect_graph=expect_graph)
+        pre = load_artifact(path, expect_graph=expect_graph, mmap=mmap)
         solver = PreprocessedSSSP.from_preprocessed(pre, input_graph=expect_graph)
         return cls(solver=solver, **kwargs)
 

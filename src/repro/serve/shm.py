@@ -23,10 +23,16 @@ pickle path, so the output is bit-identical — pinned per engine by
 
 On exit the segment is closed and unlinked; without the ``with`` the
 caller must pair :meth:`DistanceMatrix.close` / ``unlink`` manually.
+A matrix that is simply dropped (no ``close``/``unlink``) is reclaimed
+by a :mod:`weakref.finalize` safety net when it is garbage-collected,
+with a :class:`ResourceWarning` — the segment is freed deterministically
+instead of lingering in ``/dev/shm`` until interpreter exit.
 """
 
 from __future__ import annotations
 
+import warnings
+import weakref
 from multiprocessing import shared_memory
 from typing import Iterable
 
@@ -52,6 +58,35 @@ def _attach(name: str) -> shared_memory.SharedMemory:
     registration and break its ``unlink``.  Hence: attach, nothing else.
     """
     return shared_memory.SharedMemory(name=name)
+
+
+def _reclaim_leaked(shm: shared_memory.SharedMemory, what: str) -> None:
+    """:mod:`weakref.finalize` safety net for a dropped matrix.
+
+    A :class:`DistanceMatrix` garbage-collected without ``unlink()``
+    would otherwise pin its segment in ``/dev/shm`` until interpreter
+    exit (the resource tracker's cleanup).  Reclaim it now and warn —
+    the owner should have used the context manager or called
+    ``close()``/``unlink()``.  The mapping may still be exported by a
+    live numpy view at this point, so a failed ``close()`` is tolerated;
+    ``unlink()`` alone already frees the name, and the pages follow when
+    the last mapping dies.
+    """
+    warnings.warn(
+        f"DistanceMatrix {what} (segment {shm.name}) was dropped without "
+        "close()/unlink(); reclaiming its shared-memory segment — use it "
+        "as a context manager or pair close()/unlink() explicitly",
+        ResourceWarning,
+        stacklevel=2,
+    )
+    try:
+        shm.close()
+    except BufferError:  # a view outlived the matrix; unlink still frees
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - reclaimed elsewhere
+        pass
 
 
 def _views(
@@ -108,6 +143,12 @@ class DistanceMatrix:
         nbytes = 8 * n_sources * self.n * (2 if track_parents else 1)
         self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
         self._unlinked = False
+        # safety net: a matrix dropped without unlink() reclaims its
+        # segment at GC time with a ResourceWarning (detached once the
+        # owner unlinks properly)
+        self._finalizer = weakref.finalize(
+            self, _reclaim_leaked, self._shm, f"({n_sources} x {self.n})"
+        )
         self.dist, self.parent = _views(
             self._shm.buf, n_sources, self.n, track_parents
         )
@@ -164,6 +205,7 @@ class DistanceMatrix:
         """Free the segment system-wide (owner's responsibility)."""
         if not self._unlinked:
             self._unlinked = True
+            self._finalizer.detach()  # properly released — no warning at GC
             self._shm.unlink()
 
     def __enter__(self) -> "DistanceMatrix":

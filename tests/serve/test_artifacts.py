@@ -236,6 +236,101 @@ class TestCorruption:
             load_artifact(path)
 
 
+class TestMmap:
+    """``load_artifact(..., mmap=True)``: the near-RAM-size warm-start
+    knob — arrays stay disk-backed, every integrity check still runs."""
+
+    @staticmethod
+    def _is_mapped(arr: np.ndarray) -> bool:
+        """The CSR constructor may wrap the memmap in a base-class view;
+        mapped means a memmap sits somewhere on the base chain."""
+        while arr is not None:
+            if isinstance(arr, np.memmap):
+                return True
+            arr = arr.base
+        return False
+
+    def test_mmap_round_trip_bit_identical(self, saved):
+        g, pre, path = saved
+        eager = load_artifact(path, expect_graph=g)
+        mapped = load_artifact(path, expect_graph=g, mmap=True)
+        assert mapped.graph == eager.graph == pre.graph
+        assert np.array_equal(mapped.radii, eager.radii)
+        assert (mapped.k, mapped.rho, mapped.heuristic) == (
+            eager.k,
+            eager.rho,
+            eager.heuristic,
+        )
+        assert mapped.source_hash == eager.source_hash
+
+    def test_mmap_arrays_are_disk_backed(self, saved):
+        _g, _pre, path = saved
+        mapped = load_artifact(path, mmap=True)
+        for arr in (
+            mapped.graph.indptr,
+            mapped.graph.indices,
+            mapped.graph.weights,
+            mapped.radii,
+        ):
+            assert self._is_mapped(np.asarray(arr)), "array was materialized"
+        eager = load_artifact(path)
+        for arr in (eager.graph.indptr, eager.graph.weights):
+            assert not self._is_mapped(np.asarray(arr))
+
+    def test_mmap_solver_answers_match(self, saved):
+        """Queries over a memory-mapped bundle are bit-identical to the
+        eagerly-loaded (and original) preprocessing."""
+        g, _pre, path = saved
+        sp = load_solver(path, expect_graph=g, mmap=True)
+        for s in (0, 13, 42):
+            assert np.array_equal(sp.solve(s).dist, dijkstra(g, s).dist)
+
+    def test_mmap_checksum_still_verifies(self, saved):
+        """mmap must not skip integrity: a tampered array trips the
+        payload checksum exactly like the eager path."""
+        _g, _pre, path = saved
+        with np.load(path, allow_pickle=False) as npz:
+            fields = {n: npz[n] for n in npz.files}
+        radii = fields["radii"].copy()
+        radii[0] += 1.0
+        fields["radii"] = radii
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            load_artifact(path, mmap=True)
+
+    def test_mmap_truncated_file_rejected(self, saved):
+        _g, _pre, path = saved
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ArtifactCorruptError):
+            load_artifact(path, mmap=True)
+
+    def test_mmap_graph_mismatch_rejected(self, saved):
+        _g, _pre, path = saved
+        other = random_connected_graph(70, 160, seed=99)
+        with pytest.raises(ArtifactGraphMismatchError):
+            load_artifact(path, expect_graph=other, mmap=True)
+
+    def test_mmap_arrays_read_only(self, saved):
+        _g, _pre, path = saved
+        mapped = load_artifact(path, mmap=True)
+        with pytest.raises(ValueError):
+            mapped.graph.weights[0] = 99.0
+
+    def test_routing_service_mmap_boot(self, saved):
+        """RoutingService.from_artifact(..., mmap=True): the serving
+        entry point for the knob."""
+        from repro.serve import RoutingService
+
+        g, _pre, path = saved
+        svc = RoutingService.from_artifact(
+            path, expect_graph=g, mmap=True, cache_capacity=8
+        )
+        route = svc.route(0, 13)
+        assert route.distance == dijkstra(g, 0).dist[13]
+
+
 class TestSourceHashHook:
     def test_build_kr_graph_records_source_hash(self):
         g = random_connected_graph(25, 60, seed=5)

@@ -1,0 +1,494 @@
+"""HTTP front end: endpoints, error mapping, concurrency, shutdown.
+
+Drives a live :class:`~repro.serve.http.RoutingHTTPServer` over loopback
+with stdlib ``urllib`` clients.  The acceptance bar: a concurrent mixed
+workload (8 threads × single-source + point-to-point + k-nearest) comes
+back with zero errors and answers bit-identical to a serial
+:class:`~repro.serve.planner.QueryPlanner`; request problems map to 4xx,
+server-side failures to 5xx, and shutdown is graceful.
+"""
+
+import http.client
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import dijkstra
+from repro.serve import QueryPlanner, RoutingHTTPServer, RoutingService
+
+from tests.helpers import random_connected_graph
+
+
+@pytest.fixture(scope="module")
+def stack():
+    g = random_connected_graph(60, 140, seed=11, weight_high=30)
+    service = RoutingService(g, k=2, rho=8, cache_capacity=32)
+    with RoutingHTTPServer(service) as server:
+        yield g, service, server
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def _get_error(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            pytest.fail(f"expected an HTTP error, got 200: {resp.read()!r}")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(url: str, doc):
+    data = json.dumps(doc).encode()
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def _post_error(url: str, raw: bytes):
+    req = urllib.request.Request(
+        url, data=raw, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=10):
+            pytest.fail("expected an HTTP error")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, stack):
+        _g, _svc, server = stack
+        assert _get(f"{server.url}/healthz") == {"status": "ok"}
+
+    def test_index_lists_endpoints(self, stack):
+        _g, _svc, server = stack
+        doc = _get(server.url + "/")
+        assert "GET /route/{s}/{t}" in doc["endpoints"]
+
+    def test_stats(self, stack):
+        _g, _svc, server = stack
+        doc = _get(f"{server.url}/stats")
+        assert doc["engine"]
+        assert doc["capacity"] == 32
+        assert doc["hits"] + doc["misses"] == doc["lookups"]
+        assert "stripes" in doc and "single_flight_waits" in doc
+
+    def test_distances_row(self, stack):
+        g, _svc, server = stack
+        doc = _get(f"{server.url}/distances/7")
+        ref = dijkstra(g, 7).dist
+        assert doc["source"] == 7 and doc["n"] == g.n
+        got = np.array(
+            [np.inf if d is None else d for d in doc["distances"]]
+        )
+        assert np.array_equal(got, ref)
+        assert doc["reachable"] == int(np.isfinite(ref).sum())
+
+    def test_route_with_path(self, stack):
+        g, _svc, server = stack
+        doc = _get(f"{server.url}/route/3/41")
+        ref = dijkstra(g, 3).dist
+        assert doc["distance"] == ref[41]
+        assert doc["reachable"] is True
+        assert doc["path"][0] == 3 and doc["path"][-1] == 41
+
+    def test_nearest(self, stack):
+        g, _svc, server = stack
+        doc = _get(f"{server.url}/nearest/11/5")
+        ref = dijkstra(g, 11).dist
+        assert doc["count"] == 5
+        assert doc["distances"] == np.sort(ref)[1:6].tolist()
+        assert 11 not in doc["vertices"]
+
+    def test_unreachable_distance_serializes_as_null(self):
+        """JSON has no Infinity — the wire format must stay parseable."""
+        from repro.graphs import from_edge_list, unit_weights
+
+        g = unit_weights(from_edge_list(4, [(0, 1, 1.0), (2, 3, 1.0)]))
+        svc = RoutingService(g, k=1, rho=1, heuristic="full")
+        with RoutingHTTPServer(svc) as server:
+            doc = _get(f"{server.url}/route/0/3")
+            assert doc["distance"] is None
+            assert doc["reachable"] is False
+            row = _get(f"{server.url}/distances/0")
+            assert row["distances"][3] is None
+            assert row["distances"][1] == 1.0
+
+    def test_batch_mixed(self, stack):
+        g, _svc, server = stack
+        ref = dijkstra(g, 5).dist
+        doc = _post(
+            f"{server.url}/batch",
+            {
+                "queries": [
+                    {"type": "distances", "source": 5},
+                    {"type": "route", "source": 5, "target": 20},
+                    {"type": "nearest", "source": 5, "k": 3},
+                ]
+            },
+        )
+        assert doc["count"] == 3
+        dists, route, near = doc["answers"]
+        assert dists["type"] == "distances"
+        assert dists["distances"][20] == ref[20]
+        assert route["distance"] == ref[20]
+        assert near["distances"] == np.sort(ref)[1:4].tolist()
+
+    def test_batch_accepts_bare_list(self, stack):
+        _g, _svc, server = stack
+        doc = _post(f"{server.url}/batch", [{"type": "distances", "source": 0}])
+        assert doc["count"] == 1
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize(
+        "path, fragment",
+        [
+            ("/route/3/-1", "out of range"),          # planner range check
+            ("/route/3/9999", "out of range"),
+            ("/distances/abc", "must be an integer"),  # path validation
+            ("/nearest/3/-2", "k must be >= 0"),       # negative k
+            ("/route/3", "no GET endpoint"),           # wrong arity -> 404
+            ("/unknown", "no GET endpoint"),
+        ],
+    )
+    def test_bad_requests_are_4xx(self, stack, path, fragment):
+        _g, _svc, server = stack
+        status, body = _get_error(server.url + path)
+        assert 400 <= status < 500
+        assert fragment in body["message"]
+
+    def test_malformed_json_body_is_400(self, stack):
+        _g, _svc, server = stack
+        status, body = _post_error(f"{server.url}/batch", b"{not json")
+        assert status == 400
+        assert "not valid JSON" in body["message"]
+
+    def test_non_list_body_is_400(self, stack):
+        _g, _svc, server = stack
+        status, _body = _post_error(f"{server.url}/batch", b'{"queries": 3}')
+        assert status == 400
+
+    def test_unknown_query_type_is_400(self, stack):
+        _g, _svc, server = stack
+        status, body = _post_error(
+            f"{server.url}/batch", json.dumps([{"type": "teleport"}]).encode()
+        )
+        assert status == 400
+        assert "unknown type" in body["message"]
+
+    def test_missing_field_is_400(self, stack):
+        _g, _svc, server = stack
+        status, body = _post_error(
+            f"{server.url}/batch", json.dumps([{"type": "route", "source": 1}]).encode()
+        )
+        assert status == 400
+        assert "missing field" in body["message"]
+
+    def test_json_bool_vertex_is_400(self, stack):
+        """JSON true must not silently become vertex 1 (the bool/int
+        subclass bugfix, seen end to end through the wire)."""
+        _g, _svc, server = stack
+        status, body = _post_error(
+            f"{server.url}/batch",
+            json.dumps([{"type": "distances", "source": True}]).encode(),
+        )
+        assert status == 400
+        assert "bool" in body["message"]
+
+    def test_post_to_get_endpoint_is_404(self, stack):
+        _g, _svc, server = stack
+        status, _ = _post_error(f"{server.url}/healthz", b"{}")
+        assert status == 404
+
+    def test_internal_failure_is_500(self):
+        """A server-side blow-up maps to 5xx with a typed JSON error,
+        not a hung connection or an HTML traceback."""
+        g = random_connected_graph(30, 70, seed=3)
+        svc = RoutingService(g, k=1, rho=4, heuristic="full")
+
+        class Boom(RuntimeError):
+            pass
+
+        def explode(*a, **k):
+            raise Boom("engine exploded")
+
+        svc.distances = explode
+        with RoutingHTTPServer(svc) as server:
+            status, body = _get_error(f"{server.url}/distances/0")
+        assert status == 500
+        assert body["error"] == "Boom"
+        assert "engine exploded" in body["message"]
+
+
+class TestKeepAlive:
+    """HTTP/1.1 persistent connections must never desync: an error
+    response that leaves a POST body unread has to advertise and
+    perform a close, while fully-consumed requests keep the socket."""
+
+    @staticmethod
+    def _conn(server):
+        host, port = server.server_address[:2]
+        return http.client.HTTPConnection(host, port, timeout=10)
+
+    def test_get_requests_reuse_one_connection(self, stack):
+        _g, _svc, server = stack
+        conn = self._conn(server)
+        try:
+            for path in ("/healthz", "/stats", "/route/1/2"):
+                conn.request("GET", path)
+                resp = conn.getresponse()
+                assert resp.status == 200
+                resp.read()
+                assert resp.getheader("Connection") != "close"
+        finally:
+            conn.close()
+
+    def test_rejected_post_with_unread_body_closes_connection(self, stack):
+        """Regression: a 404 for POST /healthz used to leave the body
+        bytes on the socket — the next request on the same connection
+        was parsed starting at the stale body (garbage 400/hang)."""
+        _g, _svc, server = stack
+        conn = self._conn(server)
+        try:
+            conn.request(
+                "POST",
+                "/healthz",
+                body='{"stale": "body"}',
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            assert resp.status == 404
+            resp.read()
+            assert resp.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_get_with_body_closes_connection(self, stack):
+        """A body on a bodiless endpoint is never drained — the guard
+        must close regardless of method (GET used to slip through and
+        desync the next request on the socket)."""
+        _g, _svc, server = stack
+        conn = self._conn(server)
+        try:
+            conn.request("GET", "/healthz", body="xxxx")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            resp.read()
+            assert resp.getheader("Connection") == "close"
+        finally:
+            conn.close()
+
+    def test_negative_content_length_rejected_immediately(self, stack):
+        """Content-Length: -1 used to reach rfile.read(-1), blocking a
+        handler thread for the whole request timeout — it must 400 at
+        once."""
+        import socket
+        import time
+
+        _g, _svc, server = stack
+        host, port = server.server_address[:2]
+        t0 = time.perf_counter()
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"POST /batch HTTP/1.1\r\nHost: t\r\nContent-Length: -1\r\n\r\n"
+            )
+            status_line = sock.recv(65536).split(b"\r\n", 1)[0]
+        assert b"400" in status_line
+        assert time.perf_counter() - t0 < 5.0
+
+    def test_chunked_body_closes_connection(self, stack):
+        """Chunked framing is never decoded, so its bytes always linger
+        — the guard must close even without a Content-Length header."""
+        import socket
+
+        _g, _svc, server = stack
+        host, port = server.server_address[:2]
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(
+                b"GET /healthz HTTP/1.1\r\nHost: t\r\n"
+                b"Transfer-Encoding: chunked\r\n\r\n"
+                b"5\r\nhello\r\n0\r\n\r\n"
+            )
+            raw = sock.recv(65536)
+        head = raw.split(b"\r\n\r\n", 1)[0].lower()
+        assert b" 200 " in raw.split(b"\r\n", 1)[0]
+        assert b"connection: close" in head
+
+    def test_post_400_after_body_read_keeps_connection(self, stack):
+        """A planner-level 400 (body fully drained) must not cost the
+        connection: the follow-up request on the same socket works."""
+        _g, _svc, server = stack
+        conn = self._conn(server)
+        try:
+            conn.request(
+                "POST",
+                "/batch",
+                body=json.dumps([{"type": "nearest", "source": 1, "k": -1}]),
+                headers={"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            assert resp.status == 400
+            resp.read()
+            assert resp.getheader("Connection") != "close"
+            conn.request("GET", "/healthz")
+            follow = conn.getresponse()
+            assert follow.status == 200
+            assert json.loads(follow.read()) == {"status": "ok"}
+        finally:
+            conn.close()
+
+
+class TestConcurrentServing:
+    def test_concurrent_mixed_workload_zero_errors_serial_identical(self, stack):
+        """The acceptance criterion: 8 client threads of mixed queries,
+        zero errors, every answer bit-identical to a serial planner."""
+        g, _svc, server = stack
+        n_threads, reps = 8, 6
+        serial = QueryPlanner(
+            RoutingService(g, k=2, rho=8).solver, capacity=64, track_parents=True
+        )
+        errors: list[BaseException] = []
+        results: dict[int, list] = {}
+        barrier = threading.Barrier(n_threads)
+
+        def client(i: int) -> None:
+            try:
+                barrier.wait()
+                out = []
+                for r in range(reps):
+                    s = (i * 3 + r) % 24
+                    t = (i * 5 + r + 1) % 24
+                    out.append(("row", s, _get(f"{server.url}/distances/{s}")))
+                    out.append(("route", s, t, _get(f"{server.url}/route/{s}/{t}")))
+                    out.append(("near", s, _get(f"{server.url}/nearest/{s}/4")))
+                    batch = _post(
+                        f"{server.url}/batch",
+                        [
+                            {"type": "route", "source": s, "target": t},
+                            {"type": "nearest", "source": t, "k": 3},
+                        ],
+                    )
+                    out.append(("batch", s, t, batch))
+                results[i] = out
+            except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+
+        def as_row(doc):
+            return np.array(
+                [np.inf if d is None else d for d in doc["distances"]]
+            )
+
+        for i, out in results.items():
+            for item in out:
+                if item[0] == "row":
+                    _, s, doc = item
+                    assert np.array_equal(as_row(doc), serial.distances(s))
+                elif item[0] == "route":
+                    _, s, t, doc = item
+                    want = serial.route(s, t)
+                    assert doc["distance"] == want.distance
+                    assert tuple(doc["path"]) == want.path
+                elif item[0] == "near":
+                    _, s, doc = item
+                    want = serial.nearest(s, 4)
+                    assert doc["vertices"] == want.vertices.tolist()
+                    assert doc["distances"] == want.distances.tolist()
+                else:
+                    _, s, t, doc = item
+                    route, near = doc["answers"]
+                    assert route["distance"] == serial.route(s, t).distance
+                    want = serial.nearest(t, 3)
+                    assert near["distances"] == want.distances.tolist()
+
+        # server-side sanity: the planner saw concurrent traffic and its
+        # books still balance
+        stats = _get(f"{server.url}/stats")
+        assert stats["hits"] + stats["misses"] == stats["lookups"]
+        assert stats["cached_rows"] <= stats["capacity"]
+
+
+class TestLifecycle:
+    def test_graceful_shutdown(self):
+        g = random_connected_graph(30, 70, seed=9)
+        svc = RoutingService(g, k=1, rho=4, heuristic="full")
+        server = RoutingHTTPServer(svc).start()
+        url = server.url
+        assert _get(f"{url}/healthz") == {"status": "ok"}
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            _get(f"{url}/healthz")
+        server.close()  # idempotent
+
+    def test_idle_keepalive_connection_cannot_stall_shutdown(self):
+        """Regression: close() joins non-daemon handler threads, and an
+        idle HTTP/1.1 keep-alive connection used to pin its thread in
+        readline() forever — shutdown hung until the client went away.
+        The per-read request_timeout bounds the stall."""
+        import time
+
+        g = random_connected_graph(20, 40, seed=8)
+        svc = RoutingService(g, k=1, rho=4, heuristic="full")
+        server = RoutingHTTPServer(svc, request_timeout=0.5).start()
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            assert resp.status == 200
+            resp.read()
+            # connection now idles open (keep-alive); close() must not
+            # block past the request timeout waiting for it
+            t0 = time.perf_counter()
+            server.close()
+            assert time.perf_counter() - t0 < 5.0
+        finally:
+            conn.close()
+
+    def test_double_start_rejected(self):
+        g = random_connected_graph(20, 40, seed=4)
+        svc = RoutingService(g, k=1, rho=4, heuristic="full")
+        with RoutingHTTPServer(svc) as server:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()
+
+    def test_serve_helper(self):
+        from repro.serve import serve
+
+        g = random_connected_graph(20, 40, seed=4)
+        svc = RoutingService(g, k=1, rho=4, heuristic="full")
+        server = serve(svc)
+        try:
+            assert _get(f"{server.url}/healthz")["status"] == "ok"
+        finally:
+            server.close()
+
+    def test_serve_helper_as_context_manager(self):
+        """Regression: __enter__ used to call start() unconditionally,
+        so `with serve(svc) as s:` raised 'already started'."""
+        from repro.serve import serve
+
+        g = random_connected_graph(20, 40, seed=4)
+        svc = RoutingService(g, k=1, rho=4, heuristic="full")
+        with serve(svc) as server:
+            assert _get(f"{server.url}/healthz")["status"] == "ok"
+        with pytest.raises(urllib.error.URLError):
+            _get(f"{server.url}/healthz")

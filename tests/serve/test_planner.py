@@ -118,7 +118,9 @@ class TestCache:
         assert s["hits"] >= 4
 
     def test_eviction_lru_order(self, case):
-        planner = make_planner(case, capacity=2)
+        # stripes=1: the serial planner's exact global LRU order (with
+        # striping, eviction order is per stripe)
+        planner = make_planner(case, capacity=2, stripes=1)
         planner.distances(0)   # cache: {0}
         planner.distances(1)   # cache: {0, 1}
         planner.distances(0)   # refresh 0 → LRU order {1, 0}
@@ -142,6 +144,28 @@ class TestCache:
     def test_negative_capacity_rejected(self, case):
         with pytest.raises(ValueError, match="capacity"):
             make_planner(case, capacity=-1)
+
+    def test_invalid_stripes_rejected(self, case):
+        with pytest.raises(ValueError, match="stripes"):
+            make_planner(case, stripes=0)
+
+    def test_stripes_clamped_to_capacity(self, case):
+        """More stripes than capacity must not inflate the cache: every
+        stripe owns >= 1 slot and totals never exceed capacity."""
+        planner = make_planner(case, capacity=3, stripes=16)
+        assert planner.stats()["stripes"] == 3
+        for s in range(12):
+            planner.distances(s)
+        assert planner.stats()["cached_rows"] <= 3
+
+    def test_total_cached_rows_bounded_across_stripes(self, case):
+        planner = make_planner(case, capacity=6, stripes=4)
+        for s in range(20):
+            planner.distances(s)
+        stats = planner.stats()
+        assert stats["cached_rows"] <= 6
+        assert stats["evictions"] >= 14
+        assert stats["lookups"] == stats["hits"] + stats["misses"] == 20
 
     def test_cached_rows_are_read_only(self, case):
         planner = make_planner(case)
@@ -229,3 +253,60 @@ class TestBatching:
         before = planner.stats()["solves"]
         planner.distances(2)
         assert planner.stats()["solves"] == before
+
+
+class TestValidation:
+    def test_warm_validates_sources(self, case):
+        """Regression: warm() used to skip _check_vertex — warm([-1])
+        silently solved from vertex n-1 and cached the row under key
+        -1.  It must raise and cache/solve nothing."""
+        g, _ = case
+        planner = make_planner(case)
+        with pytest.raises(ValueError, match="source -1 out of range"):
+            planner.warm([-1])
+        with pytest.raises(ValueError, match="source"):
+            planner.warm([0, g.n])
+        s = planner.stats()
+        assert s["solves"] == 0
+        assert s["cached_rows"] == 0
+
+    def test_warm_rejects_bool_sources(self, case):
+        planner = make_planner(case)
+        with pytest.raises(TypeError, match="bool"):
+            planner.warm([True])
+
+    def test_bool_query_rejected(self, case):
+        """Regression: bool is an int subclass, so True used to become
+        SingleSource(1) via isinstance(..., int)."""
+        planner = make_planner(case)
+        with pytest.raises(TypeError, match="bool"):
+            planner.execute([True])
+        with pytest.raises(TypeError, match="bool"):
+            planner.execute([(True, 4)])
+        with pytest.raises(TypeError, match="bool"):
+            planner.distances(False)
+        from repro.serve import SingleSource as SS
+
+        with pytest.raises(TypeError, match="bool"):
+            planner.execute([SS(True)])
+
+    def test_negative_k_rejected(self, case):
+        """Regression: KNearest(s, -3) used to silently return an empty
+        Nearest instead of flagging the malformed request."""
+        planner = make_planner(case)
+        with pytest.raises(ValueError, match="k must be >= 0"):
+            planner.nearest(3, -3)
+        with pytest.raises(ValueError, match="k must be >= 0"):
+            planner.execute([KNearest(3, -1)])
+        with pytest.raises(TypeError, match="k must be an integer"):
+            planner.execute([KNearest(3, True)])
+        # k = 0 stays a valid (empty) request
+        near = planner.nearest(3, 0)
+        assert len(near.vertices) == 0
+
+    def test_numpy_integer_sources_still_accepted(self, case):
+        g, _ = case
+        planner = make_planner(case)
+        row = planner.distances(np.int64(7))
+        assert np.array_equal(row, dijkstra(g, 7).dist)
+        planner.warm(np.array([1, 2], dtype=np.int64))

@@ -6,6 +6,9 @@ engine in the registry, ``solve_many_shm`` must reproduce the pickled
 per-row instrumentation.
 """
 
+import gc
+import warnings
+import weakref
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -134,6 +137,44 @@ class TestLifecycle:
         with solve_many_shm(sp, [9]) as dm:
             res = dm.result(0)
         assert np.array_equal(res.dist, dijkstra(g, 9).dist)
+
+    def test_dropped_matrix_reclaims_segment_with_warning(self):
+        """Regression: a matrix dropped without close()/unlink() used to
+        leak its segment until interpreter exit.  The weakref.finalize
+        safety net must reclaim it at GC time and warn."""
+        dm = DistanceMatrix(np.array([0, 1]), 16, track_parents=True)
+        name = dm.name
+        with pytest.warns(ResourceWarning, match="dropped without"):
+            del dm
+            gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_dropped_after_close_still_reclaims(self):
+        """close() without unlink() detaches the mapping but leaves the
+        segment alive system-wide — the net must still free it."""
+        dm = DistanceMatrix(np.array([4]), 8)
+        name = dm.name
+        dm.close()
+        attached = shared_memory.SharedMemory(name=name)  # still exists
+        attached.close()
+        with pytest.warns(ResourceWarning):
+            del dm
+            gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_proper_lifecycle_does_not_warn(self, weighted_solver):
+        """The context-manager / close+unlink paths detach the finalizer
+        — no ResourceWarning for well-behaved owners."""
+        _, sp = weighted_solver
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ResourceWarning)
+            with solve_many_shm(sp, [0, 9]) as dm:
+                ref = weakref.ref(dm)
+            del dm
+            gc.collect()
+        assert ref() is None
 
     def test_failed_solve_frees_segment(self, weighted_solver, monkeypatch):
         """An engine blowing up mid-batch must not leak the segment."""

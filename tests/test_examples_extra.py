@@ -1,6 +1,7 @@
 """Smoke tests for examples outside the five-pipeline set: the Table-1
-tradeoff sweep (landmark baseline surface) and the engine-plugin demo
-(the repro.engine extension surface)."""
+tradeoff sweep (landmark baseline surface), the engine-plugin demo
+(the repro.engine extension surface), and the HTTP serving walkthrough
+(the repro.serve.http network surface)."""
 
 import numpy as np
 
@@ -22,6 +23,17 @@ def test_engine_plugins(capsys):
     res = solve_with_engine("geometric", g, 0, None)
     assert res.algorithm == "geometric-stepping"
     assert np.allclose(res.dist.max(), 8.0)
+
+
+def test_http_routing_service(capsys):
+    mod = load_example("http_routing_service")
+    mod.main(n=250, rho=10, threads=4)
+    out = capsys.readouterr().out
+    assert "HTTP server listening" in out
+    assert "concurrent clients: zero errors" in out
+    assert "error contract" in out
+    assert "graceful shutdown" in out
+    assert mod.__doc__ and callable(mod.main)
 
 
 def test_baseline_tradeoffs(capsys):
