@@ -1,0 +1,138 @@
+"""Stepping-algorithm showdown: every registered engine, head-to-head.
+
+Dong, Gu & Sun (arXiv 2105.06145) frame ρ-stepping, ∆-stepping and
+radius-stepping as one algorithm family whose per-graph winner varies
+widely across graph families; this benchmark measures that claim on our
+implementations.  Every registered engine races on one representative
+graph per family — road-like, power-law, small-world, uniform random —
+via the same calibration machinery serving uses
+(:func:`repro.engine.autoselect.race_engines`: identical sampled
+sources for every engine, a wall-clock budget per engine so the slow
+references cannot stall the suite).
+
+Output: ``BENCH_stepping.json`` (env ``BENCH_STEPPING_JSON``) with the
+per-family timing table, the measured winner, and the engine
+:func:`~repro.engine.autoselect.pick_engine` selects.  Gates (all
+env-tunable for noisy shared runners):
+
+* the winner beats the worst engine by ≥ ``BENCH_STEPPING_MIN_SPEEDUP``
+  (default 1.5×) on at least one family — the family is genuinely
+  non-uniform, so picking per graph matters;
+* the winner is strictly faster than ``vectorized`` (the previous fixed
+  serving default) on ≥ ``BENCH_STEPPING_MIN_DEFAULT_WINS`` families
+  (default 2) — auto-selection pays for itself;
+* ``pick_engine``'s independent race lands within
+  ``BENCH_STEPPING_TOL`` (default 50%) of the table's best mean — the
+  serving-side selector agrees with the head-to-head measurement.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.engine.autoselect import DEFAULT_CANDIDATES, pick_engine, race_engines
+from repro.engine.registry import available_engines
+from repro.graphs.generators import erdos_renyi, road_network, scale_free, small_world
+from repro.graphs.weights import random_integer_weights
+
+pytestmark = pytest.mark.paper_artifact("stepping-algorithm showdown")
+
+N = 600
+SAMPLES = 2
+SEED = 7
+
+
+def _families():
+    """One representative weighted graph per generator family."""
+    road, _ = road_network(N, seed=1)
+    return {
+        "road": random_integer_weights(road, low=1, high=100, seed=2),
+        "power-law": random_integer_weights(
+            scale_free(N, attach=4, seed=3), low=1, high=100, seed=4
+        ),
+        "small-world": random_integer_weights(
+            small_world(N, k=6, p=0.1, seed=5), low=1, high=100, seed=6
+        ),
+        "random": random_integer_weights(
+            erdos_renyi(N, 3 * N, seed=7), low=1, high=100, seed=8
+        ),
+    }
+
+
+def test_stepping_showdown(report_sink):
+    budget = float(os.environ.get("BENCH_STEPPING_BUDGET", "3.0"))
+    tol = float(os.environ.get("BENCH_STEPPING_TOL", "0.5"))
+    min_speedup = float(os.environ.get("BENCH_STEPPING_MIN_SPEEDUP", "1.5"))
+    min_default_wins = int(os.environ.get("BENCH_STEPPING_MIN_DEFAULT_WINS", "2"))
+
+    engines = available_engines()
+    table: dict[str, dict] = {}
+    for family, graph in _families().items():
+        timings = race_engines(
+            graph, engines=engines, samples=SAMPLES, seed=SEED, budget=budget
+        )
+        assert timings, f"no engine completed a solve on {family}"
+        winner = min(timings, key=timings.__getitem__)
+        best = timings[winner]
+        worst = max(timings.values())
+        auto = pick_engine(
+            graph, engines=DEFAULT_CANDIDATES, samples=SAMPLES, seed=SEED,
+            budget=budget,
+        )
+        table[family] = {
+            "n": graph.n,
+            "m": graph.m,
+            "seconds": {k: round(v, 5) for k, v in sorted(timings.items())},
+            "winner": winner,
+            "winner_vs_best": 1.0,  # winner is the table argmin by construction
+            "worst_over_winner": round(worst / best, 2),
+            "auto_choice": auto,
+            "auto_over_best": round(timings.get(auto, float("inf")) / best, 2),
+            "winner_over_default": round(
+                timings.get("vectorized", float("inf")) / best, 2
+            ),
+        }
+
+    payload = {
+        "workload": f"one graph per family, n={N}, integer weights 1..100, "
+        f"{SAMPLES} sources per engine (degree-biased, seed={SEED})",
+        "engines": list(engines),
+        "families": table,
+    }
+    out_path = os.environ.get("BENCH_STEPPING_JSON", "BENCH_stepping.json")
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+
+    report_sink.append(
+        (
+            "stepping showdown (n=%d per family)" % N,
+            "\n".join(
+                f"{family:>12}: winner {row['winner']} "
+                f"({row['seconds'][row['winner']]:.4f}s/solve, "
+                f"{row['worst_over_winner']:.1f}x over worst, "
+                f"{row['winner_over_default']:.2f}x vs vectorized; "
+                f"auto picks {row['auto_choice']})"
+                for family, row in table.items()
+            ),
+        )
+    )
+
+    # Gate 1: the family is non-uniform — on at least one family the
+    # winner beats the worst engine by the floor.
+    assert any(
+        row["worst_over_winner"] >= min_speedup for row in table.values()
+    ), payload
+
+    # Gate 2: auto-selection pays for itself — the measured winner is
+    # strictly faster than the previous fixed default ("vectorized") on
+    # at least `min_default_wins` families.
+    default_wins = sum(
+        1 for row in table.values() if row["winner_over_default"] > 1.0
+    )
+    assert default_wins >= min_default_wins, payload
+
+    # Gate 3: pick_engine (its own race, same sources) selects an engine
+    # within tolerance of the head-to-head table's best on every family.
+    for family, row in table.items():
+        assert row["auto_over_best"] <= 1.0 + tol, (family, payload)

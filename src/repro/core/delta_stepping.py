@@ -29,10 +29,19 @@ __all__ = ["delta_stepping", "suggest_delta"]
 
 def suggest_delta(graph: CSRGraph) -> float:
     """Meyer & Sanders' rule of thumb ∆ = Θ(1 / max degree) scaled by the
-    mean edge weight — a reasonable default when no tuning is done."""
+    mean edge weight — a reasonable default when no tuning is done.
+
+    Always positive and finite: degenerate weight ranges (edgeless
+    graphs, or all-zero weights where ``min_positive_weight`` is ``inf``
+    and the mean is 0) clamp to a floor of 1.0 so the derived bucket
+    width is legal for any downstream queue.
+    """
     deg = max(1, int(graph.degrees().max()) if graph.n else 1)
     mean_w = float(graph.weights.mean()) if graph.num_arcs else 1.0
-    return max(graph.min_positive_weight, mean_w * 2.0 / deg)
+    delta = max(graph.min_positive_weight, mean_w * 2.0 / deg)
+    if not (delta > 0 and math.isfinite(delta)):
+        return 1.0
+    return delta
 
 
 def delta_stepping(

@@ -155,11 +155,23 @@ class PreprocessedSSSP:
     def resolve_engine(self, engine: Engine) -> str:
         """Map ``"auto"`` to a concrete registered engine name.
 
+        Preference order for ``"auto"``: the preprocessing record's
+        calibrated ``preferred_engine`` when it is set and still
+        registered (the per-graph measured winner a version-2 artifact
+        carries), then the §3.4 unweighted engine when the augmented
+        graph has unit weights, then ``"vectorized"``.
+
         Public because the serving layer keys caches and artifacts by
         the *resolved* name — two requests for ``"auto"`` and
         ``"vectorized"`` on a weighted graph must share cache entries.
         """
         if engine == "auto":
+            preferred = getattr(self._pre, "preferred_engine", "")
+            if preferred:
+                from ..engine.registry import available_engines
+
+                if preferred in available_engines():
+                    return preferred
             return "unweighted" if self.graph.is_unweighted else "vectorized"
         return engine
 

@@ -14,13 +14,17 @@ from .kernel import RelaxationKernel, gather_frontier_arcs
 from .schedules import (
     BellmanFordSchedule,
     DeltaSchedule,
+    DeltaStarSchedule,
     DijkstraSchedule,
     RadiusBucketSchedule,
     RadiusSchedule,
+    RhoSchedule,
     StepSchedule,
     default_bucket_width,
+    default_rho,
 )
 from .driver import run_engine
+from .autoselect import pick_engine, race_engines
 from .registry import (
     EngineSpec,
     available_engines,
@@ -32,17 +36,22 @@ from .registry import (
 __all__ = [
     "BellmanFordSchedule",
     "DeltaSchedule",
+    "DeltaStarSchedule",
     "DijkstraSchedule",
     "EngineSpec",
     "LazyBucketQueue",
     "RadiusBucketSchedule",
     "RadiusSchedule",
     "RelaxationKernel",
+    "RhoSchedule",
     "StepSchedule",
     "available_engines",
     "default_bucket_width",
+    "default_rho",
     "gather_frontier_arcs",
     "get_engine",
+    "pick_engine",
+    "race_engines",
     "register_engine",
     "run_engine",
     "solve_with_engine",

@@ -262,6 +262,46 @@ class LazyBucketQueue:
             return float(keys.min())
         return None
 
+    def kth_fresh_key(self, k: int, key_of: KeyFn, dead: np.ndarray) -> float | None:
+        """Partition-select: the ``k``-th smallest fresh key (1-indexed).
+
+        When fewer than ``k`` fresh entries remain, returns the largest
+        fresh key (the bound that covers everything); ``None`` when the
+        queue holds no fresh entry at all.  This is ρ-stepping's
+        extract-ρ-min: buckets cover disjoint, increasing key ranges, so
+        the answer lives in the first bucket whose cumulative fresh count
+        reaches ``k`` and one O(|bucket|) ``np.partition`` finds it — no
+        global sort, and only the buckets below the answer are scanned.
+
+        Prunes stale entries exactly like :meth:`min_fresh_key`; fresh
+        entries stay queued (this is a peek, not a pop).  For finite
+        keys each vertex has at most one fresh entry (pushes happen on
+        strict improvement), so ``k`` counts distinct vertices.
+        """
+        if k < 1:
+            raise ValueError(f"k >= 1 required, got {k}")
+        self._flush()
+        buckets = self._buckets
+        count = 0
+        tail_max: float | None = None
+        for b in sorted(buckets):
+            keys, verts = self._concat(buckets[b])
+            fresh = ~dead[verts] & (key_of(verts) == keys)
+            n_fresh = int(fresh.sum())
+            self._size -= len(keys) - n_fresh
+            if n_fresh == 0:
+                del buckets[b]
+                continue
+            if n_fresh != len(keys):
+                keys = keys[fresh]
+                verts = verts[fresh]
+            buckets[b] = [(keys, verts)]
+            if count + n_fresh >= k:
+                return float(np.partition(keys, k - count - 1)[k - count - 1])
+            count += n_fresh
+            tail_max = float(keys.max())
+        return tail_max
+
     def pop_fresh_until(
         self, bound: float, key_of: KeyFn, dead: np.ndarray
     ) -> np.ndarray:

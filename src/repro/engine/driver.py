@@ -60,6 +60,11 @@ def run_engine(
     )
     schedule.bind(kernel)
     schedule.push(kernel.relax_source(source))
+    # Optional schedule hooks (∆*-stepping's light/heavy split): substeps
+    # relax only the masked arc class; ``finish_step`` runs after Line 10
+    # with the step's newly settled vertices, at their final distances.
+    substep_arc_mask = getattr(schedule, "substep_arc_mask", None)
+    finish_step = getattr(schedule, "finish_step", None)
 
     dist = kernel.dist
     logn = kernel.logn
@@ -88,7 +93,10 @@ def run_engine(
         while len(changed):
             substeps += 1
             improved, n_arcs = kernel.relax(
-                changed, exclude_settled=True, charge_label="substep relax"
+                changed,
+                exclude_settled=True,
+                arc_mask=substep_arc_mask,
+                charge_label="substep relax",
             )
             if n_arcs == 0:
                 break
@@ -105,6 +113,8 @@ def run_engine(
         # ---- Line 10: S_i = {v | δ(v) ≤ d_i} ------------------------------
         newly = np.unique(np.concatenate(step_settles))
         kernel.settle(newly)
+        if finish_step is not None:
+            finish_step(newly)
         steps += 1
         substeps_total += substeps
         max_substeps = max(max_substeps, substeps)

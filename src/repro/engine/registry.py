@@ -23,6 +23,8 @@ Built-in engines
 ``unweighted``    the §3.4 BFS-style specialization (unit weights only).
 ``dijkstra``      equal-distance batched Dijkstra (``r ≡ 0``).
 ``delta``         ∆-stepping boundaries in the unified engine.
+``delta-star``    ∆*-stepping: floating min+∆ window, light/heavy split.
+``rho``           ρ-stepping: the ρ nearest frontier vertices per step.
 ``bellman-ford``  single-step Bellman–Ford (``r ≡ ∞``).
 """
 
@@ -214,6 +216,36 @@ def _delta(graph, source, radii, *, track_parents, track_trace, ledger):
     )
 
 
+def _delta_star(graph, source, radii, *, track_parents, track_trace, ledger):
+    from .driver import run_engine
+    from .schedules import DeltaStarSchedule
+
+    return run_engine(
+        graph,
+        source,
+        DeltaStarSchedule(),
+        track_parents=track_parents,
+        track_trace=track_trace,
+        ledger=ledger,
+        algorithm_name="delta-star-stepping",
+    )
+
+
+def _rho(graph, source, radii, *, track_parents, track_trace, ledger):
+    from .driver import run_engine
+    from .schedules import RhoSchedule
+
+    return run_engine(
+        graph,
+        source,
+        RhoSchedule(),
+        track_parents=track_parents,
+        track_trace=track_trace,
+        ledger=ledger,
+        algorithm_name="rho-stepping",
+    )
+
+
 def _bellman_ford(graph, source, radii, *, track_parents, track_trace, ledger):
     from .driver import run_engine
     from .schedules import BellmanFordSchedule
@@ -260,6 +292,16 @@ register_engine(
     "delta",
     _delta,
     description="Delta-stepping boundaries in the unified engine",
+)
+register_engine(
+    "delta-star",
+    _delta_star,
+    description="Delta*-stepping: floating min+Delta window, light/heavy arc split",
+)
+register_engine(
+    "rho",
+    _rho,
+    description="rho-stepping: settle the rho nearest frontier vertices per step",
 )
 register_engine(
     "bellman-ford",

@@ -25,6 +25,10 @@ schedules:
                            calendar-queue buckets (no per-vertex heap pushes).
 :class:`DijkstraSchedule`  ``r ≡ 0``: equal-distance batched Dijkstra.
 :class:`DeltaSchedule`     fixed bucket boundaries ``d_i = (j+1)·∆``.
+:class:`DeltaStarSchedule` ∆*-stepping: floating window ``d_i = min + ∆``
+                           with a light/heavy arc split.
+:class:`RhoSchedule`       ρ-stepping: ``d_i`` = the ρ-th smallest frontier
+                           distance (partition-select over lazy buckets).
 :class:`BellmanFordSchedule`  ``d_i = ∞``: one step, substeps = rounds.
 ========================  ====================================================
 
@@ -49,8 +53,11 @@ __all__ = [
     "RadiusBucketSchedule",
     "DijkstraSchedule",
     "DeltaSchedule",
+    "DeltaStarSchedule",
+    "RhoSchedule",
     "BellmanFordSchedule",
     "default_bucket_width",
+    "default_rho",
 ]
 
 
@@ -76,6 +83,21 @@ class StepSchedule(Protocol):
 
 def _as_radius_array(radii: np.ndarray | None, n: int) -> np.ndarray:
     return np.zeros(n) if radii is None else radii
+
+
+def default_rho(graph) -> int:
+    """Batch-size heuristic for :class:`RhoSchedule`.
+
+    ρ trades step count (≈ n/ρ steps) against wasted intra-batch
+    re-relaxations; for an interpreter-bound engine the per-step
+    dispatch overhead dominates long before the wasted work does, so
+    the default leans large: a constant number of steps (n/16) with a
+    floor of 64 so tiny graphs still batch.  Dong, Gu & Sun tune ρ in
+    the millions for the same reason on native code — the right value
+    is workload-specific, which is exactly what
+    :func:`repro.engine.autoselect.pick_engine` measures.
+    """
+    return max(64, -(-graph.n // 16))
 
 
 def default_bucket_width(graph) -> float:
@@ -269,10 +291,10 @@ class DeltaSchedule:
         from ..core.delta_stepping import suggest_delta  # avoid import cycle
 
         self._kernel = kernel
-        delta = self._delta or suggest_delta(kernel.graph)
-        if not math.isfinite(delta):  # edgeless graph: any width works
-            delta = 1.0
-        self.delta = delta
+        # suggest_delta clamps degenerate weight ranges (all-zero
+        # weights, edgeless graphs) to a positive finite floor, so the
+        # bucket width below is always legal.
+        self.delta = self._delta or suggest_delta(kernel.graph)
         # tentative distances of improved vertices are always finite
         self._q = LazyBucketQueue(self.delta, maybe_inf=False)
 
@@ -288,6 +310,120 @@ class DeltaSchedule:
         if low is None:
             return None
         return (math.floor(low / self.delta) + 1) * self.delta
+
+    def split_active(self, bound: float) -> np.ndarray:
+        return self._q.pop_fresh_until(bound, self._dist_key, self._kernel.settled)
+
+
+class DeltaStarSchedule:
+    """∆*-stepping — a floating ``min + ∆`` window with a light/heavy split.
+
+    Dong, Gu & Sun's ∆*-variant of ∆-stepping: instead of
+    :class:`DeltaSchedule`'s fixed boundaries ``(j+1)·∆``, each step
+    processes every frontier vertex within ``∆`` of the current frontier
+    *minimum* — ``d_i = min δ(frontier) + ∆`` — so sparse distance
+    ranges never spin through empty windows and every step is at least
+    ∆ deep regardless of where the frontier sits.
+
+    Substeps relax **light arcs only** (``w ≤ ∆``, the Kranjčević et
+    al. shared-memory ∆-stepping batching, arXiv:1604.02113): an active
+    vertex has ``δ(u) ≥ min``, so a heavy arc's candidate lands at
+    ``δ(u) + w > min + ∆ = d_i`` — strictly beyond the settling bound,
+    irrelevant inside the step.  Heavy arcs are relaxed exactly once
+    per vertex, in one batch as the step's vertices settle
+    (:meth:`finish_step`), when their tail's distance is final.
+    """
+
+    name = "delta-star"
+
+    def __init__(self, delta: float | None = None) -> None:
+        if delta is not None and not (delta > 0 and math.isfinite(delta)):
+            raise ValueError("delta must be positive and finite")
+        self._delta = delta
+
+    def bind(self, kernel: RelaxationKernel) -> None:
+        from ..core.delta_stepping import suggest_delta  # avoid import cycle
+
+        self._kernel = kernel
+        self.delta = self._delta or suggest_delta(kernel.graph)
+        self._q = LazyBucketQueue(self.delta, maybe_inf=False)
+        #: driver hook — substeps relax only these arcs (the light class)
+        self.substep_arc_mask = kernel.graph.weights <= self.delta
+        self._heavy = ~self.substep_arc_mask
+        self._has_heavy = bool(self._heavy.any())
+
+    def _dist_key(self, verts: np.ndarray) -> np.ndarray:
+        return self._kernel.dist[verts]
+
+    def push(self, improved: np.ndarray) -> None:
+        if len(improved):
+            self._q.push(improved, self._kernel.dist[improved])
+
+    def next_bound(self) -> float | None:
+        low = self._q.min_fresh_key(self._dist_key, self._kernel.settled)
+        if low is None:
+            return None
+        return low + self.delta
+
+    def split_active(self, bound: float) -> np.ndarray:
+        return self._q.pop_fresh_until(bound, self._dist_key, self._kernel.settled)
+
+    def finish_step(self, settled: np.ndarray) -> None:
+        """Driver hook (Line 10): one batched heavy-arc relaxation over
+        the step's newly settled vertices, at their final distances."""
+        if not self._has_heavy or len(settled) == 0:
+            return
+        improved, _ = self._kernel.relax(
+            settled,
+            exclude_settled=True,
+            arc_mask=self._heavy,
+            charge_label="heavy relax",
+        )
+        self.push(improved)
+
+
+class RhoSchedule:
+    """ρ-stepping — settle the ρ nearest frontier vertices per step.
+
+    Dong, Gu & Sun's other sibling: ``d_i`` is the ρ-th smallest
+    tentative distance on the unsettled frontier, found by
+    partition-select over the lazy calendar-queue buckets
+    (:meth:`~repro.engine.buckets.LazyBucketQueue.kth_fresh_key` — no
+    global sort, only the buckets below the answer are scanned).  Each
+    step then settles exactly those ρ vertices (plus boundary ties),
+    interpolating between Dijkstra (ρ = 1, one extract-min per step)
+    and Bellman–Ford (ρ = n, everything at once); the engine's substep
+    loop keeps any choice exact, so larger ρ trades wasted intra-batch
+    re-relaxations for fewer, fatter steps.
+    """
+
+    name = "rho"
+
+    def __init__(
+        self, rho: int | None = None, *, width: float | None = None
+    ) -> None:
+        if rho is not None and rho < 1:
+            raise ValueError(f"rho >= 1 required, got {rho}")
+        self._rho = rho
+        self._width = width
+
+    def bind(self, kernel: RelaxationKernel) -> None:
+        self._kernel = kernel
+        self.rho = self._rho or default_rho(kernel.graph)
+        width = self._width or default_bucket_width(kernel.graph)
+        self._q = LazyBucketQueue(
+            width, maybe_inf=False, auto_resize=self._width is None
+        )
+
+    def _dist_key(self, verts: np.ndarray) -> np.ndarray:
+        return self._kernel.dist[verts]
+
+    def push(self, improved: np.ndarray) -> None:
+        if len(improved):
+            self._q.push(improved, self._kernel.dist[improved])
+
+    def next_bound(self) -> float | None:
+        return self._q.kth_fresh_key(self.rho, self._dist_key, self._kernel.settled)
 
     def split_active(self, bound: float) -> np.ndarray:
         return self._q.pop_fresh_until(bound, self._dist_key, self._kernel.settled)

@@ -24,6 +24,7 @@ __all__ = [
     "grid_3d",
     "erdos_renyi",
     "scale_free",
+    "small_world",
     "road_network",
     "random_geometric",
     "figure2_graph",
@@ -185,6 +186,39 @@ def scale_free(n: int, attach: int = 2, *, seed: int = 0) -> CSRGraph:
     return from_arc_arrays(
         n, np.array(us_l, dtype=np.int64), np.array(vs_l, dtype=np.int64)
     )
+
+
+def small_world(n: int, k: int = 4, *, p: float = 0.1, seed: int = 0) -> CSRGraph:
+    """Watts–Strogatz small world: ring lattice plus random rewiring.
+
+    Each vertex starts joined to its ``k`` nearest ring neighbours
+    (``k`` even, ``k/2`` per side); every lattice edge of offset ≥ 2 is
+    rewired with probability ``p`` to a uniform random endpoint.  The
+    offset-1 cycle is kept intact (the Newman–Watts-style variant), so
+    the graph is always connected — which the (k,ρ)-preprocessing
+    pipeline requires.  Rewired duplicates collapse (simple graph), so
+    the realized edge count can dip slightly below ``n·k/2``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("k must be even and >= 2")
+    if n < k + 2:
+        raise ValueError("n must exceed k + 1")
+    if not (0.0 <= p <= 1.0):
+        raise ValueError("p must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    ids = np.arange(n, dtype=np.int64)
+    edges: set[tuple[int, int]] = set()
+    for u, v in zip(ids, (ids + 1) % n):  # the connectivity backbone
+        edges.add((min(u, v), max(u, v)))
+    for offset in range(2, k // 2 + 1):
+        targets = (ids + offset) % n
+        rewire = rng.random(n) < p
+        targets[rewire] = rng.integers(0, n, size=int(rewire.sum()))
+        for u, v in zip(ids, targets):
+            if u != v:
+                edges.add((min(int(u), int(v)), max(int(u), int(v))))
+    arr = np.array(sorted(edges), dtype=np.int64)
+    return from_arc_arrays(n, arr[:, 0], arr[:, 1])
 
 
 def random_geometric(n: int, radius: float, *, seed: int = 0) -> tuple[CSRGraph, np.ndarray]:

@@ -47,6 +47,11 @@ class PreprocessResult:
     source_hash: :meth:`~repro.graphs.csr.CSRGraph.content_hash` of the
         *input* graph, so a persisted artifact can later be verified
         against the graph a serving process intends to query.
+    preferred_engine: the query engine measured fastest on the
+        augmented graph (``build_kr_graph(..., calibrate_engine=True)``
+        or :func:`repro.engine.autoselect.pick_engine`); ``""`` means
+        "never calibrated" and lets ``engine="auto"`` fall back to the
+        static default.  Persisted by version-2 serving artifacts.
     """
 
     graph: CSRGraph
@@ -57,6 +62,7 @@ class PreprocessResult:
     rho: int
     heuristic: str
     source_hash: str = ""
+    preferred_engine: str = ""
 
     @property
     def edge_factor(self) -> float:
@@ -111,6 +117,8 @@ def build_kr_graph(
     include_ties: bool = True,
     n_jobs: int = 1,
     backend: str = "batched",
+    calibrate_engine: bool = False,
+    calibration_budget: float = 1.0,
 ) -> PreprocessResult:
     """Preprocess ``graph`` into a (k,ρ)-graph; see module docstring.
 
@@ -124,6 +132,15 @@ def build_kr_graph(
     :mod:`repro.preprocess.select_batched`; ``"scalar"``: heap searches
     and per-tree selection walks); radii and shortcut selections are
     bit-identical across backends.
+
+    ``calibrate_engine=True`` additionally races the registered query
+    engines on the augmented graph (a few sampled sources, about
+    ``calibration_budget`` seconds of wall clock per engine — see
+    :func:`repro.engine.autoselect.pick_engine`) and stamps the winner
+    into ``PreprocessResult.preferred_engine``, where version-2 serving
+    artifacts persist it and ``engine="auto"`` queries pick it up.
+    Preprocessing is run once per graph; this folds the one-time tuning
+    cost into the same amortized budget.
     """
     if heuristic not in HEURISTICS:
         raise ValueError(f"unknown heuristic {heuristic!r}; try {sorted(HEURISTICS)}")
@@ -151,6 +168,13 @@ def build_kr_graph(
     dst = np.concatenate([b[2] for b in blocks])
     w = np.concatenate([b[3] for b in blocks])
     aug = add_shortcuts(graph, src, dst, w)
+    preferred = ""
+    if calibrate_engine:
+        # lazy import: preprocessing must not depend on the engine layer
+        # unless calibration is requested.
+        from ..engine.autoselect import pick_engine
+
+        preferred = pick_engine(aug, radii, budget=calibration_budget)
     return PreprocessResult(
         graph=aug,
         radii=radii,
@@ -160,4 +184,5 @@ def build_kr_graph(
         rho=rho,
         heuristic=heuristic,
         source_hash=graph.content_hash(),
+        preferred_engine=preferred,
     )

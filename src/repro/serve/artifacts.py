@@ -62,12 +62,20 @@ __all__ = [
 #: magic string identifying a bundle as ours (first field checked on load).
 ARTIFACT_FORMAT = "repro-kr-artifact"
 
-#: bump on any incompatible schema change; loaders refuse other versions.
-ARTIFACT_VERSION = 1
+#: the version this build writes; loaders also read every entry of
+#: ``_READABLE_VERSIONS`` (older-but-compatible schemas).
+ARTIFACT_VERSION = 2
 
-#: every array field a version-1 bundle must contain.
+#: array fields every bundle version must contain.
 _ARRAY_FIELDS = ("indptr", "indices", "weights", "radii")
-_META_FIELDS = ("k", "rho", "heuristic", "added_edges", "new_edges", "source_hash")
+#: metadata fields per readable version; the tuple order is the hash
+#: preimage order, so version-1 bundles (no ``preferred_engine``)
+#: still verify against the checksum they were written with.
+_META_FIELDS_V1 = ("k", "rho", "heuristic", "added_edges", "new_edges", "source_hash")
+_META_FIELDS_V2 = _META_FIELDS_V1 + ("preferred_engine",)
+_META_FIELDS_BY_VERSION = {1: _META_FIELDS_V1, 2: _META_FIELDS_V2}
+_READABLE_VERSIONS = frozenset(_META_FIELDS_BY_VERSION)
+_META_FIELDS = _META_FIELDS_BY_VERSION[ARTIFACT_VERSION]
 
 
 class ArtifactError(RuntimeError):
@@ -131,6 +139,7 @@ def save_artifact(path: str | Path, pre: PreprocessResult) -> Path:
         int(pre.added_edges),
         int(pre.new_edges),
         str(pre.source_hash),
+        str(getattr(pre, "preferred_engine", "") or ""),
     )
     with open(path, "wb") as fh:
         np.savez(
@@ -143,6 +152,7 @@ def save_artifact(path: str | Path, pre: PreprocessResult) -> Path:
             added_edges=np.int64(pre.added_edges),
             new_edges=np.int64(pre.new_edges),
             source_hash=str(pre.source_hash),
+            preferred_engine=meta[6],
             payload_hash=_payload_hash(arrays, meta),
             **arrays,
         )
@@ -277,14 +287,16 @@ def load_artifact(
     if "version" not in bundle:
         raise ArtifactCorruptError(f"{path} is missing its version field")
     version = int(bundle["version"])
-    if version != ARTIFACT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ArtifactVersionError(
             f"{path} has artifact version {version}; this build reads "
-            f"version {ARTIFACT_VERSION} — re-run preprocessing to regenerate"
+            f"versions {sorted(_READABLE_VERSIONS)} — re-run preprocessing "
+            "to regenerate"
         )
+    meta_fields = _META_FIELDS_BY_VERSION[version]
     missing = [
         f
-        for f in (*_ARRAY_FIELDS, *_META_FIELDS, "payload_hash")
+        for f in (*_ARRAY_FIELDS, *meta_fields, "payload_hash")
         if f not in bundle
     ]
     if missing:
@@ -292,6 +304,9 @@ def load_artifact(
             f"{path} is missing required fields: {', '.join(missing)}"
         )
     arrays = {name: bundle[name] for name in _ARRAY_FIELDS}
+    # The checksum preimage is the version's own meta tuple, so a
+    # version-1 bundle (six fields, no preferred_engine) verifies
+    # byte-for-byte against the digest it was written with.
     meta = (
         int(bundle["k"]),
         int(bundle["rho"]),
@@ -300,6 +315,8 @@ def load_artifact(
         int(bundle["new_edges"]),
         str(bundle["source_hash"]),
     )
+    if version >= 2:
+        meta = meta + (str(bundle["preferred_engine"]),)
     if _payload_hash(arrays, meta) != str(bundle["payload_hash"]):
         raise ArtifactCorruptError(
             f"{path} failed its payload checksum — the stored arrays or "
@@ -357,6 +374,9 @@ def load_artifact(
         rho=meta[1],
         heuristic=meta[2],
         source_hash=meta[5],
+        # version-1 bundles predate engine calibration: leave unset so
+        # ``engine="auto"`` falls back to the static default.
+        preferred_engine=meta[6] if version >= 2 else "",
     )
 
 

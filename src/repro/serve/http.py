@@ -12,7 +12,11 @@ Endpoints
 ---------
 ===========================  ====================================================
 ``GET /healthz``             liveness probe → ``{"status": "ok"}``
-``GET /stats``               planner + preprocessing counters (JSON)
+``GET /stats``               planner + preprocessing counters (JSON),
+                             including the resolved ``engine`` every
+                             query dispatches to, the artifact's
+                             calibrated ``preferred_engine``, and the
+                             ``engines`` registry with descriptions
 ``GET /distances/{s}``       full distance row from ``s`` (``null`` = unreachable)
 ``GET /route/{s}/{t}``       distance and (when tracked) path ``s → t``
 ``GET /nearest/{s}/{k}``     the ``k`` closest reachable vertices to ``s``

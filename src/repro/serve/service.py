@@ -189,7 +189,17 @@ class RoutingService:
         return self._solver
 
     def stats(self) -> dict:
-        """Planner counters plus preprocessing provenance."""
+        """Planner counters plus preprocessing provenance.
+
+        ``engine`` is the planner's *resolved* engine (what every query
+        actually dispatches to), ``preferred_engine`` the calibrated
+        winner stored by preprocessing (``""`` when never calibrated),
+        and ``engines`` the full registry with per-engine descriptions
+        — enough for an operator at ``GET /stats`` to see which engine
+        an artifact selected and what the alternatives are.
+        """
+        from ..engine.registry import available_engines, get_engine
+
         pre = self._solver.preprocessing
         return {
             **self._planner.stats(),
@@ -200,6 +210,11 @@ class RoutingService:
             "n": self._solver.graph.n,
             "m": self._solver.graph.m,
             "shortcut_edges": pre.new_edges,
+            "preferred_engine": getattr(pre, "preferred_engine", ""),
+            "engines": {
+                name: get_engine(name).description
+                for name in available_engines()
+            },
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -45,6 +45,38 @@ class TestParameters:
         g = random_connected_graph(30, 60, seed=0)
         assert suggest_delta(g) > 0
 
+    def test_suggest_delta_degenerate_weight_ranges(self):
+        """Regression: all-zero weights used to suggest ∆ = inf
+        (``min_positive_weight`` is inf when no weight is positive),
+        which ``delta_stepping`` then rejected; degenerate ranges must
+        clamp to a positive finite floor instead."""
+        import math
+
+        from repro.graphs.weights import uniform_weights
+
+        all_zero = uniform_weights(
+            random_connected_graph(20, 45, seed=3, weighted=False),
+            low=0.0,
+            high=0.0,
+        )
+        d = suggest_delta(all_zero)
+        assert d > 0 and math.isfinite(d)
+        res = delta_stepping(all_zero, 0)  # default delta must be usable
+        assert np.all(res.dist == 0.0)
+
+    def test_suggest_delta_edgeless(self):
+        import math
+
+        from repro.graphs.csr import CSRGraph
+
+        lonely = CSRGraph(
+            np.zeros(4, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0),
+        )
+        d = suggest_delta(lonely)
+        assert d > 0 and math.isfinite(d)
+
 
 class TestStepBehaviour:
     def test_huge_delta_single_bucket(self):

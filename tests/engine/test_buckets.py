@@ -123,6 +123,62 @@ class TestPopFreshUntil:
         assert out.tolist() == [0]
 
 
+class TestKthFreshKey:
+    """Partition-select over the buckets — ρ-stepping's bound oracle."""
+
+    def test_kth_smallest(self):
+        dist, dead, key = make_state(5, [5.0, 1.0, 9.0, 3.0, 7.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.arange(5), dist)
+        assert q.kth_fresh_key(1, key, dead) == 1.0
+        assert q.kth_fresh_key(3, key, dead) == 5.0
+        assert q.kth_fresh_key(5, key, dead) == 9.0
+
+    def test_k_beyond_population_returns_max(self):
+        dist, dead, key = make_state(3, [2.0, 4.0, 6.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.arange(3), dist)
+        assert q.kth_fresh_key(10, key, dead) == 6.0
+
+    def test_empty_returns_none(self):
+        dist, dead, key = make_state(1, [1.0])
+        q = LazyBucketQueue(1.0)
+        assert q.kth_fresh_key(1, key, dead) is None
+
+    def test_skips_stale_and_dead(self):
+        dist, dead, key = make_state(4, [1.0, 2.0, 3.0, 4.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.arange(4), dist.copy())
+        dead[0] = True  # dead: dropped
+        dist[1] = 1.7   # improvement: re-push, old entry (2.0) goes stale
+        q.push(np.array([1]), np.array([1.7]))
+        assert q.kth_fresh_key(1, key, dead) == 1.7
+        assert q.kth_fresh_key(2, key, dead) == 3.0
+        assert q.kth_fresh_key(3, key, dead) == 4.0
+
+    def test_peek_not_pop(self):
+        dist, dead, key = make_state(3, [1.0, 2.0, 3.0])
+        q = LazyBucketQueue(1.0)
+        q.push(np.arange(3), dist)
+        q.kth_fresh_key(2, key, dead)
+        out = q.pop_fresh_until(np.inf, key, dead)
+        assert out.tolist() == [0, 1, 2]
+
+    def test_invalid_k(self):
+        dist, dead, key = make_state(1, [1.0])
+        q = LazyBucketQueue(1.0)
+        with pytest.raises(ValueError):
+            q.kth_fresh_key(0, key, dead)
+
+    def test_boundary_within_one_bucket(self):
+        """k lands mid-bucket: the answer comes from np.partition inside
+        the boundary bucket, not from the bucket's max."""
+        dist, dead, key = make_state(4, [1.1, 1.2, 1.3, 1.4])
+        q = LazyBucketQueue(10.0)  # all four share one bucket
+        q.push(np.arange(4), dist)
+        assert q.kth_fresh_key(2, key, dead) == 1.2
+
+
 class TestAutoResize:
     """Brown 1988 §4 recalibration: width is a hint, semantics are not."""
 

@@ -27,13 +27,23 @@ from repro.engine import (
     solve_with_engine,
 )
 from repro.graphs import from_edge_list, unit_weights
-from repro.graphs.generators import grid_2d
+from repro.graphs.generators import (
+    erdos_renyi,
+    grid_2d,
+    road_network,
+    scale_free,
+    small_world,
+)
+from repro.graphs.weights import random_integer_weights, uniform_weights
 from repro.preprocess import build_kr_graph
 
-from tests.helpers import random_connected_graph
+from tests.helpers import assert_valid_parents, random_connected_graph
 
 ALL_ENGINES = available_engines()
 WEIGHTED_ENGINES = tuple(e for e in ALL_ENGINES if e != "unweighted")
+PARENT_ENGINES = tuple(
+    e for e in WEIGHTED_ENGINES if get_engine(e).supports_parents
+)
 
 
 def scipy_dist(graph, source):
@@ -119,6 +129,99 @@ class TestDistanceParity:
         g = random_connected_graph(40, 90, seed=seed, weight_high=25)
         res = solve_with_engine(engine, g, 0, 5.0)
         assert np.array_equal(res.dist, dijkstra(g, 0).dist)
+
+
+def _family_graphs():
+    """One graph per generator family, continuous uniform weights.
+
+    Continuous weights make the shortest-path tree unique (almost
+    surely, and verified for these pinned seeds), so *parents* — not
+    just distances — must be bit-identical across every engine: the
+    kernel's parent rule is "last strict improver", and with a unique
+    SPT there is exactly one improver at each vertex's final distance.
+    """
+    road, _coords = road_network(80, seed=21)
+    return {
+        "road": uniform_weights(road, low=0.5, high=2.0, seed=22),
+        "power-law": uniform_weights(
+            scale_free(70, attach=3, seed=23), low=0.5, high=2.0, seed=24
+        ),
+        "small-world": uniform_weights(
+            small_world(64, k=6, p=0.2, seed=25), low=0.5, high=2.0, seed=26
+        ),
+        "random": uniform_weights(
+            erdos_renyi(60, 150, seed=27), low=0.5, high=2.0, seed=28
+        ),
+    }
+
+
+FAMILY_GRAPHS = _family_graphs()
+
+
+class TestCrossEngineFamilies:
+    """The PR-6 acceptance suite: every registered engine, every graph
+    family, bit-identical ``dist``/``parent`` — plus the tie-heavy and
+    ∞-distance corners where only distances (and parent *validity*) are
+    pinned."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_GRAPHS))
+    @pytest.mark.parametrize("engine", PARENT_ENGINES)
+    def test_dist_and_parent_bit_identical(self, engine, family):
+        g = FAMILY_GRAPHS[family]
+        ref = solve_with_engine("dijkstra", g, 0, None, track_parents=True)
+        res = solve_with_engine(engine, g, 0, None, track_parents=True)
+        assert np.array_equal(res.dist, ref.dist)
+        assert np.array_equal(res.parent, ref.parent)
+
+    @pytest.mark.parametrize("family", sorted(FAMILY_GRAPHS))
+    @pytest.mark.parametrize("engine", WEIGHTED_ENGINES)
+    def test_dist_bit_identical_integer_weights(self, engine, family):
+        """Integer reweighting of each family: ties galore, but integer
+        sums are exact in float64 so distances stay bit-identical (this
+        also covers the parentless ``bst`` reference)."""
+        g = random_integer_weights(FAMILY_GRAPHS[family], low=1, high=30, seed=31)
+        ref = solve_with_engine("dijkstra", g, 1, None)
+        res = solve_with_engine(engine, g, 1, None)
+        assert np.array_equal(res.dist, ref.dist)
+
+    @pytest.mark.parametrize("engine", PARENT_ENGINES)
+    def test_infinite_distance_vertices(self, engine):
+        """Disconnected input: unreachable vertices must come back with
+        dist = inf and parent = -1 from every engine (np.array_equal
+        treats matching infs as equal)."""
+        g = from_edge_list(
+            9,
+            [(0, 1, 1.5), (1, 2, 2.0), (2, 3, 0.5), (4, 5, 1.0), (5, 6, 3.0)],
+        )
+        ref = solve_with_engine("dijkstra", g, 0, None, track_parents=True)
+        res = solve_with_engine(engine, g, 0, None, track_parents=True)
+        assert np.isinf(res.dist[4:]).all()
+        assert np.array_equal(res.dist, ref.dist)
+        assert np.array_equal(res.parent, ref.parent)
+        assert (res.parent[4:] == -1).all()
+
+    @pytest.mark.parametrize("engine", PARENT_ENGINES)
+    def test_zero_weight_edges_parents_valid(self, engine):
+        """Zero-weight edges create genuinely tied shortest paths, where
+        the winning parent legitimately depends on relaxation order —
+        so distances must stay bit-identical but parents are only
+        required to *realize* those distances."""
+        g = from_edge_list(
+            6,
+            [
+                (0, 1, 0.0),
+                (0, 2, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 0.0),
+                (3, 4, 2.0),
+                (2, 4, 2.0),
+                (4, 5, 0.0),
+            ],
+        )
+        ref = solve_with_engine("dijkstra", g, 0, None)
+        res = solve_with_engine(engine, g, 0, None, track_parents=True)
+        assert np.array_equal(res.dist, ref.dist)
+        assert_valid_parents(g, res.dist, res.parent, 0)
 
 
 class TestBucketHeapEquivalence:
@@ -210,12 +313,77 @@ class TestScheduleSemantics:
                 DeltaSchedule(bad)
 
     def test_parents_valid_across_schedules(self):
-        from tests.helpers import assert_valid_parents
-
         g = random_connected_graph(35, 80, seed=3)
-        for engine in ("vectorized", "bucket", "dijkstra", "delta", "bellman-ford"):
+        for engine in PARENT_ENGINES:
             res = solve_with_engine(engine, g, 2, 5.0, track_parents=True)
             assert_valid_parents(g, res.dist, res.parent, 2)
+
+    def test_rho_schedule_rejects_bad_rho(self):
+        from repro.engine import RhoSchedule
+
+        for bad in (0, -3):
+            with pytest.raises(ValueError):
+                RhoSchedule(bad)
+
+    def test_delta_star_schedule_rejects_bad_delta(self):
+        from repro.engine import DeltaStarSchedule
+
+        for bad in (0.0, -2.0, math.inf):
+            with pytest.raises(ValueError):
+                DeltaStarSchedule(bad)
+
+    def test_rho_one_settles_like_dijkstra(self):
+        """ρ = 1 must settle one frontier vertex per step (plus exact
+        ties), interpolating down to batched Dijkstra."""
+        from repro.engine import RhoSchedule
+
+        g = random_connected_graph(30, 70, seed=8, weight_high=1000)
+        res = run_engine(g, 0, RhoSchedule(1), track_trace=True)
+        ref = solve_with_engine("dijkstra", g, 0, None, track_trace=True)
+        assert np.array_equal(res.dist, ref.dist)
+        assert res.steps == ref.steps
+
+    def test_rho_n_single_step(self):
+        """ρ ≥ n pops the whole frontier every step — Bellman–Ford-like
+        step counts on a connected graph."""
+        from repro.engine import RhoSchedule
+
+        g = random_connected_graph(25, 60, seed=9)
+        res = run_engine(g, 0, RhoSchedule(g.n))
+        assert np.allclose(res.dist, dijkstra(g, 0).dist)
+        assert res.steps <= 2
+
+    def test_rho_steps_shrink_as_rho_grows(self):
+        from repro.engine import RhoSchedule
+
+        g = random_connected_graph(120, 300, seed=10)
+        steps = [
+            run_engine(g, 0, RhoSchedule(rho)).steps for rho in (1, 8, 64)
+        ]
+        assert steps[0] >= steps[1] >= steps[2]
+
+    def test_delta_star_bounds_float_with_frontier_min(self):
+        """∆*-stepping's d_i = min + ∆ floats with the frontier: every
+        traced radius must exceed its step's minimum fresh key by
+        exactly ∆, and the sequence must be strictly increasing."""
+        from repro.engine import DeltaStarSchedule
+
+        g = random_connected_graph(40, 100, seed=11, weight_high=15)
+        res = run_engine(g, 0, DeltaStarSchedule(4.0), track_trace=True)
+        assert np.array_equal(res.dist, dijkstra(g, 0).dist)
+        radii_seq = [t.radius for t in res.trace]
+        assert radii_seq == sorted(radii_seq)
+
+    def test_delta_star_heavy_arcs_excluded_from_substeps(self):
+        """A graph whose only route crosses a heavy arc: the heavy edge
+        must still be relaxed (once, at settle time) and the distances
+        must stay exact."""
+        from repro.engine import DeltaStarSchedule
+
+        g = from_edge_list(4, [(0, 1, 1.0), (1, 2, 50.0), (2, 3, 1.0)])
+        res = run_engine(g, 0, DeltaStarSchedule(2.0), track_parents=True)
+        assert res.dist.tolist() == [0.0, 1.0, 51.0, 52.0]
+        assert res.parent.tolist() == [-1, 0, 1, 2]
 
 
 class TestRegistry:
@@ -227,6 +395,8 @@ class TestRegistry:
             "unweighted",
             "dijkstra",
             "delta",
+            "delta-star",
+            "rho",
             "bellman-ford",
         ):
             assert name in ALL_ENGINES

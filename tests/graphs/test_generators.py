@@ -18,6 +18,7 @@ from repro.graphs.generators import (
     random_geometric,
     road_network,
     scale_free,
+    small_world,
     star_graph,
 )
 
@@ -150,6 +151,39 @@ class TestRandomModels:
         a, _ = road_network(200, seed=5)
         b, _ = road_network(200, seed=5)
         assert a == b
+
+    def test_small_world_always_connected(self):
+        """The offset-1 ring is never rewired, so connectivity survives
+        any rewiring probability — including p = 1."""
+        for p in (0.0, 0.1, 1.0):
+            g = small_world(60, k=4, p=p, seed=7)
+            validate_graph(g)
+            assert is_connected(g)
+
+    def test_small_world_lattice_at_p_zero(self):
+        g = small_world(40, k=6, p=0.0, seed=0)
+        assert g.m == 40 * 3  # exact ring lattice: n*k/2 edges
+        assert all(g.degree(v) == 6 for v in range(g.n))
+
+    def test_small_world_rewiring_shrinks_diameter(self):
+        ring = small_world(200, k=4, p=0.0, seed=1)
+        rewired = small_world(200, k=4, p=0.3, seed=1)
+        d_ring = bfs_levels(ring, 0)[0].max()
+        d_rewired = bfs_levels(rewired, 0)[0].max()
+        assert d_rewired < d_ring  # the small-world effect
+
+    def test_small_world_deterministic(self):
+        assert small_world(50, k=4, p=0.2, seed=9) == small_world(
+            50, k=4, p=0.2, seed=9
+        )
+
+    def test_small_world_invalid(self):
+        with pytest.raises(ValueError):
+            small_world(10, k=3)  # odd k
+        with pytest.raises(ValueError):
+            small_world(5, k=6)  # n too small
+        with pytest.raises(ValueError):
+            small_world(20, k=4, p=1.5)
 
     def test_random_geometric(self):
         g, pts = random_geometric(150, 0.15, seed=2)

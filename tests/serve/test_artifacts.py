@@ -144,6 +144,142 @@ class TestVersionMismatch:
             load_artifact(path)
 
 
+class TestVersion1ForwardCompat:
+    """Version-1 bundles (written before ``preferred_engine`` existed)
+    must keep loading: the checksum verifies against the v1 meta layout
+    and ``engine="auto"`` falls back to the static default."""
+
+    @staticmethod
+    def _downgrade_to_v1(path):
+        """Rewrite a saved bundle as a faithful version-1 artifact: drop
+        ``preferred_engine``, stamp version 1, and recompute the digest
+        over the six-field v1 meta tuple (what the v1 writer produced)."""
+        from repro.serve.artifacts import _ARRAY_FIELDS, _payload_hash
+
+        with np.load(path, allow_pickle=False) as npz:
+            fields = {
+                n: npz[n] for n in npz.files if n != "preferred_engine"
+            }
+        fields["version"] = np.int64(1)
+        meta = (
+            int(fields["k"]),
+            int(fields["rho"]),
+            str(fields["heuristic"]),
+            int(fields["added_edges"]),
+            int(fields["new_edges"]),
+            str(fields["source_hash"]),
+        )
+        fields["payload_hash"] = _payload_hash(
+            {n: fields[n] for n in _ARRAY_FIELDS}, meta
+        )
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+
+    def test_v1_bundle_loads_with_empty_preferred_engine(self, saved):
+        g, pre, path = saved
+        self._downgrade_to_v1(path)
+        back = load_artifact(path, expect_graph=g)
+        assert back.preferred_engine == ""
+        assert back.graph == pre.graph
+        assert np.array_equal(back.radii, pre.radii)
+
+    def test_v1_bundle_auto_resolves_to_static_default(self, saved):
+        g, _pre, path = saved
+        self._downgrade_to_v1(path)
+        sp = load_solver(path, expect_graph=g)
+        assert sp.resolve_engine("auto") == "vectorized"
+        assert np.array_equal(sp.solve(5).dist, dijkstra(g, 5).dist)
+
+    def test_v1_bundle_through_routing_service_auto(self, saved):
+        from repro.serve import RoutingService
+
+        g, _pre, path = saved
+        self._downgrade_to_v1(path)
+        svc = RoutingService.from_artifact(path, expect_graph=g, engine="auto")
+        assert svc.stats()["engine"] == "vectorized"
+        assert svc.stats()["preferred_engine"] == ""
+        assert svc.route(0, 13).distance == dijkstra(g, 0).dist[13]
+
+    def test_v1_checksum_still_enforced(self, saved):
+        """The lenient version gate must not weaken integrity: tampering
+        with a v1 bundle still trips its (v1-layout) checksum."""
+        _g, _pre, path = saved
+        self._downgrade_to_v1(path)
+        with np.load(path, allow_pickle=False) as npz:
+            fields = {n: npz[n] for n in npz.files}
+        radii = fields["radii"].copy()
+        radii[0] += 1.0
+        fields["radii"] = radii
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            load_artifact(path)
+
+
+class TestPreferredEngine:
+    """Version-2 artifacts carry the calibrated winner end to end."""
+
+    def test_round_trips_preferred_engine(self, case, tmp_path):
+        import dataclasses
+
+        _g, pre = case
+        stamped = dataclasses.replace(pre, preferred_engine="rho")
+        path = tmp_path / "stamped.npz"
+        save_artifact(path, stamped)
+        back = load_artifact(path)
+        assert back.preferred_engine == "rho"
+
+    def test_auto_resolves_to_stored_winner(self, case, tmp_path):
+        import dataclasses
+
+        g, pre = case
+        stamped = dataclasses.replace(pre, preferred_engine="delta-star")
+        path = tmp_path / "stamped.npz"
+        save_artifact(path, stamped)
+        sp = load_solver(path, expect_graph=g)
+        assert sp.resolve_engine("auto") == "delta-star"
+        # explicit engine names always override the stored winner
+        assert sp.resolve_engine("dijkstra") == "dijkstra"
+        assert np.array_equal(sp.solve(3).dist, dijkstra(g, 3).dist)
+
+    def test_unregistered_winner_falls_back(self, case):
+        import dataclasses
+
+        _g, pre = case
+        stamped = dataclasses.replace(
+            pre, preferred_engine="engine-from-the-future"
+        )
+        sp = PreprocessedSSSP.from_preprocessed(stamped)
+        assert sp.resolve_engine("auto") == "vectorized"
+
+    def test_calibrated_build_stamps_a_registered_engine(self):
+        from repro.engine import available_engines
+
+        g = random_connected_graph(40, 90, seed=8)
+        pre = build_kr_graph(
+            g, 1, 4, heuristic="full", calibrate_engine=True,
+            calibration_budget=0.2,
+        )
+        assert pre.preferred_engine in available_engines()
+
+    def test_service_stats_surface_engines(self, case, tmp_path):
+        import dataclasses
+
+        from repro.engine import available_engines
+        from repro.serve import RoutingService
+
+        g, pre = case
+        stamped = dataclasses.replace(pre, preferred_engine="rho")
+        path = tmp_path / "stamped.npz"
+        save_artifact(path, stamped)
+        svc = RoutingService.from_artifact(path, expect_graph=g)
+        stats = svc.stats()
+        assert stats["engine"] == "rho"  # planner resolved "auto" to it
+        assert stats["preferred_engine"] == "rho"
+        assert set(stats["engines"]) == set(available_engines())
+        assert all(isinstance(d, str) for d in stats["engines"].values())
+
+
 class TestCorruption:
     def test_truncated_file(self, saved):
         _g, _pre, path = saved
@@ -213,8 +349,16 @@ class TestCorruption:
         meta = tuple(
             f(fields[k])
             for f, k in zip(
-                (int, int, str, int, int, str),
-                ("k", "rho", "heuristic", "added_edges", "new_edges", "source_hash"),
+                (int, int, str, int, int, str, str),
+                (
+                    "k",
+                    "rho",
+                    "heuristic",
+                    "added_edges",
+                    "new_edges",
+                    "source_hash",
+                    "preferred_engine",
+                ),
             )
         )
         fields["payload_hash"] = _payload_hash(
