@@ -17,6 +17,16 @@ over a fork-based process pool with the augmented CSR graph shared
 copy-on-write (:func:`repro.parallel.parallel_map_shared`), returning
 results in deterministic input order for any worker count.
 
+When preprocessing ran under a locality reordering
+(``build_kr_graph(reorder=...)``, :mod:`repro.graphs.reorder`), the
+facade is the **id-translation boundary**: sources are mapped to the
+internal (reordered) numbering before an engine runs, and every answer
+— distance rows, parent rows — is mapped back to the caller's input
+ids, so the reordering is invisible except for speed.  Distances are
+bit-identical to solving the unreordered graph (the converged distance
+is the min over paths of left-to-right weight sums, which relabeling
+permutes but never changes).
+
 This is the API a routing service or graph-analytics pipeline would
 embed; the lower-level pieces stay available for research use.
 """
@@ -34,21 +44,65 @@ from ..parallel.pool import parallel_map_shared
 from ..preprocess.pipeline import PreprocessResult, build_kr_graph
 from .result import SsspResult
 
-__all__ = ["PreprocessedSSSP"]
+__all__ = ["PreprocessedSSSP", "externalize_result"]
 
 #: engine selector: ``"auto"`` or any :func:`repro.engine.available_engines` name.
 Engine = str
 
 
 def _solve_chunk(payload: tuple, sources: np.ndarray) -> list[SsspResult]:
-    """Pool worker: answer one chunk of sources against the shared graph."""
-    graph, radii, engine, track_parents = payload
+    """Pool worker: answer one chunk of sources against the shared graph.
+
+    ``sources`` arrive already translated to internal numbering; results
+    are externalized in the worker (the per-row gather parallelizes with
+    the solves instead of serializing in the parent).
+    """
+    graph, radii, engine, track_parents, perm, inv = payload
     return [
-        solve_with_engine(
-            engine, graph, int(s), radii, track_parents=track_parents
+        externalize_result(
+            solve_with_engine(
+                engine, graph, int(s), radii, track_parents=track_parents
+            ),
+            perm,
+            inv,
         )
         for s in sources
     ]
+
+
+def externalize_result(
+    res: SsspResult, perm: np.ndarray | None, inv: np.ndarray | None
+) -> SsspResult:
+    """Map an internal-numbering :class:`SsspResult` back to input ids.
+
+    ``perm`` is the external → internal map (``None`` = identity: the
+    result is returned untouched, zero copies).  The distance row is
+    gathered so ``dist[v]`` is the distance of *input* vertex ``v``;
+    parent pointers are gathered the same way and their values mapped
+    through ``inv`` (the ``-1`` root/unreachable sentinel is preserved).
+    Step/substep/relaxation counts are schedule facts of the internal
+    run and pass through unchanged.
+    """
+    if perm is None:
+        return res
+    dist = res.dist[perm]
+    parent = None
+    if res.parent is not None:
+        p = res.parent[perm]
+        parent = np.full(len(p), -1, dtype=np.int64)
+        mask = p >= 0
+        parent[mask] = inv[p[mask]]
+    return SsspResult(
+        dist=dist,
+        parent=parent,
+        steps=res.steps,
+        substeps=res.substeps,
+        max_substeps=res.max_substeps,
+        relaxations=res.relaxations,
+        algorithm=res.algorithm,
+        params=res.params,
+        trace=res.trace,
+    )
 
 
 class PreprocessedSSSP:
@@ -83,13 +137,37 @@ class PreprocessedSSSP:
         rho: int = 32,
         heuristic: str = "dp",
         n_jobs: int = 1,
+        reorder: str = "natural",
+        reorder_seed: int = 0,
     ) -> None:
         self._input = graph
         self._pre: PreprocessResult = build_kr_graph(
-            graph, k, rho, heuristic=heuristic, n_jobs=n_jobs
+            graph,
+            k,
+            rho,
+            heuristic=heuristic,
+            n_jobs=n_jobs,
+            reorder=reorder,
+            reorder_seed=reorder_seed,
         )
+        self._init_id_maps()
         self._queries = 0
         self._queries_lock = threading.Lock()
+
+    def _init_id_maps(self) -> None:
+        """Cache the external↔internal id maps from the preprocessing
+        record (``None`` = identity, the zero-overhead fast path)."""
+        perm = getattr(self._pre, "perm", None)
+        inv = getattr(self._pre, "inv_perm", None)
+        if perm is not None:
+            perm = np.asarray(perm, dtype=np.int64)
+            if inv is None:
+                inv = np.empty_like(perm)
+                inv[perm] = np.arange(len(perm), dtype=np.int64)
+            else:
+                inv = np.asarray(inv, dtype=np.int64)
+        self._perm: np.ndarray | None = perm
+        self._inv: np.ndarray | None = inv
 
     @classmethod
     def from_preprocessed(
@@ -104,6 +182,7 @@ class PreprocessedSSSP:
         self = cls.__new__(cls)
         self._input = input_graph if input_graph is not None else pre.graph
         self._pre = pre
+        self._init_id_maps()
         self._queries = 0
         self._queries_lock = threading.Lock()
         return self
@@ -123,6 +202,21 @@ class PreprocessedSSSP:
     def preprocessing(self) -> PreprocessResult:
         """Full preprocessing record (edge counts, configuration)."""
         return self._pre
+
+    @property
+    def perm(self) -> np.ndarray | None:
+        """External → internal id map (``None`` = identity numbering).
+
+        Set when preprocessing ran under ``reorder=...``; every public
+        query on this facade already translates through it, so callers
+        only need it to reach the internal numbering deliberately (the
+        shared-memory batch path, shard partitioning)."""
+        return self._perm
+
+    @property
+    def inv_perm(self) -> np.ndarray | None:
+        """Internal → external id map (``None`` iff :attr:`perm` is)."""
+        return self._inv
 
     @property
     def queries_answered(self) -> int:
@@ -196,17 +290,24 @@ class PreprocessedSSSP:
 
         Distances returned are distances in the *input* graph: shortcuts
         carry exact shortest-path weights, so augmentation never changes
-        the metric (Lemma 4.1 discussion).
+        the metric (Lemma 4.1 discussion) — and they are indexed by
+        *input* vertex ids even when preprocessing reordered the graph
+        (the facade translates at the boundary).
         """
         self.count_queries(1)
-        return solve_with_engine(
-            self.resolve_engine(engine),
-            self.graph,
-            source,
-            self.radii,
-            track_parents=track_parents,
-            track_trace=track_trace,
-            ledger=ledger,
+        internal = source if self._perm is None else int(self._perm[source])
+        return externalize_result(
+            solve_with_engine(
+                self.resolve_engine(engine),
+                self.graph,
+                internal,
+                self.radii,
+                track_parents=track_parents,
+                track_trace=track_trace,
+                ledger=ledger,
+            ),
+            self._perm,
+            self._inv,
         )
 
     def distances(self, source: int) -> np.ndarray:
@@ -243,9 +344,12 @@ class PreprocessedSSSP:
             raise ValueError(f"the {name} engine does not track parents")
         self.count_queries(len(source_arr))
         unique, inverse = np.unique(source_arr, return_inverse=True)
-        payload = (self.graph, self.radii, name, track_parents)
+        internal = unique if self._perm is None else self._perm[unique]
+        payload = (
+            self.graph, self.radii, name, track_parents, self._perm, self._inv
+        )
         blocks = parallel_map_shared(
-            _solve_chunk, payload, unique, n_jobs=n_jobs
+            _solve_chunk, payload, internal, n_jobs=n_jobs
         )
         flat = [res for block in blocks for res in block]
         return [flat[i] for i in inverse]

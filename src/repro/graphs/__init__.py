@@ -26,6 +26,21 @@ from .weights import (
     uniform_weights,
     unit_weights,
 )
+from .transform import (
+    permute_vertices,
+    random_permutation,
+    reverse_graph,
+    scale_weights,
+    to_bidirected,
+)
+from .reorder import (
+    available_orderings,
+    compute_ordering,
+    inverse_permutation,
+    mean_neighbor_gap,
+    register_ordering,
+    reorder_graph,
+)
 from . import generators
 from .io import load_snap_graph, read_edge_list, write_edge_list
 
@@ -35,7 +50,9 @@ __all__ = [
     "PAPER_WEIGHT_HIGH",
     "PAPER_WEIGHT_LOW",
     "add_shortcuts",
+    "available_orderings",
     "check_min_weight_normalized",
+    "compute_ordering",
     "connected_components",
     "euclidean_weights",
     "from_adjacency",
@@ -43,13 +60,22 @@ __all__ = [
     "from_edge_list",
     "generators",
     "induced_subgraph",
+    "inverse_permutation",
     "is_connected",
     "largest_connected_component",
     "load_snap_graph",
+    "mean_neighbor_gap",
     "normalize_weights",
+    "permute_vertices",
     "random_integer_weights",
+    "random_permutation",
     "read_edge_list",
+    "register_ordering",
+    "reorder_graph",
+    "reverse_graph",
     "reweighted",
+    "scale_weights",
+    "to_bidirected",
     "unit_weights",
     "uniform_weights",
     "validate_graph",

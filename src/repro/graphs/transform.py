@@ -1,11 +1,19 @@
 """Structure-preserving graph transformations.
 
-Utilities for relabeling and perturbing graphs without touching their
-metric structure.  Their main consumer is the test suite: every solver in
-the library must be *equivariant* under vertex relabeling (distances
-permute with the vertices) and *invariant* under uniform weight scaling
-(distances scale by the same factor) — two properties that catch a large
-class of indexing bugs that value-level unit tests miss.
+Utilities for relabeling, symmetrizing and perturbing graphs without
+touching their metric structure.  Two consumers:
+
+* the test suite — every solver in the library must be *equivariant*
+  under vertex relabeling (distances permute with the vertices) and
+  *invariant* under uniform weight scaling (distances scale by the same
+  factor), two properties that catch a large class of indexing bugs
+  that value-level unit tests miss;
+* :mod:`repro.graphs.reorder` — the locality-aware vertex orderings are
+  "compute a permutation, then :func:`permute_vertices`", and their BFS
+  walks need a symmetric arc structure, which :func:`to_bidirected`
+  guarantees for directed inputs (DGL's ``transform`` module catalogs
+  the same operator vocabulary: ``reverse``, ``to_bidirected``,
+  ``reorder_graph``).
 """
 
 from __future__ import annotations
@@ -14,7 +22,13 @@ import numpy as np
 
 from .csr import CSRGraph
 
-__all__ = ["permute_vertices", "random_permutation", "scale_weights"]
+__all__ = [
+    "permute_vertices",
+    "random_permutation",
+    "reverse_graph",
+    "scale_weights",
+    "to_bidirected",
+]
 
 
 def random_permutation(n: int, *, seed: int = 0) -> np.ndarray:
@@ -28,7 +42,11 @@ def permute_vertices(graph: CSRGraph, perm: np.ndarray) -> CSRGraph:
 
     The result is the same metric graph under new names: for all u, v,
     ``d_new(perm[u], perm[v]) == d_old(u, v)``.  Adjacency is rebuilt in
-    one vectorized pass (argsort on the permuted tails).
+    one vectorized pass, and each row's neighbors are sorted by their
+    *new* ids — the canonical CSR layout the builders produce — so the
+    output depends only on the (graph, perm) pair, never on the input's
+    internal row order.  That determinism is what makes reordered
+    preprocessing artifacts hash reproducibly.
     """
     perm = np.asarray(perm, dtype=np.int64)
     n = graph.n
@@ -37,12 +55,60 @@ def permute_vertices(graph: CSRGraph, perm: np.ndarray) -> CSRGraph:
     tails = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
     new_tails = perm[tails]
     new_heads = perm[graph.indices]
-    order = np.argsort(new_tails, kind="stable")
+    order = np.lexsort((new_heads, new_tails))
     counts = np.bincount(new_tails, minlength=n)
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
     return CSRGraph(
         indptr, new_heads[order], graph.weights[order], validate=False
+    )
+
+
+def reverse_graph(graph: CSRGraph, *, validate: bool = False) -> CSRGraph:
+    """Transpose the arc set: every arc ``(u, v, w)`` becomes ``(v, u, w)``.
+
+    For the library's symmetric (undirected) graphs this is a no-op up
+    to row-internal arc order; its purpose is *directed* inputs built
+    with ``validate=False`` (e.g. a crawl graph before symmetrization),
+    where the transpose is the in-neighbor view the pull-style
+    traversals need.  Vectorized: one lexsort over the arc list, no
+    Python loop, and ``validate=False`` by default since transposition
+    cannot break CSR structure.
+    """
+    n = graph.n
+    tails = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
+    order = np.lexsort((tails, graph.indices))
+    counts = np.bincount(graph.indices, minlength=n).astype(np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(
+        indptr, tails[order], graph.weights[order], validate=validate
+    )
+
+
+def to_bidirected(graph: CSRGraph, *, validate: bool = False) -> CSRGraph:
+    """Symmetrize the arc set: keep every arc plus its reverse.
+
+    Duplicate ``(u, v)`` arcs collapse keeping the minimum weight (the
+    library-wide dedup rule — the only weight that can matter for
+    shortest paths), so a graph that is already symmetric and simple
+    comes back equal to itself.  This is the operator the vertex
+    orderings in :mod:`repro.graphs.reorder` apply first: BFS and
+    Cuthill–McKee walks assume ``v ∈ N(u) ⇔ u ∈ N(v)``, which a
+    directed input does not grant.  Vectorized (one lexsort over the
+    doubled arc list); ``validate=False`` fast path by default since
+    the construction is symmetric and self-loop-free by design.
+    """
+    from .build import from_arc_arrays
+
+    tails = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees())
+    return from_arc_arrays(
+        graph.n,
+        tails,
+        graph.indices,
+        graph.weights,
+        symmetrize=True,
+        validate=validate,
     )
 
 

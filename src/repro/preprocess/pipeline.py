@@ -18,7 +18,7 @@ weight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -36,8 +36,9 @@ class PreprocessResult:
 
     Attributes
     ----------
-    graph: the augmented (k,ρ)-graph.
-    radii: ``r_ρ(v)`` per vertex — feed straight into
+    graph: the augmented (k,ρ)-graph — in *internal* (possibly
+        reordered) vertex numbering.
+    radii: ``r_ρ(v)`` per internal vertex — feed straight into
         :func:`repro.core.radius_stepping`.
     added_edges: shortcut count *before* merging (the paper's Tables 2/3
         metric: one per selected tree node per source).
@@ -45,13 +46,28 @@ class PreprocessResult:
         (duplicates across sources / existing edges collapse).
     k, rho, heuristic: the configuration.
     source_hash: :meth:`~repro.graphs.csr.CSRGraph.content_hash` of the
-        *input* graph, so a persisted artifact can later be verified
-        against the graph a serving process intends to query.
+        *input* graph (pre-reordering — the graph the user hands to a
+        serving process), so a persisted artifact can later be verified
+        against the graph that process intends to query.
     preferred_engine: the query engine measured fastest on the
         augmented graph (``build_kr_graph(..., calibrate_engine=True)``
         or :func:`repro.engine.autoselect.pick_engine`); ``""`` means
         "never calibrated" and lets ``engine="auto"`` fall back to the
         static default.  Persisted by version-2 serving artifacts.
+    reorder: name of the locality ordering preprocessing ran under
+        (:mod:`repro.graphs.reorder`); ``"natural"`` = input numbering.
+    perm: external → internal id map (``perm[input_id] = internal_id``),
+        or ``None`` for the identity (no reordering).  Persisted by
+        version-3 serving artifacts so the query facade can keep the
+        reordering invisible: every answer is translated back to input
+        ids at the boundary.
+    inv_perm: the inverse map (``inv_perm[internal_id] = input_id``);
+        ``None`` iff ``perm`` is.
+    locality_before / locality_after: the
+        :func:`~repro.graphs.reorder.mean_neighbor_gap` diagnostic of
+        the input graph and of the (reordered) graph preprocessing ran
+        on; ``nan`` when never measured (hand-built records, pre-v3
+        artifacts).
     """
 
     graph: CSRGraph
@@ -63,6 +79,11 @@ class PreprocessResult:
     heuristic: str
     source_hash: str = ""
     preferred_engine: str = ""
+    reorder: str = "natural"
+    perm: np.ndarray | None = field(default=None, repr=False)
+    inv_perm: np.ndarray | None = field(default=None, repr=False)
+    locality_before: float = float("nan")
+    locality_after: float = float("nan")
 
     @property
     def edge_factor(self) -> float:
@@ -119,6 +140,8 @@ def build_kr_graph(
     backend: str = "batched",
     calibrate_engine: bool = False,
     calibration_budget: float = 1.0,
+    reorder: str = "natural",
+    reorder_seed: int = 0,
 ) -> PreprocessResult:
     """Preprocess ``graph`` into a (k,ρ)-graph; see module docstring.
 
@@ -141,6 +164,17 @@ def build_kr_graph(
     artifacts persist it and ``engine="auto"`` queries pick it up.
     Preprocessing is run once per graph; this folds the one-time tuning
     cost into the same amortized budget.
+
+    ``reorder`` renumbers the vertices with a locality ordering from
+    :mod:`repro.graphs.reorder` (``"bfs"``, ``"rcm"``, ``"degree"``,
+    ``"random"``; ``"natural"`` = keep the input numbering) *before* any
+    preprocessing runs, so the augmented graph, the radii and every
+    later query enjoy the cache-friendly layout.  The permutation and
+    its inverse are recorded in the result (and in version-3 serving
+    artifacts); :class:`repro.core.solver.PreprocessedSSSP` translates
+    ids at the query boundary, so callers never see internal numbering
+    — the reordering is invisible except for speed.  ``source_hash``
+    stays the hash of the *input* graph for the same reason.
     """
     if heuristic not in HEURISTICS:
         raise ValueError(f"unknown heuristic {heuristic!r}; try {sorted(HEURISTICS)}")
@@ -149,6 +183,21 @@ def build_kr_graph(
     if rho < 1:
         raise ValueError("rho >= 1 required")
     get_ball_backend(backend)  # validate the name before forking workers
+    # Lazy import: the graphs layer must stay importable without the
+    # preprocessing layer, not vice versa — but keep module load light.
+    from ..graphs.reorder import compute_ordering, inverse_permutation, mean_neighbor_gap
+    from ..graphs.transform import permute_vertices
+
+    input_graph = graph
+    locality_before = mean_neighbor_gap(graph)
+    perm = inv_perm = None
+    if reorder != "natural":
+        perm = compute_ordering(graph, reorder, seed=reorder_seed)
+        inv_perm = inverse_permutation(perm)
+        graph = permute_vertices(graph, perm)
+    locality_after = (
+        mean_neighbor_gap(graph) if perm is not None else locality_before
+    )
     sources = np.arange(graph.n, dtype=np.int64)
     blocks = parallel_map(
         _shortcuts_for_chunk,
@@ -183,6 +232,11 @@ def build_kr_graph(
         k=k,
         rho=rho,
         heuristic=heuristic,
-        source_hash=graph.content_hash(),
+        source_hash=input_graph.content_hash(),
         preferred_engine=preferred,
+        reorder=reorder,
+        perm=perm,
+        inv_perm=inv_perm,
+        locality_before=locality_before,
+        locality_after=locality_after,
     )

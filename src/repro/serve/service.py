@@ -47,6 +47,11 @@ class RoutingService:
         :func:`repro.serve.artifacts.load_solver`).
     k, rho, heuristic, preprocess_jobs: forwarded to
         :func:`~repro.preprocess.build_kr_graph` on a cold start.
+    reorder, reorder_seed: locality ordering for the cold-start
+        preprocessing (:mod:`repro.graphs.reorder`; ``"rcm"`` is the
+        usual winner on road-like graphs).  Invisible to every caller —
+        queries and answers stay in the input graph's vertex ids — but
+        the kernel's CSR gathers run on the cache-friendly layout.
     engine: engine selector for every query (resolved once).
     cache_capacity: planner LRU size (source rows).
     cache_stripes: lock stripes for the planner cache — the service is
@@ -76,12 +81,20 @@ class RoutingService:
         track_parents: bool = True,
         preprocess_jobs: int = 1,
         query_jobs: int = 1,
+        reorder: str = "natural",
+        reorder_seed: int = 0,
     ) -> None:
         if solver is None:
             if graph is None:
                 raise ValueError("provide either a graph or a solver")
             solver = PreprocessedSSSP(
-                graph, k=k, rho=rho, heuristic=heuristic, n_jobs=preprocess_jobs
+                graph,
+                k=k,
+                rho=rho,
+                heuristic=heuristic,
+                n_jobs=preprocess_jobs,
+                reorder=reorder,
+                reorder_seed=reorder_seed,
             )
         self._solver = solver
         self._planner = QueryPlanner(
@@ -118,7 +131,16 @@ class RoutingService:
         silently ignored, and the caller who wants different ones must
         rebuild and re-save.
         """
-        baked = {"graph", "solver", "k", "rho", "heuristic", "preprocess_jobs"}
+        baked = {
+            "graph",
+            "solver",
+            "k",
+            "rho",
+            "heuristic",
+            "preprocess_jobs",
+            "reorder",
+            "reorder_seed",
+        }
         rejected = baked & kwargs.keys()
         if rejected:
             raise TypeError(
@@ -196,11 +218,22 @@ class RoutingService:
         winner stored by preprocessing (``""`` when never calibrated),
         and ``engines`` the full registry with per-engine descriptions
         — enough for an operator at ``GET /stats`` to see which engine
-        an artifact selected and what the alternatives are.
+        an artifact selected and what the alternatives are.  ``reorder``
+        names the locality ordering preprocessing ran under and
+        ``locality`` its mean-neighbor-gap diagnostic (input layout vs
+        the layout queries actually run on; ``null`` when the artifact
+        predates the diagnostic).
         """
         from ..engine.registry import available_engines, get_engine
 
         pre = self._solver.preprocessing
+
+        def _measured(value) -> float | None:
+            # pre-v3 artifacts carry no locality measurement (nan) —
+            # emit null, not NaN, which is invalid JSON at GET /stats
+            value = float(value)
+            return value if np.isfinite(value) else None
+
         return {
             **self._planner.stats(),
             "queries_answered": self._solver.queries_answered,
@@ -211,6 +244,11 @@ class RoutingService:
             "m": self._solver.graph.m,
             "shortcut_edges": pre.new_edges,
             "preferred_engine": getattr(pre, "preferred_engine", ""),
+            "reorder": getattr(pre, "reorder", "natural"),
+            "locality": {
+                "before": _measured(getattr(pre, "locality_before", float("nan"))),
+                "after": _measured(getattr(pre, "locality_after", float("nan"))),
+            },
             "engines": {
                 name: get_engine(name).description
                 for name in available_engines()

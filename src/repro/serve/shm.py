@@ -39,7 +39,7 @@ from typing import Iterable
 import numpy as np
 
 from ..core.result import SsspResult
-from ..core.solver import PreprocessedSSSP
+from ..core.solver import PreprocessedSSSP, externalize_result
 from ..engine.registry import get_engine, solve_with_engine
 from ..parallel.pool import parallel_map_shared
 
@@ -236,19 +236,38 @@ def _solve_rows(payload: tuple, items: np.ndarray) -> tuple:
 
     ``items`` indexes the deduplicated source array; each solve's row is
     scattered to every input position that requested that source.  Only
-    the per-source counters return through the pipe.
+    the per-source counters return through the pipe.  ``unique`` holds
+    *input-space* sources: on a reordered preprocessing the worker
+    translates to internal numbering for the solve and externalizes the
+    row before writing it, so the matrix is always indexed by input ids
+    — bit-identical to the pickled ``solve_many`` path.
     """
-    (graph, radii, engine, track_parents, unique, order, bounds, shm_name, n_rows) = (
-        payload
-    )
+    (
+        graph,
+        radii,
+        engine,
+        track_parents,
+        perm,
+        inv,
+        unique,
+        order,
+        bounds,
+        shm_name,
+        n_rows,
+    ) = payload
     shm = _attach(shm_name)
     try:
         dist, parent = _views(shm.buf, n_rows, graph.n, track_parents)
         stats = np.zeros((4, len(items)), dtype=np.int64)
         algorithm = ""
         for j, u in enumerate(items):
-            res = solve_with_engine(
-                engine, graph, int(unique[u]), radii, track_parents=track_parents
+            source = int(unique[u]) if perm is None else int(perm[unique[u]])
+            res = externalize_result(
+                solve_with_engine(
+                    engine, graph, source, radii, track_parents=track_parents
+                ),
+                perm,
+                inv,
             )
             rows = order[bounds[u] : bounds[u + 1]]
             dist[rows] = res.dist
@@ -295,6 +314,8 @@ def solve_many_shm(
             solver.radii,
             name,
             track_parents,
+            solver.perm,
+            solver.inv_perm,
             unique,
             order,
             bounds,

@@ -1,0 +1,186 @@
+"""Ordering registry: every ordering is a valid, deterministic,
+metric-preserving permutation — and the locality ones actually help.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import dijkstra
+from repro.graphs import generators
+from repro.graphs.reorder import (
+    ORDERINGS,
+    available_orderings,
+    bfs_order,
+    compute_ordering,
+    degree_order,
+    inverse_permutation,
+    mean_neighbor_gap,
+    natural_order,
+    rcm_order,
+    register_ordering,
+    reorder_graph,
+)
+from repro.graphs.weights import random_integer_weights
+
+from tests.helpers import random_connected_graph
+
+BUILTIN = ("natural", "random", "degree", "bfs", "rcm")
+
+
+@pytest.fixture(scope="module")
+def road():
+    g, _ = generators.road_network(300, seed=7)
+    return random_integer_weights(g, low=1, high=40, seed=8)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BUILTIN) <= set(available_orderings())
+
+    def test_unknown_ordering_lists_known(self):
+        g = random_connected_graph(10, 20, seed=0)
+        with pytest.raises(ValueError, match="rcm"):
+            compute_ordering(g, "zorder")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_ordering("rcm", rcm_order)
+
+    def test_plugin_ordering_usable(self):
+        name = "test-reversed"
+        register_ordering(
+            name,
+            lambda g, seed: np.arange(g.n - 1, -1, -1, dtype=np.int64),
+            description="test plugin",
+            overwrite=True,
+        )
+        try:
+            g = random_connected_graph(12, 24, seed=3)
+            res = reorder_graph(g, name)
+            assert np.array_equal(res.perm, np.arange(g.n - 1, -1, -1))
+        finally:
+            del ORDERINGS[name]
+
+    def test_invalid_plugin_permutation_caught(self):
+        name = "test-broken"
+        register_ordering(
+            name, lambda g, seed: np.zeros(g.n, dtype=np.int64), overwrite=True
+        )
+        try:
+            g = random_connected_graph(8, 16, seed=4)
+            with pytest.raises(ValueError, match="invalid permutation"):
+                compute_ordering(g, name)
+        finally:
+            del ORDERINGS[name]
+
+
+class TestOrderingProperties:
+    @pytest.mark.parametrize("method", BUILTIN)
+    def test_valid_permutation(self, road, method):
+        perm = compute_ordering(road, method)
+        assert perm.shape == (road.n,)
+        assert np.array_equal(np.sort(perm), np.arange(road.n))
+
+    @pytest.mark.parametrize("method", BUILTIN)
+    def test_deterministic(self, road, method):
+        a = compute_ordering(road, method, seed=5)
+        b = compute_ordering(road, method, seed=5)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("method", BUILTIN)
+    def test_metric_preserved(self, road, method):
+        """Relabeling never changes a single distance."""
+        res = reorder_graph(road, method)
+        ref = dijkstra(road, 0).dist
+        got = dijkstra(res.graph, int(res.perm[0])).dist[res.perm]
+        assert np.array_equal(got, ref)
+
+    def test_natural_is_identity(self, road):
+        res = reorder_graph(road, "natural")
+        assert res.identity
+        assert res.graph == road
+
+    def test_random_seeded(self, road):
+        a = compute_ordering(road, "random", seed=1)
+        b = compute_ordering(road, "random", seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_degree_packs_hubs_first(self):
+        g = generators.power_law(200, seed=9)[0] if hasattr(
+            generators, "power_law"
+        ) else random_connected_graph(200, 600, seed=9, weighted=False)
+        perm = degree_order(g)
+        inv = inverse_permutation(perm)
+        deg_in_new_order = g.degrees()[inv]
+        assert np.all(np.diff(deg_in_new_order) <= 0)
+
+    def test_bfs_root_gets_id_zero(self, road):
+        perm = bfs_order(road)
+        root = int(np.flatnonzero(perm == 0)[0])
+        degs = road.degrees()
+        assert degs[root] == degs.min()
+
+    def test_inverse_permutation(self):
+        perm = np.array([2, 0, 3, 1])
+        inv = inverse_permutation(perm)
+        assert np.array_equal(inv[perm], np.arange(4))
+        assert np.array_equal(perm[inv], np.arange(4))
+
+
+class TestLocality:
+    def test_gap_zero_on_edgeless(self):
+        from repro.graphs.build import from_edge_list
+
+        g = from_edge_list(3, [])
+        assert mean_neighbor_gap(g) == 0.0
+
+    def test_path_graph_gap_is_one(self):
+        g = generators.path_graph(50)
+        assert mean_neighbor_gap(g) == 1.0
+
+    def test_bfs_and_rcm_beat_random_on_road(self, road):
+        gaps = {
+            m: mean_neighbor_gap(reorder_graph(road, m).graph)
+            for m in ("random", "bfs", "rcm")
+        }
+        assert gaps["bfs"] < gaps["random"]
+        assert gaps["rcm"] < gaps["random"]
+
+    def test_rcm_recovers_scrambled_path(self):
+        """RCM on a scrambled path graph restores near-unit bandwidth."""
+        g = generators.path_graph(120)
+        scrambled = reorder_graph(g, "random", seed=3).graph
+        assert mean_neighbor_gap(scrambled) > 10
+        recovered = reorder_graph(scrambled, "rcm").graph
+        assert mean_neighbor_gap(recovered) == 1.0
+
+
+class TestDirectedInputs:
+    def test_bfs_handles_asymmetric_reachability(self):
+        """bfs/rcm symmetrize first, so a vertex only reachable *via*
+        incoming arcs still gets numbered (no unvisited hole)."""
+        from repro.graphs.build import from_arc_arrays
+
+        # star digraph: arcs only point 0 -> i
+        n = 6
+        tails = np.zeros(n - 1, dtype=np.int64)
+        heads = np.arange(1, n, dtype=np.int64)
+        g = from_arc_arrays(
+            n, tails, heads, np.ones(n - 1), symmetrize=False, validate=False
+        )
+        for fn in (bfs_order, rcm_order):
+            perm = fn(g)
+            assert np.array_equal(np.sort(perm), np.arange(n))
+
+
+class TestDisconnected:
+    def test_components_each_numbered(self):
+        from repro.graphs.build import from_edge_list
+
+        # two disjoint triangles
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0),
+                 (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0)]
+        g = from_edge_list(6, edges)
+        for method in ("bfs", "rcm"):
+            perm = compute_ordering(g, method)
+            assert np.array_equal(np.sort(perm), np.arange(6))

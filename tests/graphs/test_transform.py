@@ -10,7 +10,9 @@ from repro.graphs.generators import grid_2d, path_graph
 from repro.graphs.transform import (
     permute_vertices,
     random_permutation,
+    reverse_graph,
     scale_weights,
+    to_bidirected,
 )
 
 from tests.helpers import random_connected_graph
@@ -62,6 +64,110 @@ class TestPermute:
         assert np.allclose(
             radius_stepping(h, int(perm[s]), radii[inv]).dist[perm], ref
         )
+
+
+class TestPermuteDeterministicRows:
+    def test_rows_sorted_by_new_head_id(self):
+        """Within each relabeled row, arcs are sorted ascending by new
+        head id — the canonical order every CSR builder produces — so a
+        permuted graph is bit-identical to one rebuilt from scratch."""
+        g = random_connected_graph(40, 90, seed=11)
+        perm = random_permutation(g.n, seed=12)
+        h = permute_vertices(g, perm)
+        for v in range(h.n):
+            row = h.indices[h.indptr[v] : h.indptr[v + 1]]
+            assert np.all(np.diff(row) >= 0), f"row {v} not head-sorted"
+
+    def test_round_trip_bit_identical(self):
+        """permute then un-permute restores the exact original arrays —
+        only true when the row order is canonical, not heap order."""
+        g = random_connected_graph(35, 80, seed=13)
+        perm = random_permutation(g.n, seed=14)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(g.n)
+        back = permute_vertices(permute_vertices(g, perm), inv)
+        assert np.array_equal(back.indptr, g.indptr)
+        assert np.array_equal(back.indices, g.indices)
+        assert np.array_equal(back.weights, g.weights)
+
+    def test_content_hash_stable_across_equivalent_perms(self):
+        """Two routes to the same numbering give the same content hash."""
+        g = random_connected_graph(25, 55, seed=15)
+        perm = random_permutation(g.n, seed=16)
+        inv = np.empty_like(perm)
+        inv[perm] = np.arange(g.n)
+        h1 = permute_vertices(g, perm)
+        h2 = permute_vertices(permute_vertices(h1, inv), perm)
+        assert h1.content_hash() == h2.content_hash()
+
+
+class TestReverseGraph:
+    def test_symmetric_graph_fixed_point(self):
+        """Our builders store undirected graphs symmetrically, so
+        reversal is the identity on them."""
+        g = random_connected_graph(30, 70, seed=20)
+        assert reverse_graph(g) == g
+
+    def test_directed_arcs_flip(self):
+        from repro.graphs.build import from_arc_arrays
+
+        tails = np.array([0, 0, 1, 2], dtype=np.int64)
+        heads = np.array([1, 2, 2, 3], dtype=np.int64)
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        g = from_arc_arrays(4, tails, heads, w, symmetrize=False, validate=False)
+        r = reverse_graph(g)
+        assert (r.n, r.num_arcs) == (g.n, g.num_arcs)
+        for t, h, wt in zip(tails, heads, w):
+            assert r.edge_weight(int(h), int(t)) == wt
+
+    def test_involution(self):
+        from repro.graphs.build import from_arc_arrays
+
+        rng = np.random.default_rng(21)
+        tails = rng.integers(0, 12, 40).astype(np.int64)
+        heads = (tails + rng.integers(1, 11, 40)) % 12
+        w = rng.uniform(0.1, 5.0, 40)
+        g = from_arc_arrays(12, tails, heads, w, symmetrize=False, validate=False)
+        rr = reverse_graph(reverse_graph(g))
+        assert np.array_equal(rr.indptr, g.indptr)
+        assert np.array_equal(rr.indices, g.indices)
+        assert np.array_equal(rr.weights, g.weights)
+
+
+class TestToBidirected:
+    def test_symmetric_graph_unchanged(self):
+        g = random_connected_graph(30, 70, seed=22)
+        assert to_bidirected(g) == g
+
+    def test_directed_arc_becomes_edge(self):
+        from repro.graphs.build import from_arc_arrays
+
+        g = from_arc_arrays(
+            3,
+            np.array([0, 1], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+            np.array([5.0, 7.0]),
+            symmetrize=False,
+            validate=False,
+        )
+        b = to_bidirected(g)
+        assert b.has_edge(1, 0) and b.has_edge(2, 1)
+        assert b.edge_weight(1, 0) == 5.0
+
+    def test_antiparallel_pair_keeps_min_weight(self):
+        from repro.graphs.build import from_arc_arrays
+
+        g = from_arc_arrays(
+            2,
+            np.array([0, 1], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+            np.array([9.0, 2.0]),
+            symmetrize=False,
+            validate=False,
+        )
+        b = to_bidirected(g)
+        assert b.edge_weight(0, 1) == 2.0
+        assert b.edge_weight(1, 0) == 2.0
 
 
 class TestScaleWeights:

@@ -152,14 +152,20 @@ class TestVersion1ForwardCompat:
     @staticmethod
     def _downgrade_to_v1(path):
         """Rewrite a saved bundle as a faithful version-1 artifact: drop
-        ``preferred_engine``, stamp version 1, and recompute the digest
-        over the six-field v1 meta tuple (what the v1 writer produced)."""
+        every later-version field, stamp version 1, and recompute the
+        digest over the six-field v1 meta tuple (what the v1 writer
+        produced)."""
         from repro.serve.artifacts import _ARRAY_FIELDS, _payload_hash
 
+        later = {
+            "preferred_engine",
+            "reorder",
+            "locality_before",
+            "locality_after",
+            "perm",
+        }
         with np.load(path, allow_pickle=False) as npz:
-            fields = {
-                n: npz[n] for n in npz.files if n != "preferred_engine"
-            }
+            fields = {n: npz[n] for n in npz.files if n not in later}
         fields["version"] = np.int64(1)
         meta = (
             int(fields["k"]),
@@ -280,6 +286,219 @@ class TestPreferredEngine:
         assert all(isinstance(d, str) for d in stats["engines"].values())
 
 
+class TestVersion3Reorder:
+    """Version-3 bundles carry the locality permutation; earlier
+    versions keep loading with the identity mapping."""
+
+    @pytest.fixture(scope="class")
+    def reordered(self, case):
+        g, _pre = case
+        return g, build_kr_graph(g, K, RHO, heuristic="dp", reorder="rcm")
+
+    @staticmethod
+    def _rewrite(path, fields):
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+
+    @staticmethod
+    def _load_fields(path):
+        with np.load(path, allow_pickle=False) as npz:
+            return {n: npz[n] for n in npz.files}
+
+    @classmethod
+    def _restamp_v3_hash(cls, path, fields):
+        """Recompute a self-consistent v3 digest (keyless checksum — a
+        determined writer can always do this) so loads reach the
+        structural perm validation instead of stopping at the checksum."""
+        from repro.serve.artifacts import _ARRAY_FIELDS_V3, _payload_hash
+
+        meta = (
+            int(fields["k"]),
+            int(fields["rho"]),
+            str(fields["heuristic"]),
+            int(fields["added_edges"]),
+            int(fields["new_edges"]),
+            str(fields["source_hash"]),
+            str(fields["preferred_engine"]),
+            str(fields["reorder"]),
+            float(fields["locality_before"]),
+            float(fields["locality_after"]),
+        )
+        fields["payload_hash"] = _payload_hash(
+            {n: fields[n] for n in _ARRAY_FIELDS_V3 if n in fields},
+            meta,
+            tuple(n for n in _ARRAY_FIELDS_V3 if n in fields),
+        )
+        cls._rewrite(path, fields)
+
+    @staticmethod
+    def _downgrade_to_v2(path):
+        """Rewrite a saved bundle as a faithful version-2 artifact:
+        drop the v3 fields, stamp version 2, recompute the v2 digest."""
+        from repro.serve.artifacts import _ARRAY_FIELDS, _payload_hash
+
+        v3_only = {"reorder", "locality_before", "locality_after", "perm"}
+        with np.load(path, allow_pickle=False) as npz:
+            fields = {n: npz[n] for n in npz.files if n not in v3_only}
+        fields["version"] = np.int64(2)
+        meta = (
+            int(fields["k"]),
+            int(fields["rho"]),
+            str(fields["heuristic"]),
+            int(fields["added_edges"]),
+            int(fields["new_edges"]),
+            str(fields["source_hash"]),
+            str(fields["preferred_engine"]),
+        )
+        fields["payload_hash"] = _payload_hash(
+            {n: fields[n] for n in _ARRAY_FIELDS}, meta
+        )
+        with open(path, "wb") as fh:
+            np.savez(fh, **fields)
+
+    def test_v3_round_trips_perm_and_locality(self, reordered, tmp_path):
+        g, pre = reordered
+        path = tmp_path / "re.npz"
+        save_artifact(path, pre)
+        back = load_artifact(path, expect_graph=g)
+        assert back.reorder == "rcm"
+        assert np.array_equal(back.perm, pre.perm)
+        assert back.locality_before == pre.locality_before
+        assert back.locality_after == pre.locality_after
+        assert back.graph == pre.graph
+
+    def test_identity_perm_collapses_on_load(self, saved):
+        """A natural-order bundle stores the identity perm but loads
+        with ``perm=None`` so serving skips the translation layer."""
+        _g, _pre, path = saved
+        with np.load(path, allow_pickle=False) as npz:
+            assert "perm" in npz.files  # v3 always materializes it
+        back = load_artifact(path)
+        assert back.perm is None
+        assert back.reorder == "natural"
+
+    def test_reordered_artifact_serves_input_ids(self, reordered, tmp_path):
+        g, pre = reordered
+        path = tmp_path / "re.npz"
+        save_artifact(path, pre)
+        for mmap in (False, True):
+            sp = load_solver(path, expect_graph=g, mmap=mmap)
+            for s in (0, 13, 42):
+                assert np.array_equal(sp.solve(s).dist, dijkstra(g, s).dist)
+
+    def test_v2_bundle_loads_with_identity_perm(self, saved):
+        g, pre, path = saved
+        self._downgrade_to_v2(path)
+        back = load_artifact(path, expect_graph=g)
+        assert back.perm is None
+        assert back.reorder == "natural"
+        assert np.isnan(back.locality_before)
+        assert back.graph == pre.graph
+
+    def test_v2_checksum_still_enforced(self, saved):
+        _g, _pre, path = saved
+        self._downgrade_to_v2(path)
+        fields = self._load_fields(path)
+        radii = fields["radii"].copy()
+        radii[0] += 1.0
+        fields["radii"] = radii
+        self._rewrite(path, fields)
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            load_artifact(path)
+
+    def test_missing_perm_is_corrupt(self, reordered, tmp_path):
+        _g, pre = reordered
+        path = tmp_path / "re.npz"
+        save_artifact(path, pre)
+        fields = {
+            n: a for n, a in self._load_fields(path).items() if n != "perm"
+        }
+        self._rewrite(path, fields)
+        with pytest.raises(ArtifactCorruptError, match="perm"):
+            load_artifact(path)
+
+    def test_tampered_perm_fails_checksum(self, reordered, tmp_path):
+        _g, pre = reordered
+        path = tmp_path / "re.npz"
+        save_artifact(path, pre)
+        fields = self._load_fields(path)
+        perm = fields["perm"].copy()
+        perm[0], perm[1] = perm[1], perm[0]
+        fields["perm"] = perm
+        self._rewrite(path, fields)
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            load_artifact(path)
+
+    def test_non_permutation_perm_rejected(self, reordered, tmp_path):
+        """A checksum-consistent bundle whose perm has a duplicate id
+        must still refuse to load — it would answer for wrong vertices."""
+        _g, pre = reordered
+        path = tmp_path / "re.npz"
+        save_artifact(path, pre)
+        fields = self._load_fields(path)
+        perm = fields["perm"].copy()
+        perm[1] = perm[0]  # duplicate → some vertex unreachable
+        fields["perm"] = perm
+        self._restamp_v3_hash(path, fields)
+        with pytest.raises(ArtifactCorruptError, match="not a permutation"):
+            load_artifact(path)
+
+    def test_out_of_range_perm_rejected(self, reordered, tmp_path):
+        _g, pre = reordered
+        path = tmp_path / "re.npz"
+        save_artifact(path, pre)
+        fields = self._load_fields(path)
+        perm = fields["perm"].copy()
+        perm[0] = -1
+        fields["perm"] = perm
+        self._restamp_v3_hash(path, fields)
+        with pytest.raises(ArtifactCorruptError, match="not a permutation"):
+            load_artifact(path)
+
+    def test_truncated_perm_rejected(self, reordered, tmp_path):
+        _g, pre = reordered
+        path = tmp_path / "re.npz"
+        save_artifact(path, pre)
+        fields = self._load_fields(path)
+        fields["perm"] = fields["perm"][:-3].copy()
+        self._restamp_v3_hash(path, fields)
+        with pytest.raises(ArtifactCorruptError, match="not a permutation"):
+            load_artifact(path)
+
+    def test_mmap_reordered_round_trip(self, reordered, tmp_path):
+        g, pre = reordered
+        path = tmp_path / "re.npz"
+        save_artifact(path, pre)
+        mapped = load_artifact(path, expect_graph=g, mmap=True)
+        assert np.array_equal(mapped.perm, pre.perm)
+        assert mapped.graph == pre.graph
+
+    def test_service_stats_surface_reorder(self, reordered, tmp_path):
+        from repro.serve import RoutingService
+
+        g, pre = reordered
+        path = tmp_path / "re.npz"
+        save_artifact(path, pre)
+        svc = RoutingService.from_artifact(path, expect_graph=g)
+        stats = svc.stats()
+        assert stats["reorder"] == "rcm"
+        assert stats["locality"]["after"] < stats["locality"]["before"]
+
+    def test_v2_service_stats_locality_null(self, saved):
+        """Pre-v3 artifacts surface ``null`` locality at GET /stats —
+        nan would be invalid JSON."""
+        import json
+
+        from repro.serve import RoutingService
+
+        g, _pre, path = saved
+        self._downgrade_to_v2(path)
+        svc = RoutingService.from_artifact(path, expect_graph=g)
+        stats = svc.stats()
+        assert stats["locality"] == {"before": None, "after": None}
+        json.dumps(stats)  # must be JSON-serializable end to end
+
+
 class TestCorruption:
     def test_truncated_file(self, saved):
         _g, _pre, path = saved
@@ -338,7 +557,7 @@ class TestCorruption:
         """A writer that recomputes the (keyless) checksum over bad CSR
         arrays still must not load: negative arc heads would gather
         wrong-but-valid neighbors via numpy wraparound."""
-        from repro.serve.artifacts import _ARRAY_FIELDS, _payload_hash
+        from repro.serve.artifacts import _ARRAY_FIELDS_V3, _payload_hash
 
         _g, _pre, path = saved
         with np.load(path, allow_pickle=False) as npz:
@@ -349,7 +568,7 @@ class TestCorruption:
         meta = tuple(
             f(fields[k])
             for f, k in zip(
-                (int, int, str, int, int, str, str),
+                (int, int, str, int, int, str, str, str, float, float),
                 (
                     "k",
                     "rho",
@@ -358,11 +577,14 @@ class TestCorruption:
                     "new_edges",
                     "source_hash",
                     "preferred_engine",
+                    "reorder",
+                    "locality_before",
+                    "locality_after",
                 ),
             )
         )
         fields["payload_hash"] = _payload_hash(
-            {n: fields[n] for n in _ARRAY_FIELDS}, meta
+            {n: fields[n] for n in _ARRAY_FIELDS_V3}, meta, _ARRAY_FIELDS_V3
         )
         with open(path, "wb") as fh:
             np.savez(fh, **fields)

@@ -64,6 +64,13 @@ def test_routing_service(capsys):
     assert "bit-identical to the pickle path" in out
 
 
+def test_reordering(capsys):
+    load_example("reordering").main(n=250, rho=10)
+    out = capsys.readouterr().out
+    assert "bit-identical to the unreordered service" in out
+    assert "warm start keeps the layout" in out
+
+
 @pytest.mark.parametrize(
     "name",
     [
@@ -73,6 +80,7 @@ def test_routing_service(capsys):
         "pram_cost_model",
         "parallel_preprocessing",
         "routing_service",
+        "reordering",
     ],
 )
 def test_examples_have_docstrings_and_main(name):
