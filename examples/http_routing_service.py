@@ -102,7 +102,9 @@ def main(n: int = 600, k: int = 2, rho: int = 16, threads: int = 8) -> None:
     with RoutingHTTPServer(service) as server:
         client = RoutingClient(server.url)
         print(f"HTTP server listening on {server.url}")
-        assert client.healthz() == {"status": "ok"}
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["shards"] == 1  # single service = one-shard special case
 
         # -- 2. the client walks every endpoint --------------------------
         ref = dijkstra(graph, 3)

@@ -41,18 +41,27 @@ from .reorder import (
     register_ordering,
     reorder_graph,
 )
+from .partition import (
+    Partition,
+    available_partitioners,
+    compute_partition,
+    register_partitioner,
+)
 from . import generators
 from .io import load_snap_graph, read_edge_list, write_edge_list
 
 __all__ = [
     "CSRGraph",
+    "Partition",
     "GraphValidationError",
     "PAPER_WEIGHT_HIGH",
     "PAPER_WEIGHT_LOW",
     "add_shortcuts",
     "available_orderings",
+    "available_partitioners",
     "check_min_weight_normalized",
     "compute_ordering",
+    "compute_partition",
     "connected_components",
     "euclidean_weights",
     "from_adjacency",
@@ -71,6 +80,7 @@ __all__ = [
     "random_permutation",
     "read_edge_list",
     "register_ordering",
+    "register_partitioner",
     "reorder_graph",
     "reverse_graph",
     "reweighted",

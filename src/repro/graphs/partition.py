@@ -1,0 +1,327 @@
+"""Graph partitioning — the shard layer under multi-box serving.
+
+A graph that exceeds one box is served as *shards*: a vertex partition
+where each block gets its own (k,ρ)-preprocessing and its own planner,
+and cross-shard queries are stitched at the boundary vertices.  The
+(k,ρ)-preprocessing of the source paper is embarrassingly shardable —
+ball search and shortcut selection are per-source local — so the only
+global decisions are made here: *which* vertices share a shard.
+
+Two partitioners ship, through the same named-registry pattern as the
+engine and ordering registries:
+
+``contiguous``
+    Equal-size contiguous id ranges over a locality ordering
+    (:mod:`repro.graphs.reorder`; RCM by default).  A BFS/RCM numbering
+    places neighbors at nearby ids, so cutting the id line into blocks
+    cuts few edges — the partition the PR-7 reordering work was built to
+    seed.
+``ldd``
+    Ball-growing low-diameter decomposition: randomly sampled centers
+    grow hop-balls in parallel BFS waves (contested vertices go to the
+    center with the smallest ``(round, priority, id)`` key), then the
+    resulting low-diameter clusters are packed onto shards by greedy
+    balancing.  This is the practical core of the low-diameter
+    decompositions of Miller–Peng–Xu and Rozhoň et al. (arXiv
+    2210.16351): every cluster has small hop radius by construction, so
+    intra-shard ball searches stay intra-shard.
+
+Every partitioner is a pure function ``(graph, n_shards, seed) ->
+labels`` with ``labels[v]`` the shard id of vertex ``v``; the public
+entry point :func:`compute_partition` validates the labeling and wraps
+it in a :class:`Partition` carrying the derived quality metrics
+(boundary set, edge cut, balance) every consumer wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .csr import CSRGraph
+from .reorder import compute_ordering
+from .transform import to_bidirected
+
+__all__ = [
+    "PARTITIONERS",
+    "Partition",
+    "available_partitioners",
+    "compute_partition",
+    "contiguous_partition",
+    "ldd_partition",
+    "register_partitioner",
+]
+
+#: partitioner registry: name -> fn(graph, n_shards, seed) -> labels.
+PartitionerFn = Callable[[CSRGraph, int, int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A vertex partition plus the quality metrics sharding cares about.
+
+    Attributes
+    ----------
+    labels: ``labels[v]`` is the shard id of vertex ``v`` (0-based).
+    n_shards: number of shards (some may be empty on degenerate inputs).
+    method: registry name of the partitioner that produced it.
+    boundary_vertices: sorted ids of every vertex with at least one arc
+        into a different shard — the stitching points cross-shard
+        queries route through.
+    edge_cut: number of undirected edges whose endpoints live in
+        different shards (each contributes its weight to the overlay).
+    balance: ``max shard size × n_shards / n`` — 1.0 is perfectly
+        balanced, 2.0 means the largest shard is twice its fair share.
+        ``0.0`` for an empty graph.
+    """
+
+    labels: np.ndarray = field(repr=False)
+    n_shards: int
+    method: str
+    boundary_vertices: np.ndarray = field(repr=False)
+    edge_cut: int
+    balance: float
+
+    @property
+    def n(self) -> int:
+        """Number of vertices partitioned."""
+        return len(self.labels)
+
+    def shard_sizes(self) -> np.ndarray:
+        """Vertex count per shard (length ``n_shards``)."""
+        return np.bincount(self.labels, minlength=self.n_shards)
+
+    def members(self, shard: int) -> np.ndarray:
+        """Sorted original vertex ids of ``shard``."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} out of range [0, {self.n_shards})")
+        return np.flatnonzero(self.labels == shard)
+
+    def boundary_of(self, shard: int) -> np.ndarray:
+        """Sorted boundary vertices belonging to ``shard``."""
+        b = self.boundary_vertices
+        return b[self.labels[b] == shard] if len(b) else b
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Partition(method={self.method!r}, n={self.n}, "
+            f"n_shards={self.n_shards}, cut={self.edge_cut}, "
+            f"balance={self.balance:.2f}, "
+            f"boundary={len(self.boundary_vertices)})"
+        )
+
+
+def _partition_from_labels(
+    graph: CSRGraph, labels: np.ndarray, n_shards: int, method: str
+) -> Partition:
+    """Derive the boundary/cut/balance metrics from a raw labeling."""
+    n = graph.n
+    tails = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
+    cross = labels[tails] != labels[graph.indices]
+    boundary = np.unique(tails[cross])
+    # every crossing undirected edge is stored as two arcs
+    edge_cut = int(cross.sum()) // 2
+    sizes = np.bincount(labels, minlength=n_shards) if n else np.zeros(n_shards)
+    balance = float(sizes.max() * n_shards / n) if n else 0.0
+    return Partition(
+        labels=labels,
+        n_shards=n_shards,
+        method=method,
+        boundary_vertices=boundary,
+        edge_cut=edge_cut,
+        balance=balance,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Partitioner functions
+# --------------------------------------------------------------------- #
+def contiguous_partition(
+    graph: CSRGraph, n_shards: int, seed: int = 0, *, ordering: str = "rcm"
+) -> np.ndarray:
+    """Equal-size contiguous id ranges over a locality ordering.
+
+    The RCM (default) or BFS numbering places neighbors at nearby new
+    ids; shard ``s`` is the new-id range ``[s·n/n_shards, (s+1)·n/n_shards)``,
+    so almost every edge stays inside one block and only the edges that
+    straddle a range boundary are cut.  ``ordering`` accepts any
+    registered name from :mod:`repro.graphs.reorder`.
+    """
+    perm = compute_ordering(graph, ordering, seed=seed)
+    # floor(new_id * n_shards / n) puts exactly the first ceil(n/S) new
+    # ids in shard 0, etc. — block sizes differ by at most one.
+    return (perm * n_shards) // max(graph.n, 1)
+
+
+def ldd_partition(
+    graph: CSRGraph,
+    n_shards: int,
+    seed: int = 0,
+    *,
+    centers_per_shard: int = 8,
+) -> np.ndarray:
+    """Ball-growing low-diameter decomposition packed onto shards.
+
+    ``n_shards × centers_per_shard`` random centers (every connected
+    component is guaranteed at least one) grow hop-balls in simultaneous
+    BFS waves; a contested vertex is claimed by the center with the
+    smallest ``(arrival round, random priority, center id)`` key, so the
+    clusters are Voronoi balls of low hop diameter — the ball-growing
+    core of the Miller–Peng–Xu / Rozhoň-et-al. decompositions.  Clusters
+    are then assigned to shards largest-first, each to the currently
+    lightest shard, which bounds the imbalance by the largest cluster.
+    """
+    g = to_bidirected(graph)
+    n = g.n
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    n_centers = min(n, max(n_shards, n_shards * centers_per_shard))
+    centers = rng.choice(n, size=n_centers, replace=False).astype(np.int64)
+    # every component needs a center or its vertices would stay unclaimed
+    from .build import connected_components
+
+    comp = connected_components(g)
+    have = np.zeros(comp.max() + 1, dtype=bool)
+    have[comp[centers]] = True
+    orphans = []
+    for c in np.flatnonzero(~have):
+        orphans.append(int(np.flatnonzero(comp == c)[0]))
+    if orphans:
+        centers = np.concatenate([centers, np.array(orphans, dtype=np.int64)])
+    priority = rng.random(len(centers))
+    # claim[v] = cluster index; claimed in BFS waves, ties broken by
+    # (priority, center id) via a stable first-wins scatter per round
+    claim = np.full(n, -1, dtype=np.int64)
+    order = np.lexsort((centers, priority))
+    claim[centers[order]] = order  # centers claim themselves round 0
+    # a center may appear twice if rng.choice + orphan logic ever
+    # overlapped; lexsort first-wins keeps it deterministic either way
+    frontier = centers[order]
+    while len(frontier):
+        starts = g.indptr[frontier]
+        ends = g.indptr[frontier + 1]
+        total = int((ends - starts).sum())
+        if total == 0:
+            break
+        nbrs = np.empty(total, dtype=np.int64)
+        owner = np.empty(total, dtype=np.int64)
+        at = 0
+        for f, s, e in zip(frontier, starts, ends):
+            nbrs[at : at + (e - s)] = g.indices[s:e]
+            owner[at : at + (e - s)] = claim[f]
+            at += e - s
+        fresh = claim[nbrs] < 0
+        nbrs, owner = nbrs[fresh], owner[fresh]
+        if len(nbrs) == 0:
+            break
+        # smallest (priority, center id) key wins a contested vertex;
+        # cluster indices are already sorted by that key, so a plain
+        # min-scatter over cluster index is the tie-break
+        win = np.lexsort((owner, nbrs))
+        nbrs, owner = nbrs[win], owner[win]
+        first = np.ones(len(nbrs), dtype=bool)
+        first[1:] = nbrs[1:] != nbrs[:-1]
+        nbrs, owner = nbrs[first], owner[first]
+        claim[nbrs] = owner
+        frontier = nbrs
+    # pack clusters onto shards: largest first, lightest shard wins
+    sizes = np.bincount(claim, minlength=len(centers))
+    shard_of = np.empty(len(centers), dtype=np.int64)
+    load = np.zeros(n_shards, dtype=np.int64)
+    for c in np.lexsort((np.arange(len(sizes)), -sizes)):
+        s = int(np.argmin(load))
+        shard_of[c] = s
+        load[s] += sizes[c]
+    return shard_of[claim]
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PartitionerSpec:
+    """One registered partitioner: the callable plus a description."""
+
+    name: str
+    fn: PartitionerFn
+    description: str = ""
+
+
+PARTITIONERS: dict[str, PartitionerSpec] = {}
+
+
+def register_partitioner(
+    name: str,
+    fn: PartitionerFn,
+    *,
+    description: str = "",
+    overwrite: bool = False,
+) -> PartitionerSpec:
+    """Register a partitioner under ``name`` (the engine-registry
+    pattern: a plugin partitioner becomes usable by
+    ``build_sharded_kr_graph(partition=...)`` with no pipeline changes).
+    """
+    if not name:
+        raise ValueError("partitioner name must be non-empty")
+    if name in PARTITIONERS and not overwrite:
+        raise ValueError(f"partitioner {name!r} already registered")
+    spec = PartitionerSpec(name=name, fn=fn, description=description)
+    PARTITIONERS[name] = spec
+    return spec
+
+
+def available_partitioners() -> tuple[str, ...]:
+    """Sorted names of every registered partitioner."""
+    return tuple(sorted(PARTITIONERS))
+
+
+def compute_partition(
+    graph: CSRGraph, method: str, n_shards: int, *, seed: int = 0
+) -> Partition:
+    """Partition ``graph`` into ``n_shards`` shards with the named
+    partitioner, validated and wrapped in a :class:`Partition`.
+
+    ``n_shards`` must be in ``[1, max(n, 1)]`` — more shards than
+    vertices cannot all be non-empty and would only manufacture
+    degenerate routers.
+    """
+    try:
+        spec = PARTITIONERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {method!r}; registered partitioners: "
+            f"{', '.join(available_partitioners())}"
+        ) from None
+    if n_shards < 1:
+        raise ValueError("n_shards >= 1 required")
+    if graph.n and n_shards > graph.n:
+        raise ValueError(
+            f"n_shards={n_shards} exceeds the graph's {graph.n} vertices"
+        )
+    labels = np.asarray(spec.fn(graph, n_shards, seed), dtype=np.int64)
+    if labels.shape != (graph.n,):
+        raise ValueError(
+            f"partitioner {method!r} returned labels of shape "
+            f"{labels.shape}, expected ({graph.n},)"
+        )
+    if graph.n and (labels.min() < 0 or labels.max() >= n_shards):
+        raise ValueError(
+            f"partitioner {method!r} returned shard ids outside "
+            f"[0, {n_shards})"
+        )
+    return _partition_from_labels(graph, labels, n_shards, method)
+
+
+register_partitioner(
+    "contiguous",
+    contiguous_partition,
+    description="equal-size contiguous id ranges over an RCM numbering",
+)
+register_partitioner(
+    "ldd",
+    ldd_partition,
+    description="ball-growing low-diameter decomposition, greedy-balanced",
+)

@@ -119,7 +119,18 @@ def scale_weights(graph: CSRGraph, factor: float) -> CSRGraph:
     distances multiply by ``factor``.  Note the paper's normalization
     (min nonzero weight = 1) is deliberately *not* re-applied — callers
     exploring L-sensitivity (the log ρL terms) handle that explicitly.
+
+    ``factor`` must be a positive finite real scalar: negatives would
+    flip the metric, NaN/inf would poison every weight, ``bool`` would
+    silently scale by 0 or 1, and an array factor would build a CSR
+    whose weights no longer match its arc list.
     """
+    if isinstance(factor, (bool, np.bool_)):
+        raise TypeError("factor must be a real scalar, not a bool")
+    try:
+        factor = float(factor)  # rejects arrays/sequences (TypeError)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"factor must be a real scalar, got {factor!r}") from exc
     if not (factor > 0) or not np.isfinite(factor):
         raise ValueError("factor must be positive and finite")
     return CSRGraph(

@@ -53,7 +53,13 @@ from .exact import (
     verify_kr_graph,
 )
 from .greedy import greedy_count, greedy_depth_mask, greedy_select
-from .pipeline import HEURISTICS, PreprocessResult, build_kr_graph
+from .pipeline import (
+    HEURISTICS,
+    PreprocessResult,
+    ShardedPreprocessResult,
+    build_kr_graph,
+    build_sharded_kr_graph,
+)
 from .radii import compute_radii, compute_radii_sweep
 from .select_batched import (
     batched_select,
@@ -75,6 +81,7 @@ __all__ = [
     "HEURISTICS",
     "KrReport",
     "PreprocessResult",
+    "ShardedPreprocessResult",
     "ShortcutCounts",
     "TreeBlock",
     "available_ball_backends",
@@ -87,6 +94,7 @@ __all__ = [
     "block_from_trees",
     "build_ball_tree",
     "build_kr_graph",
+    "build_sharded_kr_graph",
     "compute_radii",
     "compute_radii_sweep",
     "count_shortcuts_sweep",

@@ -22,12 +22,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..graphs.build import add_shortcuts
+from ..graphs.build import add_shortcuts, induced_subgraph
 from ..graphs.csr import CSRGraph
-from ..parallel.pool import parallel_map
+from ..parallel.pool import parallel_map, parallel_map_shared
 from .backends import HEURISTICS, get_ball_backend
 
-__all__ = ["PreprocessResult", "build_kr_graph", "HEURISTICS"]
+__all__ = [
+    "PreprocessResult",
+    "ShardedPreprocessResult",
+    "build_kr_graph",
+    "build_sharded_kr_graph",
+    "HEURISTICS",
+]
 
 
 @dataclass
@@ -199,26 +205,34 @@ def build_kr_graph(
         mean_neighbor_gap(graph) if perm is not None else locality_before
     )
     sources = np.arange(graph.n, dtype=np.int64)
-    blocks = parallel_map(
-        _shortcuts_for_chunk,
-        sources,
-        n_jobs=n_jobs,
-        fn_args=(graph,),
-        fn_kwargs={
-            "k": k,
-            "rho": rho,
-            "heuristic": heuristic,
-            "include_ties": include_ties,
-            "backend": backend,
-        },
-    )
-    radii = np.concatenate([b[0] for b in blocks])
-    src = np.concatenate([b[1] for b in blocks])
-    dst = np.concatenate([b[2] for b in blocks])
-    w = np.concatenate([b[3] for b in blocks])
+    if graph.n == 0:
+        # degenerate but legal (an empty shard of a partitioned graph):
+        # there is nothing to search and nothing to shortcut
+        blocks = []
+        radii = np.empty(0, dtype=np.float64)
+        src = dst = np.empty(0, dtype=np.int64)
+        w = np.empty(0, dtype=np.float64)
+    else:
+        blocks = parallel_map(
+            _shortcuts_for_chunk,
+            sources,
+            n_jobs=n_jobs,
+            fn_args=(graph,),
+            fn_kwargs={
+                "k": k,
+                "rho": rho,
+                "heuristic": heuristic,
+                "include_ties": include_ties,
+                "backend": backend,
+            },
+        )
+        radii = np.concatenate([b[0] for b in blocks])
+        src = np.concatenate([b[1] for b in blocks])
+        dst = np.concatenate([b[2] for b in blocks])
+        w = np.concatenate([b[3] for b in blocks])
     aug = add_shortcuts(graph, src, dst, w)
     preferred = ""
-    if calibrate_engine:
+    if calibrate_engine and aug.n:
         # lazy import: preprocessing must not depend on the engine layer
         # unless calibration is requested.
         from ..engine.autoselect import pick_engine
@@ -240,3 +254,239 @@ def build_kr_graph(
         locality_before=locality_before,
         locality_after=locality_after,
     )
+
+
+# --------------------------------------------------------------------- #
+# Sharded preprocessing — partition → per-shard (k,ρ) → boundary overlay
+# --------------------------------------------------------------------- #
+@dataclass
+class ShardedPreprocessResult:
+    """Output of :func:`build_sharded_kr_graph`.
+
+    One record holds everything a shard router needs to answer exact
+    queries: the partition, one complete :class:`PreprocessResult` per
+    shard (over *shard-local* vertex numbering), and the boundary
+    overlay.
+
+    Attributes
+    ----------
+    shards: per-shard preprocessing — ``shards[s].graph`` is the
+        augmented (k,ρ)-graph of shard ``s`` in shard-local ids.
+    shard_vertices: ``shard_vertices[s][i]`` is the original id of
+        shard ``s``'s local vertex ``i`` (sorted ascending, the
+        :func:`~repro.graphs.build.induced_subgraph` convention).
+    labels: ``labels[v]`` is the shard owning original vertex ``v``.
+    overlay_graph: the boundary overlay — vertices are the boundary
+        vertices of every shard (overlay-local ids), arcs are (a) every
+        original inter-shard edge at its original weight and (b) for
+        each shard, an arc per boundary pair carrying the exact
+        within-shard shortest-path distance.  Shortest paths *in the
+        overlay* between boundary vertices therefore equal shortest
+        paths in the full graph: any full-graph shortest path
+        decomposes into maximal intra-shard segments (each replaced by
+        a type-(b) arc) joined by cut edges (type (a)).
+    overlay_vertices: original ids of the overlay vertices (sorted).
+    partition_method / partition_seed: how the shards were cut.
+    edge_cut / balance: the partition quality metrics
+        (:class:`~repro.graphs.partition.Partition`).
+    k, rho, heuristic: the per-shard preprocessing configuration.
+    source_hash: content hash of the *input* graph, as for
+        :class:`PreprocessResult`.
+    """
+
+    shards: list[PreprocessResult]
+    shard_vertices: list[np.ndarray]
+    labels: np.ndarray = field(repr=False)
+    overlay_graph: CSRGraph = field(repr=False)
+    overlay_vertices: np.ndarray = field(repr=False)
+    partition_method: str
+    partition_seed: int
+    edge_cut: int
+    balance: float
+    k: int
+    rho: int
+    heuristic: str
+    source_hash: str = ""
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    @property
+    def n(self) -> int:
+        """Number of vertices of the partitioned input graph."""
+        return len(self.labels)
+
+    def boundary_counts(self) -> list[int]:
+        """Boundary-vertex count per shard."""
+        counts = [0] * self.n_shards
+        for v in self.overlay_vertices:
+            counts[int(self.labels[v])] += 1
+        return counts
+
+    def save(self, path) -> None:
+        """Persist as a sharded serving bundle (directory of artifacts).
+
+        Export hook into :mod:`repro.serve.artifacts` (imported lazily —
+        preprocessing must not depend on the serving layer):
+        ``load_sharded_artifact(path)`` restores an equal record.
+        """
+        from ..serve.artifacts import save_sharded_artifact
+
+        save_sharded_artifact(path, self)
+
+
+def _preprocess_shard_chunk(payload: tuple, shard_ids: np.ndarray):
+    """Pool worker: per-shard induced subgraph + (k,ρ)-preprocessing.
+
+    The full graph and shard labels arrive fork-inherited copy-on-write
+    (:func:`repro.parallel.parallel_map_shared`); each worker carves out
+    its shards' induced subgraphs locally, so no subgraph is ever
+    pickled through the task pipe.
+    """
+    graph, labels, kwargs = payload
+    out = []
+    for s in shard_ids:
+        sub, _ids = induced_subgraph(graph, np.flatnonzero(labels == s))
+        out.append(build_kr_graph(sub, n_jobs=1, **kwargs))
+    return out
+
+
+def build_sharded_kr_graph(
+    graph: CSRGraph,
+    k: int,
+    rho: int,
+    *,
+    n_shards: int,
+    partition: str = "contiguous",
+    partition_seed: int = 0,
+    heuristic: str = "dp",
+    include_ties: bool = True,
+    n_jobs: int = 1,
+    backend: str = "batched",
+    calibrate_engine: bool = False,
+    calibration_budget: float = 1.0,
+) -> ShardedPreprocessResult:
+    """Partition → per-shard (k,ρ)-preprocessing → boundary overlay.
+
+    The sharded counterpart of :func:`build_kr_graph`:
+
+    1. cut the graph into ``n_shards`` shards with the named
+       partitioner (:mod:`repro.graphs.partition`);
+    2. run :func:`build_kr_graph` independently on every shard's
+       induced subgraph — ball search and shortcut selection are
+       per-source local, so shards never need each other — fanned over
+       the fork pool when ``n_jobs > 1``;
+    3. build the **boundary overlay**: a graph on the boundary vertices
+       whose arcs are the original inter-shard edges plus, per shard,
+       the exact within-shard shortest-path distance between each pair
+       of its boundary vertices (solved on the shard's own augmented
+       graph, so step 2's speedup compounds here).
+
+    Exactness: every overlay arc weight is either an original edge
+    weight or an exact within-shard distance, and any full-graph
+    shortest path between boundary vertices decomposes into exactly
+    such pieces — so the overlay preserves the boundary-to-boundary
+    metric, and a router stitching ``source shard → overlay → target
+    shard`` answers with true full-graph distances
+    (:class:`repro.serve.router.ShardRouter` is that router).
+
+    Cost note: the overlay holds up to ``Σ_s |∂s|²`` distance arcs; the
+    partitioners are built to keep boundary sets small, but a partition
+    of a dense graph into many tiny shards can make the overlay the
+    dominant artifact — ``edge_cut`` and ``balance`` on the result are
+    the metrics to watch.
+    """
+    from ..graphs.partition import compute_partition
+
+    part = compute_partition(graph, partition, n_shards, seed=partition_seed)
+    kwargs = {
+        "k": k,
+        "rho": rho,
+        "heuristic": heuristic,
+        "include_ties": include_ties,
+        "backend": backend,
+        "calibrate_engine": calibrate_engine,
+        "calibration_budget": calibration_budget,
+    }
+    blocks = parallel_map_shared(
+        _preprocess_shard_chunk,
+        (graph, part.labels, kwargs),
+        np.arange(n_shards, dtype=np.int64),
+        n_jobs=n_jobs,
+    )
+    shards = [pre for block in blocks for pre in block]
+    shard_vertices = [part.members(s) for s in range(n_shards)]
+    overlay_graph, overlay_vertices = _build_overlay(
+        graph, part.labels, shards, shard_vertices, n_jobs=n_jobs
+    )
+    return ShardedPreprocessResult(
+        shards=shards,
+        shard_vertices=shard_vertices,
+        labels=part.labels,
+        overlay_graph=overlay_graph,
+        overlay_vertices=overlay_vertices,
+        partition_method=partition,
+        partition_seed=partition_seed,
+        edge_cut=part.edge_cut,
+        balance=part.balance,
+        k=k,
+        rho=rho,
+        heuristic=heuristic,
+        source_hash=graph.content_hash(),
+    )
+
+
+def _build_overlay(
+    graph: CSRGraph,
+    labels: np.ndarray,
+    shards: list[PreprocessResult],
+    shard_vertices: list[np.ndarray],
+    *,
+    n_jobs: int = 1,
+) -> tuple[CSRGraph, np.ndarray]:
+    """The inter-shard stitching graph; see
+    :class:`ShardedPreprocessResult.overlay_graph` for the contract."""
+    from ..core.solver import PreprocessedSSSP
+    from ..graphs.build import from_arc_arrays
+
+    n = graph.n
+    tails = np.repeat(np.arange(n, dtype=np.int64), graph.degrees())
+    cross = labels[tails] != labels[graph.indices]
+    overlay_vertices = np.unique(tails[cross])
+    ov_index = np.full(n, -1, dtype=np.int64)
+    ov_index[overlay_vertices] = np.arange(len(overlay_vertices), dtype=np.int64)
+    us = [ov_index[tails[cross]]]
+    vs = [ov_index[graph.indices[cross]]]
+    ws = [graph.weights[cross]]
+    for s, pre in enumerate(shards):
+        verts = shard_vertices[s]
+        if len(verts) == 0:
+            continue
+        # shard-local ids of this shard's boundary vertices
+        local_of = np.full(n, -1, dtype=np.int64)
+        local_of[verts] = np.arange(len(verts), dtype=np.int64)
+        boundary = overlay_vertices[labels[overlay_vertices] == s]
+        if len(boundary) < 2:
+            continue
+        b_local = local_of[boundary]
+        solver = PreprocessedSSSP.from_preprocessed(pre)
+        rows = solver.solve_many(b_local, n_jobs=n_jobs)
+        b_ov = ov_index[boundary]
+        for i, res in enumerate(rows):
+            d = res.dist[b_local]
+            ok = np.isfinite(d)
+            ok[i] = False  # no self loops
+            us.append(np.full(int(ok.sum()), b_ov[i], dtype=np.int64))
+            vs.append(b_ov[ok])
+            ws.append(d[ok])
+    overlay = from_arc_arrays(
+        len(overlay_vertices),
+        np.concatenate(us) if us else np.empty(0, dtype=np.int64),
+        np.concatenate(vs) if vs else np.empty(0, dtype=np.int64),
+        np.concatenate(ws) if ws else np.empty(0, dtype=np.float64),
+        symmetrize=True,
+        validate=False,
+    )
+    return overlay, overlay_vertices

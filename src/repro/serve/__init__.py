@@ -1,11 +1,13 @@
-"""Query-serving subsystem: persist, share, cache, serve.
+"""Query-serving subsystem: persist, share, cache, serve — sharded or not.
 
 The paper's operating model — preprocess once, query many (§5.4) —
-becomes a production serving story in four cooperating parts:
+becomes a production serving story in cooperating parts:
 
 * :mod:`~repro.serve.artifacts` — the (k,ρ)-preprocessing persisted as
   a versioned, checksummed ``.npz`` bundle; a server warm-starts in
-  milliseconds instead of re-running ``build_kr_graph``.
+  milliseconds instead of re-running ``build_kr_graph``.  Sharded
+  preprocessing persists as a manifest-checksummed bundle *directory*
+  of per-shard artifacts plus the boundary overlay.
 * :mod:`~repro.serve.shm` — batch results written straight into a
   ``multiprocessing.shared_memory`` distance matrix
   (:class:`DistanceMatrix`), bit-identical to the pickled
@@ -16,24 +18,34 @@ becomes a production serving story in four cooperating parts:
   point-to-point / k-nearest batches onto one fan-out — thread-safe
   via striped locks and single-flight in-flight solve tracking, so a
   threaded front end drives one planner from every worker thread.
+* :mod:`~repro.serve.surface` — :class:`QuerySurface`, the protocol
+  every front end is constructed against.
 * :mod:`~repro.serve.service` — :class:`RoutingService`, the
-  synchronous facade tying it all together (see
+  synchronous single-graph facade (see
   ``examples/routing_service.py``).
+* :mod:`~repro.serve.router` — :class:`ShardRouter`, the sharded
+  implementation of the same surface: one planner per shard, exact
+  cross-shard stitching through the boundary overlay, bit-identical
+  answers (see ``examples/sharded_service.py``).
 * :mod:`~repro.serve.http` — :class:`RoutingHTTPServer`, a
-  stdlib-only threaded JSON front end over one service (see
+  stdlib-only threaded JSON front end over any query surface (see
   ``examples/http_routing_service.py``).
 """
 
 from .artifacts import (
     ARTIFACT_FORMAT,
     ARTIFACT_VERSION,
+    SHARDED_ARTIFACT_FORMAT,
+    SHARDED_ARTIFACT_VERSION,
     ArtifactCorruptError,
     ArtifactError,
     ArtifactGraphMismatchError,
     ArtifactVersionError,
     load_artifact,
+    load_sharded_artifact,
     load_solver,
     save_artifact,
+    save_sharded_artifact,
 )
 from .http import RoutingHTTPServer, serve
 from .planner import (
@@ -43,13 +55,19 @@ from .planner import (
     QueryPlanner,
     Route,
     SingleSource,
+    nearest_from_row,
+    normalize_query,
 )
+from .router import ShardRouter
 from .service import RoutingService
 from .shm import DistanceMatrix, solve_many_shm
+from .surface import QuerySurface
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
+    "SHARDED_ARTIFACT_FORMAT",
+    "SHARDED_ARTIFACT_VERSION",
     "ArtifactCorruptError",
     "ArtifactError",
     "ArtifactGraphMismatchError",
@@ -59,13 +77,19 @@ __all__ = [
     "Nearest",
     "PointToPoint",
     "QueryPlanner",
+    "QuerySurface",
     "Route",
     "RoutingHTTPServer",
     "RoutingService",
+    "ShardRouter",
     "SingleSource",
     "load_artifact",
+    "load_sharded_artifact",
     "load_solver",
+    "nearest_from_row",
+    "normalize_query",
     "save_artifact",
+    "save_sharded_artifact",
     "serve",
     "solve_many_shm",
 ]

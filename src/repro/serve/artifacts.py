@@ -38,6 +38,7 @@ graph's arrays are read-only memmap views the solvers use in place.
 from __future__ import annotations
 
 import hashlib
+import json
 import zipfile
 from pathlib import Path
 
@@ -45,11 +46,13 @@ import numpy as np
 
 from ..core.solver import PreprocessedSSSP
 from ..graphs.csr import CSRGraph
-from ..preprocess.pipeline import PreprocessResult
+from ..preprocess.pipeline import PreprocessResult, ShardedPreprocessResult
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
+    "SHARDED_ARTIFACT_FORMAT",
+    "SHARDED_ARTIFACT_VERSION",
     "ArtifactError",
     "ArtifactCorruptError",
     "ArtifactVersionError",
@@ -57,6 +60,8 @@ __all__ = [
     "save_artifact",
     "load_artifact",
     "load_solver",
+    "save_sharded_artifact",
+    "load_sharded_artifact",
 ]
 
 #: magic string identifying a bundle as ours (first field checked on load).
@@ -452,3 +457,264 @@ def load_solver(
     """
     pre = load_artifact(path, expect_graph=expect_graph, mmap=mmap)
     return PreprocessedSSSP.from_preprocessed(pre, input_graph=expect_graph)
+
+
+# --------------------------------------------------------------------- #
+# Sharded bundles — a directory of per-shard artifacts plus the overlay
+# --------------------------------------------------------------------- #
+#: magic string in a sharded bundle's manifest.
+SHARDED_ARTIFACT_FORMAT = "repro-kr-sharded"
+
+#: sharded bundle schema version written by this build.
+SHARDED_ARTIFACT_VERSION = 1
+
+#: filename of the checksummed manifest at the bundle root.
+_MANIFEST_NAME = "manifest.json"
+
+
+def _file_hash(path: Path) -> str:
+    """Streaming blake2b over a member file's bytes."""
+    h = hashlib.blake2b(digest_size=16)
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _manifest_hash(manifest: dict) -> str:
+    """Digest over the manifest's canonical JSON (sans the hash field),
+    so a hand-edited member list or metadata field is detected even
+    though every *member* also carries its own file hash."""
+    doc = {k: v for k, v in manifest.items() if k != "manifest_hash"}
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def save_sharded_artifact(path: str | Path, sharded: ShardedPreprocessResult) -> Path:
+    """Persist a :class:`ShardedPreprocessResult` as a bundle directory.
+
+    Layout::
+
+        path/
+          manifest.json    format, version, partition + (k,ρ) metadata,
+                           and a blake2b file hash for every member
+                           (the manifest itself carries its own digest)
+          shard_0000.npz   one complete v3 artifact per shard
+          ...              (:func:`save_artifact` — internal checksums
+                           and mmap support come along for free)
+          overlay.npz      the boundary-overlay CSR
+          topology.npz     shard labels + overlay vertex ids
+
+    ``shard_vertices`` is not stored: the labels array reproduces it
+    exactly (``np.flatnonzero(labels == s)`` is the sorted-ascending
+    :func:`~repro.graphs.build.induced_subgraph` convention the shards
+    were built with).  Returns the bundle directory path.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    members: dict[str, str] = {}
+    for s, pre in enumerate(sharded.shards):
+        name = f"shard_{s:04d}.npz"
+        save_artifact(path / name, pre)
+        members[name] = _file_hash(path / name)
+    overlay = sharded.overlay_graph
+    with open(path / "overlay.npz", "wb") as fh:
+        np.savez(
+            fh,
+            indptr=overlay.indptr,
+            indices=overlay.indices,
+            weights=overlay.weights,
+        )
+    members["overlay.npz"] = _file_hash(path / "overlay.npz")
+    with open(path / "topology.npz", "wb") as fh:
+        np.savez(
+            fh,
+            labels=np.ascontiguousarray(sharded.labels, dtype=np.int64),
+            overlay_vertices=np.ascontiguousarray(
+                sharded.overlay_vertices, dtype=np.int64
+            ),
+        )
+    members["topology.npz"] = _file_hash(path / "topology.npz")
+    manifest = {
+        "format": SHARDED_ARTIFACT_FORMAT,
+        "version": SHARDED_ARTIFACT_VERSION,
+        "n": int(sharded.n),
+        "n_shards": int(sharded.n_shards),
+        "partition_method": str(sharded.partition_method),
+        "partition_seed": int(sharded.partition_seed),
+        "edge_cut": int(sharded.edge_cut),
+        "balance": float(sharded.balance),
+        "k": int(sharded.k),
+        "rho": int(sharded.rho),
+        "heuristic": str(sharded.heuristic),
+        "source_hash": str(sharded.source_hash),
+        "members": members,
+    }
+    manifest["manifest_hash"] = _manifest_hash(manifest)
+    (path / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def _load_npz_member(path: Path, fields: tuple[str, ...]) -> dict[str, np.ndarray]:
+    """Eagerly read the named arrays of a small bundle member."""
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            missing = [f for f in fields if f not in npz.files]
+            if missing:
+                raise ArtifactCorruptError(
+                    f"{path} is missing required fields: {', '.join(missing)}"
+                )
+            return {f: npz[f] for f in fields}
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        raise ArtifactCorruptError(
+            f"bundle member {path} is unreadable (corrupt or truncated): {exc}"
+        ) from exc
+
+
+def load_sharded_artifact(
+    path: str | Path,
+    *,
+    expect_graph: CSRGraph | None = None,
+    mmap: bool = False,
+) -> ShardedPreprocessResult:
+    """Restore a bundle written by :func:`save_sharded_artifact`.
+
+    Integrity is verified end to end before anything is trusted: the
+    manifest's own digest, then every member file's blake2b hash against
+    the manifest (so corruption of *any* member — a shard, the overlay,
+    the topology — raises :class:`ArtifactCorruptError`), then each
+    shard artifact's internal payload checksum via :func:`load_artifact`.
+    ``expect_graph`` pins the bundle to the *input* graph's content hash
+    (:class:`ArtifactGraphMismatchError` on mismatch); ``mmap=True``
+    keeps every shard's augmented CSR memory-mapped off its member file.
+    """
+    path = Path(path)
+    manifest_path = path / _MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no sharded artifact manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise ArtifactCorruptError(
+            f"{manifest_path} is not readable JSON: {exc}"
+        ) from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != SHARDED_ARTIFACT_FORMAT:
+        raise ArtifactCorruptError(
+            f"{manifest_path} is not a {SHARDED_ARTIFACT_FORMAT} manifest"
+        )
+    version = manifest.get("version")
+    if version != SHARDED_ARTIFACT_VERSION:
+        raise ArtifactVersionError(
+            f"{path} has sharded-bundle version {version!r}; this build "
+            f"reads version {SHARDED_ARTIFACT_VERSION} — re-run "
+            "preprocessing to regenerate"
+        )
+    required = (
+        "n",
+        "n_shards",
+        "partition_method",
+        "partition_seed",
+        "edge_cut",
+        "balance",
+        "k",
+        "rho",
+        "heuristic",
+        "source_hash",
+        "members",
+        "manifest_hash",
+    )
+    missing = [f for f in required if f not in manifest]
+    if missing:
+        raise ArtifactCorruptError(
+            f"{manifest_path} is missing required fields: {', '.join(missing)}"
+        )
+    if _manifest_hash(manifest) != manifest["manifest_hash"]:
+        raise ArtifactCorruptError(
+            f"{manifest_path} failed its manifest checksum — the member "
+            "list or metadata was altered after the bundle was written"
+        )
+    if expect_graph is not None:
+        expected = expect_graph.content_hash()
+        if manifest["source_hash"] != expected:
+            raise ArtifactGraphMismatchError(
+                f"{path} was preprocessed from a different graph "
+                f"(bundle source hash {manifest['source_hash'] or '<unrecorded>'}, "
+                f"serving graph hash {expected})"
+            )
+    members = manifest["members"]
+    n_shards = int(manifest["n_shards"])
+    shard_names = [f"shard_{s:04d}.npz" for s in range(n_shards)]
+    expected_members = set(shard_names) | {"overlay.npz", "topology.npz"}
+    if set(members) != expected_members:
+        raise ArtifactCorruptError(
+            f"{manifest_path} lists members {sorted(members)}, expected "
+            f"{sorted(expected_members)}"
+        )
+    for name, digest in members.items():
+        member = path / name
+        if not member.exists():
+            raise ArtifactCorruptError(f"{path} is missing member {name}")
+        if _file_hash(member) != digest:
+            raise ArtifactCorruptError(
+                f"bundle member {member} failed its checksum — the file "
+                "was altered after the bundle was written"
+            )
+    topo = _load_npz_member(path / "topology.npz", ("labels", "overlay_vertices"))
+    labels = np.ascontiguousarray(topo["labels"], dtype=np.int64)
+    overlay_vertices = np.ascontiguousarray(
+        topo["overlay_vertices"], dtype=np.int64
+    )
+    n = int(manifest["n"])
+    if labels.shape != (n,) or (n and (labels.min() < 0 or labels.max() >= n_shards)):
+        raise ArtifactCorruptError(
+            f"{path} holds shard labels inconsistent with its manifest"
+        )
+    if len(overlay_vertices) and (
+        overlay_vertices.min() < 0
+        or overlay_vertices.max() >= n
+        or np.any(np.diff(overlay_vertices) <= 0)
+    ):
+        raise ArtifactCorruptError(
+            f"{path} holds an invalid overlay vertex list"
+        )
+    ov = _load_npz_member(path / "overlay.npz", ("indptr", "indices", "weights"))
+    indptr, indices, weights = ov["indptr"], ov["indices"], ov["weights"]
+    if (
+        indptr.ndim != 1
+        or len(indptr) != len(overlay_vertices) + 1
+        or indptr[0] != 0
+        or indptr[-1] != len(indices)
+        or len(indices) != len(weights)
+        or np.any(np.diff(indptr) < 0)
+    ):
+        raise ArtifactCorruptError(
+            f"{path} holds inconsistent overlay CSR arrays"
+        )
+    overlay_graph = CSRGraph(indptr, indices, weights, validate=False)
+    shards = []
+    shard_vertices = []
+    for s, name in enumerate(shard_names):
+        pre = load_artifact(path / name, mmap=mmap)
+        verts = np.flatnonzero(labels == s)
+        if pre.graph.n != len(verts):
+            raise ArtifactCorruptError(
+                f"bundle member {name} holds {pre.graph.n} vertices but the "
+                f"labels assign {len(verts)} to shard {s}"
+            )
+        shards.append(pre)
+        shard_vertices.append(verts)
+    return ShardedPreprocessResult(
+        shards=shards,
+        shard_vertices=shard_vertices,
+        labels=labels,
+        overlay_graph=overlay_graph,
+        overlay_vertices=overlay_vertices,
+        partition_method=str(manifest["partition_method"]),
+        partition_seed=int(manifest["partition_seed"]),
+        edge_cut=int(manifest["edge_cut"]),
+        balance=float(manifest["balance"]),
+        k=int(manifest["k"]),
+        rho=int(manifest["rho"]),
+        heuristic=str(manifest["heuristic"]),
+        source_hash=str(manifest["source_hash"]),
+    )

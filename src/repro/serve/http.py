@@ -1,22 +1,28 @@
-"""HTTP front end — the network face of :class:`RoutingService`.
+"""HTTP front end — the network face of any query surface.
 
-A stdlib-only JSON API over the serving stack: a
+A stdlib-only JSON API over the serving stack.  The server is
+constructed against the :class:`~repro.serve.surface.QuerySurface`
+protocol, not a concrete class, so the single-graph
+:class:`~repro.serve.service.RoutingService` and the sharded
+:class:`~repro.serve.router.ShardRouter` are interchangeable behind the
+same endpoints — sharded serving is a drop-in.  A
 :class:`~http.server.ThreadingHTTPServer` dispatches each request on
-its own thread straight into the thread-safe
-:class:`~repro.serve.planner.QueryPlanner` (striped cache, single-flight
-solves), so concurrent clients share cached rows and coalesce duplicate
-misses exactly like in-process callers.  No framework, no dependencies —
-the container this repo targets has only the scientific stack.
+its own thread straight into the thread-safe surface (striped caches,
+single-flight solves underneath), so concurrent clients share cached
+rows and coalesce duplicate misses exactly like in-process callers.  No
+framework, no dependencies — the container this repo targets has only
+the scientific stack.
 
 Endpoints
 ---------
 ===========================  ====================================================
-``GET /healthz``             liveness probe → ``{"status": "ok"}``
-``GET /stats``               planner + preprocessing counters (JSON),
-                             including the resolved ``engine`` every
-                             query dispatches to, the artifact's
-                             calibrated ``preferred_engine``, and the
-                             ``engines`` registry with descriptions
+``GET /healthz``             liveness probe → ``{"status": "ok", "shards": N,
+                             "artifact_version": V}`` (a single-graph
+                             service reports ``shards: 1``)
+``GET /stats``               surface counters + topology (JSON): the
+                             resolved ``engine``, shard count, per-shard
+                             vertex/boundary counts, and (single-graph)
+                             the ``engines`` registry with descriptions
 ``GET /distances/{s}``       full distance row from ``s`` (``null`` = unreachable)
 ``GET /route/{s}/{t}``       distance and (when tracked) path ``s → t``
 ``GET /nearest/{s}/{k}``     the ``k`` closest reachable vertices to ``s``
@@ -60,7 +66,7 @@ from urllib.parse import urlparse
 import numpy as np
 
 from .planner import KNearest, Nearest, PointToPoint, Route, SingleSource
-from .service import RoutingService
+from .surface import QuerySurface
 
 __all__ = ["RoutingHTTPServer", "serve"]
 
@@ -263,7 +269,7 @@ class _Handler(BaseHTTPRequestHandler):
                 ],
             }
         if parts == ["healthz"]:
-            return {"status": "ok"}
+            return service.healthz()
         if parts == ["stats"]:
             return service.stats()
         if parts[0] == "distances" and len(parts) == 2:
@@ -279,7 +285,7 @@ class _Handler(BaseHTTPRequestHandler):
             return _nearest_payload(service.nearest(source, k), k)
         raise _HTTPError(404, f"no GET endpoint at {self.path!r}")
 
-    def _batch(self, service: RoutingService):
+    def _batch(self, service: QuerySurface):
         length = self.headers.get("Content-Length")
         if length is None or not _INT_RE.match(length):
             raise _HTTPError(411, "POST /batch requires a Content-Length header")
@@ -312,10 +318,13 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class RoutingHTTPServer(ThreadingHTTPServer):
-    """Threaded JSON front end over one :class:`RoutingService`.
+    """Threaded JSON front end over one query surface
+    (:class:`~repro.serve.service.RoutingService`,
+    :class:`~repro.serve.router.ShardRouter`, or anything else
+    implementing :class:`~repro.serve.surface.QuerySurface`).
 
     Each connection is handled on its own thread; all of them funnel
-    into the same planner, whose striped cache and single-flight table
+    into the same surface, whose striped caches and single-flight tables
     make that safe (and fast — see ``benchmarks/bench_serving.py``).
 
     Use as a context manager for the full lifecycle, or call
@@ -339,13 +348,19 @@ class RoutingHTTPServer(ThreadingHTTPServer):
 
     def __init__(
         self,
-        service: RoutingService,
+        service: QuerySurface,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
         request_timeout: float = 10.0,
     ) -> None:
+        if not isinstance(service, QuerySurface):
+            raise TypeError(
+                f"{type(service).__name__} does not implement the "
+                "QuerySurface protocol (distances/route/nearest/batch/"
+                "warm/stats/healthz)"
+            )
         super().__init__((host, port), _Handler)
         self.service = service
         self.verbose = verbose
@@ -393,7 +408,7 @@ class RoutingHTTPServer(ThreadingHTTPServer):
 
 
 def serve(
-    service: RoutingService,
+    service: QuerySurface,
     *,
     host: str = "127.0.0.1",
     port: int = 0,

@@ -67,6 +67,9 @@ __all__ = [
     "Route",
     "Nearest",
     "QueryPlanner",
+    "coerce_vertex",
+    "nearest_from_row",
+    "normalize_query",
 ]
 
 
@@ -173,7 +176,7 @@ class _InFlight:
         self.error: BaseException | None = None
 
 
-def _coerce_vertex(value, what: str) -> int:
+def coerce_vertex(value, what: str) -> int:
     """Strict vertex-id coercion for the serving API.
 
     ``bool`` is an ``int`` subclass, so ``True`` would silently become
@@ -189,9 +192,12 @@ def _coerce_vertex(value, what: str) -> int:
     return int(value)
 
 
-def _normalize(query) -> SingleSource | PointToPoint | KNearest:
+def normalize_query(query) -> SingleSource | PointToPoint | KNearest:
     """Accept ergonomic shorthands: ``int`` → single-source,
-    ``(s, t)`` → point-to-point.  Bools are rejected, not coerced."""
+    ``(s, t)`` → point-to-point.  Bools are rejected, not coerced.
+
+    Public so every :class:`~repro.serve.surface.QuerySurface`
+    implementation normalizes batches identically."""
     if isinstance(query, (SingleSource, PointToPoint, KNearest)):
         return query
     if isinstance(query, (bool, np.bool_)):
@@ -203,12 +209,37 @@ def _normalize(query) -> SingleSource | PointToPoint | KNearest:
         return SingleSource(int(query))
     if isinstance(query, tuple) and len(query) == 2:
         return PointToPoint(
-            _coerce_vertex(query[0], "source"), _coerce_vertex(query[1], "target")
+            coerce_vertex(query[0], "source"), coerce_vertex(query[1], "target")
         )
     raise TypeError(
         f"unsupported query {query!r}; expected SingleSource / PointToPoint "
         "/ KNearest, an int source, or an (s, t) pair"
     )
+
+
+def nearest_from_row(source: int, dist: np.ndarray, k: int) -> Nearest:
+    """The k-nearest answer from a full distance row.
+
+    Shared by :class:`QueryPlanner` and the shard router so both
+    surfaces produce bit-identical answers — same candidate filter
+    (reachable, source excluded), same deterministic
+    ``(distance, vertex)`` tie order, same argpartition bound.
+    """
+    # candidates: reachable vertices other than the source — an
+    # unreachable vertex must never be presented as "nearest"
+    others = np.nonzero(np.isfinite(dist))[0]
+    others = others[others != source]
+    k = min(k, len(others))
+    if k <= 0:
+        empty = np.empty(0, dtype=np.int64)
+        return Nearest(source, empty, np.empty(0))
+    d = dist[others]
+    # deterministic (distance, vertex) order; argpartition bounds the
+    # sort to the k winners instead of all n
+    part = np.argpartition(d, k - 1)[:k] if k < len(others) else np.arange(len(others))
+    order = np.lexsort((others[part], d[part]))
+    take = part[order]
+    return Nearest(source, others[take], d[take])
 
 
 class QueryPlanner:
@@ -453,26 +484,7 @@ class QueryPlanner:
                 path=self._path(row, query.source, query.target),
             )
         row = rows[query.source]
-        dist = row.dist
-        # candidates: reachable vertices other than the source — an
-        # unreachable vertex must never be presented as "nearest"
-        others = np.nonzero(np.isfinite(dist))[0]
-        others = others[others != query.source]
-        k = min(query.k, len(others))
-        if k <= 0:
-            empty = np.empty(0, dtype=np.int64)
-            return Nearest(query.source, empty, np.empty(0))
-        d = dist[others]
-        # deterministic (distance, vertex) order; argpartition bounds the
-        # sort to the k winners instead of all n
-        part = (
-            np.argpartition(d, k - 1)[:k]
-            if k < len(others)
-            else np.arange(len(others))
-        )
-        order = np.lexsort((others[part], d[part]))
-        take = part[order]
-        return Nearest(query.source, others[take], d[take])
+        return nearest_from_row(query.source, row.dist, query.k)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -482,7 +494,7 @@ class QueryPlanner:
         accept a negative index and silently serve the answer for vertex
         ``n + v``, and ``bool`` would silently mean vertex 0/1 —
         unacceptable from a serving API."""
-        v = _coerce_vertex(v, what)
+        v = coerce_vertex(v, what)
         if not 0 <= v < self._solver.graph.n:
             raise ValueError(
                 f"{what} {v} out of range for a graph with "
@@ -504,7 +516,7 @@ class QueryPlanner:
     def execute(self, queries: Sequence) -> list:
         """Answer a mixed batch: one coalesced solve for all cache
         misses, answers in input order."""
-        normalized = [_normalize(q) for q in queries]
+        normalized = [normalize_query(q) for q in queries]
         for q in normalized:
             self._validate(q)
         rows = self._fetch_rows(q.source for q in normalized)

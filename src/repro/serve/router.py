@@ -1,0 +1,594 @@
+"""`ShardRouter` — exact cross-shard query serving.
+
+The sharded counterpart of :class:`~repro.serve.service.RoutingService`:
+one :class:`~repro.serve.planner.QueryPlanner` per shard plus the
+boundary overlay of :func:`~repro.preprocess.build_sharded_kr_graph`,
+behind the same :class:`~repro.serve.surface.QuerySurface` — so the
+HTTP front end (or any embedder typed against the surface) cannot tell
+the difference, and neither can clients: answers are **bit-identical**
+to the unsharded service on integer-weighted graphs.
+
+How a query from source ``s`` (shard ``A``) is answered exactly:
+
+1. ``rowA`` — shard ``A``'s planner solves ``s`` on its own augmented
+   (k,ρ)-graph.  For every vertex of ``A`` reached without leaving the
+   shard, this is already the true distance (an induced subgraph keeps
+   every arc among its vertices).
+2. **Overlay solve** — append a virtual source to the overlay,
+   connected to each boundary vertex ``b ∈ ∂A`` with weight
+   ``rowA[b]``, and run one Dijkstra from it.  Because overlay arcs are
+   original cut edges plus exact within-shard boundary distances, the
+   result ``ov_dist[b]`` is the true full-graph distance ``d(s, b)``
+   for *every* boundary vertex of every shard: any shortest path
+   decomposes into maximal intra-shard segments joined by cut edges,
+   and each piece is an overlay arc (or the virtual seed).
+3. **Stitch** — for each shard ``C`` and each of its boundary vertices
+   ``b``, fold ``ov_dist[b] + d_C(b, ·)`` into the full row with a
+   min-scatter, using shard ``C``'s planner row from ``b`` (these
+   boundary rows are the hot working set the per-shard LRU caches
+   across queries).  Folding ``C = A`` too covers re-entrant paths that
+   leave the source shard and come back.
+
+Every candidate distance is a float sum of input weights; on integer
+weights (< 2⁵³) such sums are exact, the candidate set contains the
+true distance, and all candidates dominate it — so the stitched min is
+the exact metric, bit for bit what the unsharded planner computes.
+Routes are stitched the same way: source-shard path → overlay parent
+chain → target-shard path, with composite hops whose weights are exact
+input-graph distances (the same contract as
+:class:`~repro.serve.planner.Route` on the augmented graph).
+
+Concurrency: per-shard planners are thread-safe, and the router's own
+stitched-row LRU is lock-protected (probe/insert only — never held
+across a solve).  Two threads missing the same source may both stitch,
+but the expensive per-shard solves underneath are deduplicated by each
+planner's single-flight table, and both stitched rows are identical.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.dijkstra import dijkstra
+from ..core.solver import PreprocessedSSSP
+from ..graphs.build import from_arc_arrays
+from ..graphs.csr import CSRGraph
+from ..preprocess.pipeline import ShardedPreprocessResult, build_sharded_kr_graph
+from .artifacts import (
+    SHARDED_ARTIFACT_VERSION,
+    load_sharded_artifact,
+    save_sharded_artifact,
+)
+from .planner import (
+    KNearest,
+    Nearest,
+    PointToPoint,
+    QueryPlanner,
+    Route,
+    SingleSource,
+    coerce_vertex,
+    nearest_from_row,
+    normalize_query,
+)
+
+__all__ = ["ShardRouter"]
+
+
+class _Stitched:
+    """One cached stitched row: the full read-only distance row plus the
+    overlay solve it was stitched from (kept for route reconstruction)."""
+
+    __slots__ = ("dist", "ov_dist", "ov_parent")
+
+    def __init__(
+        self,
+        dist: np.ndarray,
+        ov_dist: np.ndarray,
+        ov_parent: np.ndarray | None,
+    ) -> None:
+        dist.setflags(write=False)
+        ov_dist.setflags(write=False)
+        self.dist = dist
+        self.ov_dist = ov_dist
+        self.ov_parent = ov_parent
+
+
+class ShardRouter:
+    """Shard-routed implementation of the serving query surface.
+
+    Parameters
+    ----------
+    graph: input graph — sharded-preprocessed on a cold start (ignored
+        when ``sharded`` is given).
+    sharded: an existing :class:`ShardedPreprocessResult` to serve
+        (e.g. from :func:`repro.serve.artifacts.load_sharded_artifact`).
+    n_shards, partition, partition_seed: forwarded to
+        :func:`~repro.preprocess.build_sharded_kr_graph` on a cold
+        start (``n_shards`` is required then).
+    k, rho, heuristic, preprocess_jobs: per-shard preprocessing knobs.
+    engine: engine selector for every per-shard planner.
+    cache_capacity: LRU size for the router's stitched full rows *and*
+        each shard planner's row cache (the planners' hot entries are
+        the boundary rows stitching re-reads on every query).
+    cache_stripes: lock stripes per shard planner.
+    track_parents: record predecessors so :meth:`route` returns stitched
+        paths.
+    query_jobs: worker processes for each planner's coalesced solves.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph | None = None,
+        *,
+        sharded: ShardedPreprocessResult | None = None,
+        n_shards: int | None = None,
+        partition: str = "contiguous",
+        partition_seed: int = 0,
+        k: int = 2,
+        rho: int = 32,
+        heuristic: str = "dp",
+        engine: str = "auto",
+        cache_capacity: int = 256,
+        cache_stripes: int = 8,
+        track_parents: bool = True,
+        preprocess_jobs: int = 1,
+        query_jobs: int = 1,
+    ) -> None:
+        if sharded is None:
+            if graph is None:
+                raise ValueError("provide either a graph or a sharded result")
+            if n_shards is None:
+                raise ValueError("n_shards is required for a cold start")
+            sharded = build_sharded_kr_graph(
+                graph,
+                k,
+                rho,
+                n_shards=n_shards,
+                partition=partition,
+                partition_seed=partition_seed,
+                heuristic=heuristic,
+                n_jobs=preprocess_jobs,
+            )
+        self._sharded = sharded
+        self._labels = sharded.labels
+        self._n = sharded.n
+        self._shard_vertices = sharded.shard_vertices
+        self._track_parents = track_parents
+        # local[v] = shard-local id of original vertex v
+        self._local = np.full(self._n, -1, dtype=np.int64)
+        for verts in sharded.shard_vertices:
+            self._local[verts] = np.arange(len(verts), dtype=np.int64)
+        # one solver + planner per non-empty shard (an empty shard can
+        # never own a query vertex, so it gets no planner)
+        self._solvers: list[PreprocessedSSSP | None] = []
+        self._planners: list[QueryPlanner | None] = []
+        for s, pre in enumerate(sharded.shards):
+            if len(sharded.shard_vertices[s]) == 0:
+                self._solvers.append(None)
+                self._planners.append(None)
+                continue
+            solver = PreprocessedSSSP.from_preprocessed(pre)
+            self._solvers.append(solver)
+            self._planners.append(
+                QueryPlanner(
+                    solver,
+                    engine=engine,
+                    capacity=cache_capacity,
+                    track_parents=track_parents,
+                    n_jobs=query_jobs,
+                    stripes=cache_stripes,
+                )
+            )
+        # overlay bookkeeping: boundary vertices per shard, in both
+        # overlay-local and shard-local ids (ascending original id)
+        ovv = sharded.overlay_vertices
+        self._ov_vertices = ovv
+        self._overlay = sharded.overlay_graph
+        self._n_ov = len(ovv)
+        self._ov_tails = np.repeat(
+            np.arange(self._n_ov, dtype=np.int64), self._overlay.degrees()
+        )
+        self._boundary_ov = [
+            np.flatnonzero(self._labels[ovv] == s) if self._n_ov else ovv
+            for s in range(sharded.n_shards)
+        ]
+        self._boundary_local = [self._local[ovv[b]] for b in self._boundary_ov]
+        # stitched full-row LRU (single lock: held for probe/insert only)
+        self._capacity = int(cache_capacity)
+        self._cache: OrderedDict[int, _Stitched] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        self._lookups = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction / persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_artifact(
+        cls,
+        path: str | Path,
+        *,
+        expect_graph: CSRGraph | None = None,
+        mmap: bool = False,
+        **kwargs,
+    ) -> "ShardRouter":
+        """Warm start from a sharded bundle directory.
+
+        Mirrors :meth:`RoutingService.from_artifact`: the bundle *is*
+        the preprocessing (partition included), so partitioning and
+        preprocessing knobs are rejected; remaining keyword arguments
+        are the serving knobs of the constructor.  ``mmap=True`` keeps
+        every shard's augmented CSR memory-mapped off its member file.
+        """
+        baked = {
+            "graph",
+            "sharded",
+            "n_shards",
+            "partition",
+            "partition_seed",
+            "k",
+            "rho",
+            "heuristic",
+            "preprocess_jobs",
+        }
+        rejected = baked & kwargs.keys()
+        if rejected:
+            raise TypeError(
+                f"from_artifact does not accept {sorted(rejected)}: the "
+                "bundle fixes the partition and preprocessing; rebuild "
+                "with ShardRouter(graph, ...) to change them"
+            )
+        sharded = load_sharded_artifact(path, expect_graph=expect_graph, mmap=mmap)
+        return cls(sharded=sharded, **kwargs)
+
+    def save_artifact(self, path: str | Path) -> Path:
+        """Persist the sharded preprocessing as a bundle directory."""
+        return save_sharded_artifact(path, self._sharded)
+
+    # ------------------------------------------------------------------ #
+    # Stitching core
+    # ------------------------------------------------------------------ #
+    def _virtual_solve(self, seeds_ov: np.ndarray, seed_dist: np.ndarray):
+        """One Dijkstra from a virtual source appended to the overlay,
+        wired to the source shard's boundary at the rowA distances."""
+        n_ov = self._n_ov
+        us = np.concatenate(
+            [self._ov_tails, np.full(len(seeds_ov), n_ov, dtype=np.int64)]
+        )
+        vs = np.concatenate([self._overlay.indices, seeds_ov])
+        ws = np.concatenate([self._overlay.weights, seed_dist])
+        virt = from_arc_arrays(n_ov + 1, us, vs, ws, symmetrize=True, validate=False)
+        return dijkstra(virt, n_ov, track_parents=self._track_parents)
+
+    def _stitch(self, source: int) -> _Stitched:
+        shard_a = int(self._labels[source])
+        planner_a = self._planners[shard_a]
+        row_a = planner_a.distances(int(self._local[source]))
+        dist = np.full(self._n, np.inf)
+        dist[self._shard_vertices[shard_a]] = row_a
+        ov_dist = np.full(self._n_ov, np.inf)
+        ov_parent: np.ndarray | None = None
+        seeds_ov = self._boundary_ov[shard_a]
+        seed_dist = row_a[self._boundary_local[shard_a]]
+        finite = np.isfinite(seed_dist)
+        if self._n_ov and finite.any():
+            res = self._virtual_solve(seeds_ov[finite], seed_dist[finite])
+            ov_dist = res.dist[: self._n_ov]
+            ov_parent = res.parent
+            for shard_c in range(self._sharded.n_shards):
+                b_ov = self._boundary_ov[shard_c]
+                if len(b_ov) == 0:
+                    continue
+                d_b = ov_dist[b_ov]
+                ok = np.isfinite(d_b)
+                if not ok.any():
+                    continue
+                planner_c = self._planners[shard_c]
+                verts = self._shard_vertices[shard_c]
+                best = dist[verts]
+                for local_b, db in zip(self._boundary_local[shard_c][ok], d_b[ok]):
+                    row_c = planner_c.distances(int(local_b))
+                    np.minimum(best, db + row_c, out=best)
+                dist[verts] = best
+        return _Stitched(dist, ov_dist, ov_parent)
+
+    def _stitched(self, source: int) -> _Stitched:
+        source = int(source)
+        with self._cache_lock:
+            self._lookups += 1
+            entry = self._cache.get(source)
+            if entry is not None:
+                self._cache.move_to_end(source)
+                self._hits += 1
+                return entry
+            self._misses += 1
+        entry = self._stitch(source)
+        if self._capacity > 0:
+            with self._cache_lock:
+                self._cache[source] = entry
+                self._cache.move_to_end(source)
+                while len(self._cache) > self._capacity:
+                    self._cache.popitem(last=False)
+                    self._evictions += 1
+        return entry
+
+    # ------------------------------------------------------------------ #
+    # Route stitching
+    # ------------------------------------------------------------------ #
+    def _translate(self, shard: int, path) -> list[int] | None:
+        if path is None:
+            return None
+        verts = self._shard_vertices[shard]
+        return [int(verts[v]) for v in path]
+
+    def _route_path(
+        self, source: int, target: int, st: _Stitched, distance: float
+    ) -> tuple[int, ...] | None:
+        shard_a = int(self._labels[source])
+        shard_b = int(self._labels[target])
+        local_t = int(self._local[target])
+        if shard_b == shard_a:
+            # prefer the pure intra-shard path when it realizes the
+            # exact stitched distance (it usually does)
+            direct = self._planners[shard_a].route(
+                int(self._local[source]), local_t
+            )
+            if direct.path is not None and direct.distance == distance:
+                return tuple(self._translate(shard_a, direct.path))
+        if st.ov_parent is None:
+            return None
+        # entry point: the first boundary vertex of the target shard
+        # (ascending original id — deterministic) on an optimal path
+        entry = -1
+        for b_ov, local_b in zip(
+            self._boundary_ov[shard_b], self._boundary_local[shard_b]
+        ):
+            d_b = st.ov_dist[b_ov]
+            if not np.isfinite(d_b):
+                continue
+            row_b = self._planners[shard_b].distances(int(local_b))
+            if d_b + row_b[local_t] == distance:
+                entry = int(b_ov)
+                break
+        if entry < 0:
+            # only reachable on non-exactly-representable weights, where
+            # no boundary decomposition reproduces the min bit for bit
+            return None
+        # overlay parent chain: virtual source -> ... -> entry
+        chain: list[int] = []
+        at = entry
+        while at != self._n_ov:
+            chain.append(at)
+            at = int(st.ov_parent[at])
+        chain.reverse()
+        first = chain[0]  # boundary vertex of shard A the path exits at
+        seg_a = self._planners[shard_a].route(
+            int(self._local[source]), int(self._local[self._ov_vertices[first]])
+        )
+        if seg_a.path is None:
+            return None
+        path = self._translate(shard_a, seg_a.path)
+        # overlay hops are composite edges (cut arcs or within-shard
+        # distance arcs) — their endpoints are the stitch points
+        for b_ov in chain[1:]:
+            path.append(int(self._ov_vertices[b_ov]))
+        seg_b = self._planners[shard_b].route(
+            int(self._local[self._ov_vertices[entry]]), local_t
+        )
+        if seg_b.path is None:
+            return None
+        tail = self._translate(shard_b, seg_b.path)
+        if tail and path and tail[0] == path[-1]:
+            tail = tail[1:]
+        path.extend(tail)
+        return tuple(path)
+
+    # ------------------------------------------------------------------ #
+    # Validation (mirrors QueryPlanner exactly)
+    # ------------------------------------------------------------------ #
+    def _check_vertex(self, v, what: str) -> None:
+        v = coerce_vertex(v, what)
+        if not 0 <= v < self._n:
+            raise ValueError(
+                f"{what} {v} out of range for a graph with n={self._n} vertices"
+            )
+
+    def _validate(self, query) -> None:
+        self._check_vertex(query.source, "source")
+        if isinstance(query, PointToPoint):
+            self._check_vertex(query.target, "target")
+        elif isinstance(query, KNearest):
+            if isinstance(query.k, (bool, np.bool_)) or not isinstance(
+                query.k, (int, np.integer)
+            ):
+                raise TypeError(f"k must be an integer, got {query.k!r}")
+            if query.k < 0:
+                raise ValueError(f"k must be >= 0, got {query.k}")
+
+    # ------------------------------------------------------------------ #
+    # Query surface
+    # ------------------------------------------------------------------ #
+    def distances(self, source: int) -> np.ndarray:
+        """All input-graph distances from ``source`` (read-only row),
+        stitched source shard → overlay → every shard."""
+        self._check_vertex(source, "source")
+        return self._stitched(int(source)).dist
+
+    def route(self, source: int, target: int) -> Route:
+        """Exact distance ``source → target`` plus (when parents are
+        tracked) a stitched path whose hops are composite edges carrying
+        exact input-graph distances."""
+        self._check_vertex(source, "source")
+        self._check_vertex(target, "target")
+        source, target = int(source), int(target)
+        st = self._stitched(source)
+        distance = float(st.dist[target])
+        path: tuple[int, ...] | None = None
+        if self._track_parents and np.isfinite(distance):
+            path = self._route_path(source, target, st, distance)
+        return Route(source=source, target=target, distance=distance, path=path)
+
+    def nearest(self, source: int, k: int) -> Nearest:
+        """The ``k`` closest vertices to ``source``, graph-wide."""
+        query = KNearest(source, k)
+        self._validate(query)
+        return nearest_from_row(
+            int(source), self._stitched(int(source)).dist, int(k)
+        )
+
+    def batch(self, queries: Sequence) -> list:
+        """Mixed batch, answered in input order.  Queries sharing a
+        source share one stitched row (router LRU + per-shard planner
+        caches underneath)."""
+        normalized = [normalize_query(q) for q in queries]
+        for q in normalized:
+            self._validate(q)
+        answers = []
+        for q in normalized:
+            if isinstance(q, SingleSource):
+                answers.append(self._stitched(q.source).dist)
+            elif isinstance(q, PointToPoint):
+                answers.append(self.route(q.source, q.target))
+            else:
+                answers.append(
+                    nearest_from_row(
+                        int(q.source), self._stitched(q.source).dist, int(q.k)
+                    )
+                )
+        return answers
+
+    def warm(self, sources: Iterable[int]) -> None:
+        """Pre-stitch known-hot sources (and thereby pre-solve their
+        shards' boundary rows, the shared working set)."""
+        checked = []
+        for s in sources:
+            self._check_vertex(s, "source")
+            checked.append(int(s))
+        for s in checked:
+            self._stitched(s)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def sharded(self) -> ShardedPreprocessResult:
+        """The underlying sharded preprocessing."""
+        return self._sharded
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return self._sharded.n_shards
+
+    def shard_of(self, vertex: int) -> int:
+        """The shard a vertex lives in (input-graph ids)."""
+        self._check_vertex(vertex, "vertex")
+        return int(self._labels[int(vertex)])
+
+    def topology(self) -> dict:
+        """Shard topology: per-shard vertex/boundary counts, resolved
+        engines, and the overlay size."""
+        shards = []
+        for s in range(self.n_shards):
+            planner = self._planners[s]
+            shards.append(
+                {
+                    "shard": s,
+                    "vertices": int(len(self._shard_vertices[s])),
+                    "boundary": int(len(self._boundary_ov[s])),
+                    "engine": planner.engine if planner is not None else None,
+                }
+            )
+        return {
+            "shards": shards,
+            "overlay": {
+                "vertices": int(self._n_ov),
+                "edges": int(self._overlay.m),
+            },
+        }
+
+    def stats(self) -> dict:
+        """Aggregated planner counters plus sharding topology.
+
+        Per-shard planner counters (hits, misses, solves, …) are summed;
+        the ``stitched`` block is the router's own full-row LRU; and the
+        satellite topology — artifact version, shard count, per-shard
+        vertex/boundary counts — rides along for ``GET /stats``.
+        """
+        agg = {
+            key: 0
+            for key in (
+                "capacity",
+                "cached_rows",
+                "hits",
+                "misses",
+                "lookups",
+                "evictions",
+                "coalesced",
+                "batches",
+                "solves",
+                "single_flight_waits",
+                "inflight",
+            )
+        }
+        engines = set()
+        for planner in self._planners:
+            if planner is None:
+                continue
+            pstats = planner.stats()
+            engines.add(pstats["engine"])
+            for key in agg:
+                agg[key] += pstats[key]
+        with self._cache_lock:
+            stitched = {
+                "capacity": self._capacity,
+                "cached_rows": len(self._cache),
+                "hits": self._hits,
+                "misses": self._misses,
+                "lookups": self._lookups,
+                "evictions": self._evictions,
+            }
+        queries = sum(
+            solver.queries_answered
+            for solver in self._solvers
+            if solver is not None
+        )
+        return {
+            **agg,
+            "engine": engines.pop() if len(engines) == 1 else "mixed",
+            "queries_answered": queries,
+            "n": self._n,
+            "k": self._sharded.k,
+            "rho": self._sharded.rho,
+            "heuristic": self._sharded.heuristic,
+            "shards": self.n_shards,
+            "partition": self._sharded.partition_method,
+            "partition_seed": self._sharded.partition_seed,
+            "edge_cut": self._sharded.edge_cut,
+            "balance": self._sharded.balance,
+            "artifact_version": SHARDED_ARTIFACT_VERSION,
+            "stitched": stitched,
+            "topology": self.topology(),
+        }
+
+    def healthz(self) -> dict:
+        """Liveness payload with the shard topology summary."""
+        return {
+            "status": "ok",
+            "shards": self.n_shards,
+            "artifact_version": SHARDED_ARTIFACT_VERSION,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardRouter(n={self._n}, shards={self.n_shards}, "
+            f"partition={self._sharded.partition_method!r}, "
+            f"cut={self._sharded.edge_cut}, overlay={self._n_ov})"
+        )

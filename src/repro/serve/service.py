@@ -30,7 +30,7 @@ import numpy as np
 
 from ..core.solver import PreprocessedSSSP
 from ..graphs.csr import CSRGraph
-from .artifacts import load_artifact, save_artifact
+from .artifacts import ARTIFACT_VERSION, load_artifact, save_artifact
 from .planner import Nearest, QueryPlanner, Route
 from .shm import DistanceMatrix, solve_many_shm
 
@@ -223,6 +223,12 @@ class RoutingService:
         ``locality`` its mean-neighbor-gap diagnostic (input layout vs
         the layout queries actually run on; ``null`` when the artifact
         predates the diagnostic).
+
+        Topology fields mirror the sharded surface
+        (:meth:`repro.serve.router.ShardRouter.stats`): a single-graph
+        service is the one-shard special case, so it reports
+        ``shards: 1``, its artifact version, and a one-entry per-shard
+        table with a zero-size boundary.
         """
         from ..engine.registry import available_engines, get_engine
 
@@ -253,6 +259,28 @@ class RoutingService:
                 name: get_engine(name).description
                 for name in available_engines()
             },
+            "shards": 1,
+            "artifact_version": ARTIFACT_VERSION,
+            "topology": {
+                "shards": [
+                    {
+                        "shard": 0,
+                        "vertices": self._solver.graph.n,
+                        "boundary": 0,
+                        "engine": self._planner.engine,
+                    }
+                ],
+                "overlay": {"vertices": 0, "edges": 0},
+            },
+        }
+
+    def healthz(self) -> dict:
+        """Liveness payload (``GET /healthz``): the single-graph service
+        is the one-shard special case of the sharded surface."""
+        return {
+            "status": "ok",
+            "shards": 1,
+            "artifact_version": ARTIFACT_VERSION,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

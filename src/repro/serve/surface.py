@@ -1,0 +1,66 @@
+"""The query-surface protocol every serving front end is written against.
+
+PR 8 split serving into two implementations of one surface: the
+single-graph :class:`~repro.serve.service.RoutingService` and the
+shard-routed :class:`~repro.serve.router.ShardRouter`.  The HTTP front
+end (and any future async/gRPC front end) is constructed against this
+protocol, not a concrete class — sharded serving is a drop-in behind
+the same JSON API.
+
+The surface is the contract the planner answer records define:
+``distances`` returns a read-only full distance row in *input-graph*
+vertex ids, ``route`` a :class:`~repro.serve.planner.Route`,
+``nearest`` a :class:`~repro.serve.planner.Nearest`, ``batch`` a list
+of those in input order, ``warm`` pre-solves sources, ``stats`` a
+JSON-serializable counter/topology snapshot, and ``healthz`` the
+liveness payload (status plus shard topology).  Implementations must be
+safe to call from many threads — the HTTP server drives one instance
+from every worker thread.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from .planner import Nearest, Route
+
+__all__ = ["QuerySurface"]
+
+
+@runtime_checkable
+class QuerySurface(Protocol):
+    """Structural protocol for a query-serving backend.
+
+    ``runtime_checkable`` so front ends can fail fast at construction
+    (method presence only — signatures are this module's docs).
+    """
+
+    def distances(self, source: int) -> np.ndarray:
+        """Full distance row from ``source`` (read-only, input ids)."""
+        ...
+
+    def route(self, source: int, target: int) -> Route:
+        """Exact distance plus (when tracked) a realizing path."""
+        ...
+
+    def nearest(self, source: int, k: int) -> Nearest:
+        """The ``k`` closest reachable vertices to ``source``."""
+        ...
+
+    def batch(self, queries: Sequence) -> list:
+        """Mixed query batch, answered in input order."""
+        ...
+
+    def warm(self, sources: Iterable[int]) -> None:
+        """Pre-solve known-hot sources."""
+        ...
+
+    def stats(self) -> dict:
+        """JSON-serializable counters + topology snapshot."""
+        ...
+
+    def healthz(self) -> dict:
+        """Liveness payload: ``status`` plus shard topology summary."""
+        ...

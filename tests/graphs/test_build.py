@@ -132,6 +132,34 @@ class TestInducedSubgraph:
         assert ids.tolist() == [1, 2, 3]
         assert sub.edge_weight(0, 1) == 3.0  # old (1, 2)
 
+    def test_empty_vertex_set(self):
+        """An empty shard is a legal (if useless) partition block: the
+        induced subgraph is the empty graph, not an error."""
+        g = from_edge_list(4, [(0, 1), (1, 2), (2, 3)])
+        sub, ids = induced_subgraph(g, np.empty(0, dtype=np.int64))
+        assert sub.n == 0
+        assert sub.m == 0
+        assert ids.tolist() == []
+
+    def test_singleton_shard(self):
+        """One vertex: no internal edges survive, whatever its degree."""
+        g = from_edge_list(4, [(0, 1), (1, 2), (1, 3)])
+        sub, ids = induced_subgraph(g, np.array([1]))
+        assert sub.n == 1
+        assert sub.m == 0
+        assert ids.tolist() == [1]
+
+    def test_zero_boundary_shard_is_exact_component(self):
+        """A shard with no cut edges (a whole connected component) keeps
+        every edge at its weight — its induced metric is the full-graph
+        metric restricted to it."""
+        g = from_edge_list(5, [(0, 1, 2.0), (1, 2, 5.0), (3, 4, 7.0)])
+        sub, ids = induced_subgraph(g, np.array([3, 4]))
+        assert sub.n == 2
+        assert sub.m == 1
+        assert ids.tolist() == [3, 4]
+        assert sub.edge_weight(0, 1) == 7.0
+
 
 class TestReweighted:
     def test_weights_replaced(self):

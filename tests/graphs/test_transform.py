@@ -193,3 +193,34 @@ class TestScaleWeights:
         for bad in (0.0, -1.0, float("inf"), float("nan")):
             with pytest.raises(ValueError):
                 scale_weights(g, bad)
+
+    def test_rejects_negative_and_nan_regression(self):
+        """Regression: a negative factor must never flip the metric and
+        NaN must never poison the weights — both raise, nothing is
+        returned."""
+        g = random_connected_graph(10, 20, seed=4)
+        with pytest.raises(ValueError, match="positive and finite"):
+            scale_weights(g, -2.5)
+        with pytest.raises(ValueError, match="positive and finite"):
+            scale_weights(g, np.nan)
+        # the input graph was not mutated by the failed calls
+        assert np.all(g.weights > 0)
+
+    def test_rejects_bool_factor(self):
+        """bool is an int subclass: True would silently scale by 1."""
+        g = path_graph(3)
+        with pytest.raises(TypeError, match="bool"):
+            scale_weights(g, True)
+        with pytest.raises(TypeError, match="bool"):
+            scale_weights(g, np.True_)
+
+    def test_rejects_array_factor(self):
+        """A per-edge array factor would desynchronize weights from the
+        arc list; only real scalars are accepted."""
+        g = path_graph(3)
+        with pytest.raises(TypeError):
+            scale_weights(g, np.array([1.0, 2.0]))
+        with pytest.raises(TypeError):
+            scale_weights(g, [2.0])
+        # 0-d / shape-(1,) arrays are genuine scalars — accepted
+        assert scale_weights(g, np.float64(2.0)).edge_weight(0, 1) == 2.0

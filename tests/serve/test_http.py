@@ -67,7 +67,20 @@ def _post_error(url: str, raw: bytes):
 class TestEndpoints:
     def test_healthz(self, stack):
         _g, _svc, server = stack
-        assert _get(f"{server.url}/healthz") == {"status": "ok"}
+        doc = _get(f"{server.url}/healthz")
+        assert doc["status"] == "ok"
+        # a single-graph service is the one-shard special case
+        assert doc["shards"] == 1
+        assert isinstance(doc["artifact_version"], int)
+
+    def test_stats_topology(self, stack):
+        g, _svc, server = stack
+        doc = _get(f"{server.url}/stats")
+        assert doc["shards"] == 1
+        shards = doc["topology"]["shards"]
+        assert len(shards) == 1
+        assert shards[0]["vertices"] == g.n
+        assert shards[0]["boundary"] == 0
 
     def test_index_lists_endpoints(self, stack):
         _g, _svc, server = stack
@@ -343,7 +356,7 @@ class TestKeepAlive:
             conn.request("GET", "/healthz")
             follow = conn.getresponse()
             assert follow.status == 200
-            assert json.loads(follow.read()) == {"status": "ok"}
+            assert json.loads(follow.read())["status"] == "ok"
         finally:
             conn.close()
 
@@ -432,7 +445,7 @@ class TestLifecycle:
         svc = RoutingService(g, k=1, rho=4, heuristic="full")
         server = RoutingHTTPServer(svc).start()
         url = server.url
-        assert _get(f"{url}/healthz") == {"status": "ok"}
+        assert _get(f"{url}/healthz")["status"] == "ok"
         server.close()
         with pytest.raises(urllib.error.URLError):
             _get(f"{url}/healthz")
@@ -480,6 +493,38 @@ class TestLifecycle:
             assert _get(f"{server.url}/healthz")["status"] == "ok"
         finally:
             server.close()
+
+    def test_non_surface_service_rejected(self):
+        """The server is typed against QuerySurface and fails fast on
+        anything that does not implement it."""
+        with pytest.raises(TypeError, match="QuerySurface"):
+            RoutingHTTPServer(object())
+
+    def test_shard_router_is_a_drop_in(self):
+        """The sharded surface behind the same JSON API: identical
+        endpoints, bit-identical distances, topology in healthz/stats."""
+        from repro.serve import ShardRouter
+
+        g = random_connected_graph(48, 110, seed=13, weight_high=30)
+        router = ShardRouter(g, n_shards=3, k=1, rho=6, heuristic="full")
+        reference = RoutingService(g, k=1, rho=6, heuristic="full")
+        with RoutingHTTPServer(router) as server:
+            health = _get(f"{server.url}/healthz")
+            assert health["status"] == "ok"
+            assert health["shards"] == 3
+            doc = _get(f"{server.url}/distances/7")
+            got = np.array(
+                [np.inf if d is None else d for d in doc["distances"]]
+            )
+            assert np.array_equal(got, reference.distances(7))
+            route = _get(f"{server.url}/route/3/41")
+            assert route["distance"] == reference.route(3, 41).distance
+            stats = _get(f"{server.url}/stats")
+            assert stats["shards"] == 3
+            shards = stats["topology"]["shards"]
+            assert len(shards) == 3
+            assert sum(s["vertices"] for s in shards) == g.n
+            assert all(s["boundary"] >= 1 for s in shards)
 
     def test_serve_helper_as_context_manager(self):
         """Regression: __enter__ used to call start() unconditionally,

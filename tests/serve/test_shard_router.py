@@ -1,0 +1,265 @@
+"""Cross-shard parity: the ShardRouter must be bit-identical to the
+unsharded RoutingService.
+
+The acceptance bar of the sharded refactor: for **every registered
+engine**, under **both shipped partitioners**, on **three graph
+families** with integer weights (float sums of integers < 2⁵³ are exact,
+so "exact metric" means *bit-identical*), the stitched answers equal the
+single-graph service's — full rows with ``np.array_equal``, routes with
+``==`` on distances, k-nearest with identical vertex and distance
+arrays.  Queries whose shortest paths cross two or more shard
+boundaries are exercised explicitly, since those are the ones the
+overlay stitching exists for.
+
+Sharded preprocessing is cached per (family, partitioner) at module
+scope; per-test work is planner construction plus a handful of queries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dijkstra import dijkstra
+from repro.core.result import parent_path
+from repro.engine.registry import available_engines, get_engine
+from repro.graphs.generators import grid_2d, small_world
+from repro.graphs.weights import random_integer_weights
+from repro.serve import RoutingService, ShardRouter
+
+from tests.helpers import random_connected_graph
+
+K, RHO = 2, 12
+N_SHARDS = 4
+
+FAMILIES = {
+    "grid": lambda: random_integer_weights(grid_2d(9, 12), low=1, high=30, seed=1),
+    "small-world": lambda: random_integer_weights(
+        small_world(104, 4, seed=2), low=1, high=30, seed=3
+    ),
+    "sparse-random": lambda: random_connected_graph(
+        110, 240, seed=4, weight_high=30
+    ),
+}
+PARTITIONERS = ("contiguous", "ldd")
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    return {name: make() for name, make in FAMILIES.items()}
+
+
+@pytest.fixture(scope="module")
+def solvers(graphs):
+    """One unsharded preprocessing per family (shared by every engine)."""
+    from repro.core.solver import PreprocessedSSSP
+
+    return {
+        name: PreprocessedSSSP(g, k=K, rho=RHO, heuristic="dp")
+        for name, g in graphs.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def sharded(graphs):
+    """One sharded preprocessing per (family, partitioner)."""
+    from repro.preprocess import build_sharded_kr_graph
+
+    out = {}
+    for name, g in graphs.items():
+        for part in PARTITIONERS:
+            out[name, part] = build_sharded_kr_graph(
+                g, K, RHO, n_shards=N_SHARDS, partition=part, heuristic="dp"
+            )
+    return out
+
+
+def _crossing_pairs(graph, labels, want=3):
+    """(s, t) pairs whose shortest path crosses >= 2 shard boundaries,
+    found by walking dijkstra parent chains on the *input* graph."""
+    pairs = []
+    for s in range(0, graph.n, 7):
+        res = dijkstra(graph, s, track_parents=True)
+        for t in range(graph.n - 1, -1, -13):
+            if not np.isfinite(res.dist[t]) or t == s:
+                continue
+            path = parent_path(res.parent, t)
+            crossings = sum(
+                1
+                for a, b in zip(path, path[1:])
+                if labels[a] != labels[b]
+            )
+            if crossings >= 2:
+                pairs.append((s, t))
+                break
+        if len(pairs) >= want:
+            break
+    return pairs
+
+
+@pytest.mark.parametrize("partition", PARTITIONERS)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("engine", available_engines())
+class TestEveryEngineParity:
+    def test_rows_routes_nearest_bit_identical(
+        self, engine, family, partition, graphs, solvers, sharded
+    ):
+        if engine == "unweighted":
+            pytest.skip("unit-weight engine; covered by TestUnitWeightFamily")
+        g = graphs[family]
+        track_parents = get_engine(engine).supports_parents
+        service = RoutingService(
+            solver=solvers[family], engine=engine, track_parents=track_parents
+        )
+        router = ShardRouter(
+            sharded=sharded[family, partition],
+            engine=engine,
+            track_parents=track_parents,
+        )
+        rng = np.random.default_rng(hash((engine, family, partition)) % 2**32)
+        sources = rng.choice(g.n, size=3, replace=False)
+        for s in map(int, sources):
+            assert np.array_equal(service.distances(s), router.distances(s))
+        for s, t in [(0, g.n - 1), (3, g.n // 2)]:
+            a, b = service.route(s, t), router.route(s, t)
+            assert a.distance == b.distance
+            if track_parents and np.isfinite(b.distance):
+                assert b.path is not None
+                assert b.path[0] == s and b.path[-1] == t
+        for s in (1, g.n - 2):
+            a, b = service.nearest(s, 6), router.nearest(s, 6)
+            assert np.array_equal(a.vertices, b.vertices)
+            assert np.array_equal(a.distances, b.distances)
+
+
+@pytest.mark.parametrize("partition", PARTITIONERS)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+class TestMultiBoundaryCrossing:
+    def test_queries_crossing_two_plus_boundaries(
+        self, family, partition, graphs, sharded
+    ):
+        """The stitching path the overlay exists for: shortest paths
+        that traverse at least two shard boundaries."""
+        g = graphs[family]
+        sh = sharded[family, partition]
+        pairs = _crossing_pairs(g, sh.labels)
+        assert pairs, "graph families must admit multi-crossing queries"
+        router = ShardRouter(sharded=sh)
+        for s, t in pairs:
+            ref = dijkstra(g, s).dist
+            got = router.route(s, t)
+            assert got.distance == ref[t]
+            assert np.array_equal(router.distances(s), ref)
+
+    def test_stitched_path_telescopes_exactly(
+        self, family, partition, graphs, sharded
+    ):
+        """Every hop of a stitched path is a composite edge whose weight
+        is the exact input-graph distance between its endpoints, and the
+        hop distances telescope to the route distance."""
+        g = graphs[family]
+        sh = sharded[family, partition]
+        pairs = _crossing_pairs(g, sh.labels, want=1)
+        router = ShardRouter(sharded=sh)
+        s, t = pairs[0]
+        route = router.route(s, t)
+        assert route.path is not None
+        total = 0.0
+        for u, v in zip(route.path, route.path[1:]):
+            total += dijkstra(g, int(u)).dist[v]
+        assert total == route.distance
+
+
+class TestUnitWeightFamily:
+    """The §3.4 unit-weight engine, on a preprocessing whose augmented
+    graph stays unit-weight (k=1, tiny rho, full heuristic)."""
+
+    def setup_method(self):
+        self.g = grid_2d(8, 10)
+
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    def test_unweighted_engine_parity(self, partition):
+        from repro.preprocess import build_sharded_kr_graph
+
+        sh = build_sharded_kr_graph(
+            self.g, 1, 2, n_shards=3, partition=partition, heuristic="full"
+        )
+        router = ShardRouter(sharded=sh, engine="unweighted", track_parents=False)
+        service = RoutingService(
+            self.g, k=1, rho=2, heuristic="full",
+            engine="unweighted", track_parents=False,
+        )
+        for s in (0, 37, 79):
+            assert np.array_equal(service.distances(s), router.distances(s))
+
+
+class TestRouterSurface:
+    """Router-specific surface behavior beyond raw parity."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, graphs, sharded):
+        g = graphs["grid"]
+        return g, ShardRouter(sharded=sharded["grid", "contiguous"])
+
+    def test_batch_matches_individual_queries(self, pair):
+        from repro.serve import KNearest
+
+        g, router = pair
+        answers = router.batch([(0, g.n - 1), 5, KNearest(7, 4)])
+        assert answers[0].distance == router.route(0, g.n - 1).distance
+        assert np.array_equal(answers[1], router.distances(5))
+        assert np.array_equal(answers[2].vertices, router.nearest(7, 4).vertices)
+
+    def test_validation_mirrors_planner(self, pair):
+        g, router = pair
+        with pytest.raises(ValueError):
+            router.distances(-1)
+        with pytest.raises(ValueError):
+            router.distances(g.n)
+        with pytest.raises(TypeError):
+            router.distances(True)
+        with pytest.raises(TypeError):
+            router.nearest(0, 2.5)
+        with pytest.raises(ValueError):
+            router.nearest(0, -1)
+
+    def test_warm_and_stitched_cache(self, graphs, sharded):
+        g = graphs["grid"]
+        router = ShardRouter(sharded=sharded["grid", "contiguous"])
+        router.warm([0, 1, 2])
+        before = router.stats()["stitched"]
+        assert before["misses"] >= 3
+        router.distances(1)  # cached
+        after = router.stats()["stitched"]
+        assert after["hits"] == before["hits"] + 1
+
+    def test_stats_topology(self, pair):
+        g, router = pair
+        stats = router.stats()
+        assert stats["shards"] == N_SHARDS
+        assert stats["partition"] == "contiguous"
+        assert len(stats["topology"]["shards"]) == N_SHARDS
+        assert (
+            sum(s["vertices"] for s in stats["topology"]["shards"]) == g.n
+        )
+        assert all(s["boundary"] >= 1 for s in stats["topology"]["shards"])
+        health = router.healthz()
+        assert health["status"] == "ok" and health["shards"] == N_SHARDS
+
+    def test_read_only_rows(self, pair):
+        _g, router = pair
+        row = router.distances(0)
+        with pytest.raises(ValueError):
+            row[0] = 1.0
+
+    def test_single_shard_degenerates_to_service(self, graphs):
+        """n_shards=1: no overlay, still exact."""
+        g = graphs["small-world"]
+        router = ShardRouter(g, n_shards=1, k=K, rho=RHO)
+        assert router.n_shards == 1
+        ref = dijkstra(g, 11).dist
+        assert np.array_equal(router.distances(11), ref)
+
+    def test_cold_start_requires_shard_count(self, graphs):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardRouter(graphs["grid"])
+        with pytest.raises(ValueError, match="graph or a sharded"):
+            ShardRouter()

@@ -64,6 +64,14 @@ def test_routing_service(capsys):
     assert "bit-identical to the pickle path" in out
 
 
+def test_sharded_service(capsys):
+    load_example("sharded_service").main(n=300, n_shards=3, rho=10)
+    out = capsys.readouterr().out
+    assert "bit-identical to unsharded" in out
+    assert "cross-shard route" in out
+    assert "warm start from bundle" in out
+
+
 def test_reordering(capsys):
     load_example("reordering").main(n=250, rho=10)
     out = capsys.readouterr().out
@@ -80,6 +88,7 @@ def test_reordering(capsys):
         "pram_cost_model",
         "parallel_preprocessing",
         "routing_service",
+        "sharded_service",
         "reordering",
     ],
 )
