@@ -40,6 +40,7 @@ import numpy as np
 
 from ..engine.registry import get_engine, solve_with_engine
 from ..graphs.csr import CSRGraph
+from ..obs.trace import span
 from ..parallel.pool import parallel_map_shared
 from ..preprocess.pipeline import PreprocessResult, build_kr_graph
 from .result import SsspResult
@@ -153,6 +154,7 @@ class PreprocessedSSSP:
         self._init_id_maps()
         self._queries = 0
         self._queries_lock = threading.Lock()
+        self._observer = None
 
     def _init_id_maps(self) -> None:
         """Cache the external↔internal id maps from the preprocessing
@@ -185,6 +187,7 @@ class PreprocessedSSSP:
         self._init_id_maps()
         self._queries = 0
         self._queries_lock = threading.Lock()
+        self._observer = None
         return self
 
     # ------------------------------------------------------------------ #
@@ -245,6 +248,21 @@ class PreprocessedSSSP:
         with self._queries_lock:
             self._queries += int(n)
 
+    def set_observer(self, obs) -> None:
+        """Install (or clear, with ``None``) an engine-telemetry observer.
+
+        ``obs`` is a :class:`repro.obs.metrics.EngineTelemetry` —
+        anything with ``bind(engine) -> handle`` where the handle has
+        ``record_step``/``record_run``.  :meth:`solve` passes the bound
+        handle live into the engine; :meth:`solve_many` folds run totals
+        in post-hoc from the returned results, because fork-pool workers
+        mutate a copy-on-write *copy* of the registry that the parent
+        never sees.  Opt-in: the facade does no telemetry until a
+        serving layer (``RoutingService.instrument`` /
+        ``ShardRouter.instrument``) installs one.
+        """
+        self._observer = obs
+
     # ------------------------------------------------------------------ #
     def resolve_engine(self, engine: Engine) -> str:
         """Map ``"auto"`` to a concrete registered engine name.
@@ -295,20 +313,23 @@ class PreprocessedSSSP:
         (the facade translates at the boundary).
         """
         self.count_queries(1)
+        name = self.resolve_engine(engine)
         internal = source if self._perm is None else int(self._perm[source])
-        return externalize_result(
-            solve_with_engine(
-                self.resolve_engine(engine),
-                self.graph,
-                internal,
-                self.radii,
-                track_parents=track_parents,
-                track_trace=track_trace,
-                ledger=ledger,
-            ),
-            self._perm,
-            self._inv,
-        )
+        with span("solver.solve", engine=name, source=int(source)):
+            return externalize_result(
+                solve_with_engine(
+                    name,
+                    self.graph,
+                    internal,
+                    self.radii,
+                    track_parents=track_parents,
+                    track_trace=track_trace,
+                    ledger=ledger,
+                    obs=self._observer,
+                ),
+                self._perm,
+                self._inv,
+            )
 
     def distances(self, source: int) -> np.ndarray:
         """Just the distance vector from ``source``."""
@@ -348,10 +369,21 @@ class PreprocessedSSSP:
         payload = (
             self.graph, self.radii, name, track_parents, self._perm, self._inv
         )
-        blocks = parallel_map_shared(
-            _solve_chunk, payload, internal, n_jobs=n_jobs
-        )
+        with span(
+            "solver.solve_many", engine=name, sources=int(len(unique)),
+            n_jobs=int(n_jobs),
+        ):
+            blocks = parallel_map_shared(
+                _solve_chunk, payload, internal, n_jobs=n_jobs
+            )
         flat = [res for block in blocks for res in block]
+        if self._observer is not None:
+            # Telemetry is folded here, in the parent, from the returned
+            # results: fork-pool workers saw only a copy-on-write copy of
+            # the registry, so live in-worker observations would be lost.
+            bound = self._observer.bind(name)
+            for res in flat:
+                bound.record_run(res)
         return [flat[i] for i in inverse]
 
     def mean_steps(self, sources: Iterable[int], *, n_jobs: int = 1) -> float:

@@ -40,6 +40,7 @@ def run_engine(
     ledger=None,
     algorithm_name: str | None = None,
     params: dict | None = None,
+    obs=None,
 ) -> SsspResult:
     """Run Algorithm 1 from ``source`` under ``schedule``.
 
@@ -53,6 +54,11 @@ def run_engine(
         :func:`repro.core.radius_stepping.radius_stepping`.
     algorithm_name: ``SsspResult.algorithm``; defaults to the schedule
         name.
+    obs: optional :class:`~repro.obs.metrics.BoundEngineTelemetry`
+        (anything with ``record_step(settled, substeps)``); called once
+        per outer step with the frontier size and substep count.
+        Run-level totals are recorded by the dispatch layer
+        (:func:`repro.engine.registry.solve_with_engine`), not here.
     """
     n = graph.n
     kernel = RelaxationKernel(
@@ -118,6 +124,8 @@ def run_engine(
         steps += 1
         substeps_total += substeps
         max_substeps = max(max_substeps, substeps)
+        if obs is not None:
+            obs.record_step(len(newly), substeps)
         if trace is not None:
             trace.append(
                 StepTrace(

@@ -9,11 +9,19 @@ and parity-testable with no solver-facade changes.  Every entry shares
 one calling convention::
 
     fn(graph, source, radii, *,
-       track_parents=False, track_trace=False, ledger=None) -> SsspResult
+       track_parents=False, track_trace=False, ledger=None,
+       obs=None) -> SsspResult
 
 ``radii`` may be ignored by engines that do not use per-vertex radii
 (∆-stepping, Bellman–Ford); they accept it so one dispatch site serves
-all engines.
+all engines.  ``obs`` is an optional per-engine telemetry handle (see
+:class:`repro.obs.metrics.BoundEngineTelemetry`): engines built on the
+unified driver feed it live per-step observations, others may ignore
+it — run-level totals are recorded uniformly by
+:func:`solve_with_engine` from the returned result either way.
+Plugins may omit ``obs`` from their signature entirely (the
+pre-telemetry convention); the dispatcher detects this at registration
+and simply skips the live hook for them.
 
 Built-in engines
 ----------------
@@ -30,6 +38,7 @@ Built-in engines
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Callable
 
@@ -58,15 +67,32 @@ class EngineSpec:
         dispatcher raises ``ValueError`` up front instead of silently
         returning ``parent=None``.
     description: one-liner for ``available_engines`` listings.
+    accepts_obs: whether ``fn`` takes the ``obs`` telemetry keyword —
+        detected from its signature at registration, so plugins written
+        against the pre-telemetry convention keep working (they still
+        get run-level telemetry from the dispatcher, just no live
+        per-step hook).
     """
 
     name: str
     fn: EngineFn
     supports_parents: bool = True
     description: str = ""
+    accepts_obs: bool = True
 
 
 _REGISTRY: dict[str, EngineSpec] = {}
+
+
+def _accepts_obs(fn: EngineFn) -> bool:
+    """Whether ``fn``'s signature admits the ``obs`` keyword."""
+    try:
+        params = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # uninspectable callables: assume yes
+        return True
+    return "obs" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
 
 
 def register_engine(
@@ -80,7 +106,9 @@ def register_engine(
     """Register ``fn`` under ``name``; returns the spec.
 
     Re-registering an existing name raises unless ``overwrite=True``
-    (guards against plugin name collisions).
+    (guards against plugin name collisions).  ``fn`` may omit the
+    ``obs`` keyword (the pre-telemetry plugin convention); the
+    dispatcher then skips the live hook for that engine.
     """
     if not name or name == "auto":
         raise ValueError(f"invalid engine name {name!r}")
@@ -91,6 +119,7 @@ def register_engine(
         fn=fn,
         supports_parents=supports_parents,
         description=description,
+        accepts_obs=_accepts_obs(fn),
     )
     _REGISTRY[name] = spec
     return spec
@@ -121,19 +150,30 @@ def solve_with_engine(
     track_parents: bool = False,
     track_trace: bool = False,
     ledger=None,
+    obs=None,
 ) -> SsspResult:
-    """Dispatch one query through the registry (shared validation)."""
+    """Dispatch one query through the registry (shared validation).
+
+    ``obs`` is an optional :class:`~repro.obs.metrics.EngineTelemetry`;
+    the engine label is bound here (once per query, not per step) and
+    run-level totals are folded in from the result after the solve, so
+    every engine gets run telemetry even if it ignores the live hook.
+    """
     spec = get_engine(name)
     if track_parents and not spec.supports_parents:
         raise ValueError(f"the {name} engine does not track parents")
-    return spec.fn(
-        graph,
-        source,
-        radii,
-        track_parents=track_parents,
-        track_trace=track_trace,
-        ledger=ledger,
-    )
+    bound = obs.bind(name) if obs is not None else None
+    kwargs = {
+        "track_parents": track_parents,
+        "track_trace": track_trace,
+        "ledger": ledger,
+    }
+    if spec.accepts_obs:
+        kwargs["obs"] = bound
+    res = spec.fn(graph, source, radii, **kwargs)
+    if bound is not None:
+        bound.record_run(res)
+    return res
 
 
 # --------------------------------------------------------------------- #
@@ -141,7 +181,7 @@ def solve_with_engine(
 # modules import the engine package, so importing them here at module
 # load would be circular.
 # --------------------------------------------------------------------- #
-def _vectorized(graph, source, radii, *, track_parents, track_trace, ledger):
+def _vectorized(graph, source, radii, *, track_parents, track_trace, ledger, obs=None):
     from ..core.radius_stepping import radius_stepping
 
     return radius_stepping(
@@ -154,7 +194,7 @@ def _vectorized(graph, source, radii, *, track_parents, track_trace, ledger):
     )
 
 
-def _bucket(graph, source, radii, *, track_parents, track_trace, ledger):
+def _bucket(graph, source, radii, *, track_parents, track_trace, ledger, obs=None):
     from ..core.radius_stepping import as_radii
     from .driver import run_engine
     from .schedules import RadiusBucketSchedule
@@ -166,11 +206,12 @@ def _bucket(graph, source, radii, *, track_parents, track_trace, ledger):
         track_parents=track_parents,
         track_trace=track_trace,
         ledger=ledger,
+        obs=obs,
         algorithm_name="radius-stepping-bucket",
     )
 
 
-def _bst(graph, source, radii, *, track_parents, track_trace, ledger):
+def _bst(graph, source, radii, *, track_parents, track_trace, ledger, obs=None):
     from ..core.radius_stepping_bst import radius_stepping_bst
 
     return radius_stepping_bst(
@@ -178,7 +219,7 @@ def _bst(graph, source, radii, *, track_parents, track_trace, ledger):
     )
 
 
-def _unweighted(graph, source, radii, *, track_parents, track_trace, ledger):
+def _unweighted(graph, source, radii, *, track_parents, track_trace, ledger, obs=None):
     from ..core.radius_stepping_unweighted import radius_stepping_unweighted
 
     return radius_stepping_unweighted(
@@ -186,7 +227,7 @@ def _unweighted(graph, source, radii, *, track_parents, track_trace, ledger):
     )
 
 
-def _dijkstra(graph, source, radii, *, track_parents, track_trace, ledger):
+def _dijkstra(graph, source, radii, *, track_parents, track_trace, ledger, obs=None):
     from .driver import run_engine
     from .schedules import DijkstraSchedule
 
@@ -197,11 +238,12 @@ def _dijkstra(graph, source, radii, *, track_parents, track_trace, ledger):
         track_parents=track_parents,
         track_trace=track_trace,
         ledger=ledger,
+        obs=obs,
         algorithm_name="dijkstra-steps",
     )
 
 
-def _delta(graph, source, radii, *, track_parents, track_trace, ledger):
+def _delta(graph, source, radii, *, track_parents, track_trace, ledger, obs=None):
     from .driver import run_engine
     from .schedules import DeltaSchedule
 
@@ -212,11 +254,12 @@ def _delta(graph, source, radii, *, track_parents, track_trace, ledger):
         track_parents=track_parents,
         track_trace=track_trace,
         ledger=ledger,
+        obs=obs,
         algorithm_name="delta-stepping-engine",
     )
 
 
-def _delta_star(graph, source, radii, *, track_parents, track_trace, ledger):
+def _delta_star(graph, source, radii, *, track_parents, track_trace, ledger, obs=None):
     from .driver import run_engine
     from .schedules import DeltaStarSchedule
 
@@ -227,11 +270,12 @@ def _delta_star(graph, source, radii, *, track_parents, track_trace, ledger):
         track_parents=track_parents,
         track_trace=track_trace,
         ledger=ledger,
+        obs=obs,
         algorithm_name="delta-star-stepping",
     )
 
 
-def _rho(graph, source, radii, *, track_parents, track_trace, ledger):
+def _rho(graph, source, radii, *, track_parents, track_trace, ledger, obs=None):
     from .driver import run_engine
     from .schedules import RhoSchedule
 
@@ -242,11 +286,12 @@ def _rho(graph, source, radii, *, track_parents, track_trace, ledger):
         track_parents=track_parents,
         track_trace=track_trace,
         ledger=ledger,
+        obs=obs,
         algorithm_name="rho-stepping",
     )
 
 
-def _bellman_ford(graph, source, radii, *, track_parents, track_trace, ledger):
+def _bellman_ford(graph, source, radii, *, track_parents, track_trace, ledger, obs=None):
     from .driver import run_engine
     from .schedules import BellmanFordSchedule
 
@@ -257,6 +302,7 @@ def _bellman_ford(graph, source, radii, *, track_parents, track_trace, ledger):
         track_parents=track_parents,
         track_trace=track_trace,
         ledger=ledger,
+        obs=obs,
         algorithm_name="bellman-ford-engine",
     )
 

@@ -1,0 +1,69 @@
+"""Observability: metrics registry, text exposition, request tracing.
+
+Dependency-free (stdlib only).  Three pieces:
+
+- :mod:`repro.obs.metrics` — thread-safe counters/gauges/histograms in
+  injectable registries, plus :class:`EngineTelemetry`, the ``obs`` hook
+  the SSSP engines fold step/relaxation counts into.
+- :mod:`repro.obs.expo` — Prometheus text exposition (``GET /metrics``)
+  and a minimal parser used as the test oracle.
+- :mod:`repro.obs.trace` — contextvars-propagated span trees with a
+  slow-query ring buffer (``GET /debug/slow``).
+"""
+
+from .metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_REGISTRY,
+    LATENCY_BUCKETS,
+    BoundEngineTelemetry,
+    Counter,
+    EngineTelemetry,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+    exponential_buckets,
+    get_default_registry,
+)
+from .expo import CONTENT_TYPE, Exposition, parse, render
+from .trace import (
+    SlowQueryLog,
+    Span,
+    Trace,
+    annotate,
+    current_span,
+    current_trace,
+    new_request_id,
+    span,
+    trace_request,
+)
+
+__all__ = [
+    "BoundEngineTelemetry",
+    "CONTENT_TYPE",
+    "COUNT_BUCKETS",
+    "Counter",
+    "DEFAULT_REGISTRY",
+    "EngineTelemetry",
+    "Exposition",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Sample",
+    "SlowQueryLog",
+    "Span",
+    "Trace",
+    "annotate",
+    "current_span",
+    "current_trace",
+    "exponential_buckets",
+    "get_default_registry",
+    "new_request_id",
+    "parse",
+    "render",
+    "span",
+    "trace_request",
+]

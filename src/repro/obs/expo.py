@@ -1,0 +1,181 @@
+"""Prometheus text exposition — render a registry, parse it back.
+
+:func:`render` produces the standard text format (version 0.0.4: one
+``# HELP``/``# TYPE`` pair per family, then its samples) from a
+:class:`~repro.obs.metrics.MetricsRegistry`, and is what
+``GET /metrics`` serves.  :func:`parse` is the deliberately minimal
+inverse — enough structure to *validate* an exposition in tests and
+small tools (sample lookup by name + labels, per-family types,
+histogram invariants) without pretending to be a scrape client.
+
+Both halves are kept in one module so the escaping rules live in
+exactly one place: label values escape backslash, double-quote and
+newline; HELP text escapes backslash and newline.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .metrics import MetricFamily, MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "Exposition", "parse", "render"]
+
+#: the content type ``GET /metrics`` answers with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(text: str) -> str:
+    return (
+        text.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _fmt_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text format (trailing newline included)."""
+    lines: list[str] = []
+    for fam in registry.collect():
+        lines.append(f"# HELP {fam.name} {_escape_help(fam.help)}")
+        lines.append(f"# TYPE {fam.name} {fam.kind}")
+        for sample in fam.samples:
+            name = fam.name + sample.suffix
+            if sample.labels:
+                body = ",".join(
+                    f'{k}="{_escape_label(str(v))}"' for k, v in sample.labels
+                )
+                lines.append(f"{name}{{{body}}} {_fmt_value(sample.value)}")
+            else:
+                lines.append(f"{name} {_fmt_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# Minimal parser — the test-side contract for /metrics output
+# --------------------------------------------------------------------- #
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(text: str) -> str:
+    return (
+        text.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # 'NaN' is handled by float()
+
+
+class Exposition:
+    """A parsed exposition: typed families and labeled sample lookup."""
+
+    def __init__(self) -> None:
+        #: family name -> kind ("counter" / "gauge" / "histogram" / "untyped")
+        self.types: dict[str, str] = {}
+        #: family name -> HELP text
+        self.help: dict[str, str] = {}
+        #: (sample name, frozenset of (label, value)) -> value
+        self.samples: dict[tuple[str, frozenset], float] = {}
+
+    def value(self, name: str, **labels) -> float:
+        """The sample's value; ``KeyError`` when absent."""
+        return self.samples[(name, frozenset((k, str(v)) for k, v in labels.items()))]
+
+    def series(self, name: str) -> dict[frozenset, float]:
+        """Every labeled sample of one sample name."""
+        return {
+            labels: v for (n, labels), v in self.samples.items() if n == name
+        }
+
+    def histogram_counts(self, name: str, **labels) -> dict[str, float]:
+        """``le`` → cumulative count for one histogram series."""
+        want = {(k, str(v)) for k, v in labels.items()}
+        out: dict[str, float] = {}
+        for (n, lbls), v in self.samples.items():
+            if n != name + "_bucket":
+                continue
+            d = dict(lbls)
+            le = d.pop("le", None)
+            if le is not None and set(d.items()) == want:
+                out[le] = v
+        return out
+
+
+def parse(text: str) -> Exposition:
+    """Parse a text exposition; raises ``ValueError`` on malformed lines,
+    duplicate series, or samples under an undeclared family.
+
+    Minimal by design — it understands exactly what :func:`render`
+    emits (plus untyped samples), and is the oracle the HTTP tests
+    validate ``GET /metrics`` against.
+    """
+    expo = Exposition()
+    declared: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP ") :]
+            name, _, help_text = rest.partition(" ")
+            expo.help[name] = help_text
+            declared.add(name)
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE ") :]
+            name, _, kind = rest.partition(" ")
+            kind = kind.strip()
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            if name in expo.types:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name}")
+            expo.types[name] = kind
+            declared.add(name)
+            continue
+        if line.startswith("#"):
+            continue  # arbitrary comment
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = m.group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in declared and base not in declared:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE/HELP")
+        raw = m.group("labels")
+        labels: list[tuple[str, str]] = []
+        if raw:
+            consumed = 0
+            for lm in _LABEL_RE.finditer(raw):
+                labels.append((lm.group(1), _unescape_label(lm.group(2))))
+                consumed = lm.end()
+            leftover = raw[consumed:].strip().strip(",")
+            if leftover:
+                raise ValueError(f"line {lineno}: malformed labels {raw!r}")
+        key = (name, frozenset(labels))
+        if key in expo.samples:
+            raise ValueError(f"line {lineno}: duplicate series {line!r}")
+        expo.samples[key] = _parse_value(m.group("value"))
+    return expo

@@ -1,0 +1,265 @@
+"""Request tracing — span trees, ambient propagation, slow-query log.
+
+A tail-latency outlier in the serving stack can be a planner cache
+miss, an overlay stitch, or an engine solve — three different layers.
+This module makes one request's walk through those layers a first-class
+record: a :class:`Trace` is a tree of :class:`Span`\\ s with monotonic
+timings, rooted at the HTTP handler and grown by whatever instrumented
+code runs underneath.
+
+Propagation is **ambient** via :mod:`contextvars`: the HTTP front end
+opens the root with :func:`trace_request`, and every lower layer calls
+:func:`span` with no signature changes anywhere in between — the
+planner, the shard router and the solver facade do exactly that.  Each
+handler thread carries its own context, so concurrent requests never
+see each other's spans.
+
+When **no trace is active**, :func:`span` returns a shared no-op
+context manager after a single context-variable read — the instrumented
+hot paths cost nanoseconds for un-traced callers (the observability
+benchmark gates this).  There is deliberately no sampling knob yet:
+tracing is per-request opt-in by whoever opens the root.
+
+The :class:`SlowQueryLog` is a lock-protected ring buffer of finished
+traces over a duration threshold, dumped as JSON by
+``GET /debug/slow`` — the place to look when p99 moves.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = [
+    "SlowQueryLog",
+    "Span",
+    "Trace",
+    "annotate",
+    "current_span",
+    "current_trace",
+    "new_request_id",
+    "span",
+    "trace_request",
+]
+
+_ACTIVE: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+_REQ_SEQ = itertools.count()
+
+
+def new_request_id() -> str:
+    """A fresh request id: 12 hex chars of uuid4 plus a process-unique
+    sequence number — short enough for logs, unique enough for grep."""
+    return f"{uuid.uuid4().hex[:12]}-{next(_REQ_SEQ)}"
+
+
+class Span:
+    """One timed operation: name, annotations, children.
+
+    ``duration`` is monotonic (``time.perf_counter``) and ``None`` until
+    the span closes.  Annotations are small JSON-able values (counts,
+    names, outcomes) — not payloads.
+    """
+
+    __slots__ = ("name", "annotations", "children", "_t0", "duration")
+
+    def __init__(self, name: str, annotations: dict | None = None) -> None:
+        self.name = name
+        self.annotations = annotations or {}
+        self.children: list[Span] = []
+        self._t0 = time.perf_counter()
+        self.duration: float | None = None
+
+    def close(self) -> None:
+        if self.duration is None:
+            self.duration = time.perf_counter() - self._t0
+
+    def to_dict(self) -> dict:
+        """JSON-able span tree (durations in milliseconds)."""
+        return {
+            "name": self.name,
+            "duration_ms": (
+                None if self.duration is None else round(self.duration * 1e3, 3)
+            ),
+            "annotations": dict(self.annotations),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def walk(self):
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Trace:
+    """One request's span tree plus its identity."""
+
+    __slots__ = ("request_id", "root", "started_at")
+
+    def __init__(self, name: str, request_id: str | None = None) -> None:
+        self.request_id = request_id or new_request_id()
+        self.root = Span(name)
+        self.started_at = time.time()
+
+    @property
+    def duration(self) -> float | None:
+        return self.root.duration
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "started_at": self.started_at,
+            "duration_ms": (
+                None if self.duration is None else round(self.duration * 1e3, 3)
+            ),
+            "trace": self.root.to_dict(),
+        }
+
+
+class _Null:
+    """The shared no-op context manager un-traced spans get."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL = _Null()
+
+
+def current_span() -> Span | None:
+    """The active span of this context, or ``None`` outside a trace."""
+    return _ACTIVE.get()
+
+
+def current_trace() -> Trace | None:
+    """The active trace (root holder), or ``None``.
+
+    Only the root span knows its trace; :func:`trace_request` parks the
+    trace on the context alongside the span.
+    """
+    return _TRACE.get()
+
+
+_TRACE: contextvars.ContextVar[Trace | None] = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+@contextmanager
+def trace_request(name: str, request_id: str | None = None):
+    """Open a trace: the root span becomes the context's active span.
+
+    The HTTP handler wraps each request in this; anything it calls may
+    :func:`span`/:func:`annotate` with zero plumbing.  Always closes the
+    root (exceptions included) so the slow-log sees a real duration.
+    """
+    trace = Trace(name, request_id)
+    tok_span = _ACTIVE.set(trace.root)
+    tok_trace = _TRACE.set(trace)
+    try:
+        yield trace
+    finally:
+        trace.root.close()
+        _ACTIVE.reset(tok_span)
+        _TRACE.reset(tok_trace)
+
+
+def span(name: str, **annotations):
+    """A child span of the active one — or a shared no-op when no trace
+    is active (one context-variable read, no allocation).
+
+    Usage::
+
+        with span("planner.solve", sources=len(missing)):
+            ...
+    """
+    parent = _ACTIVE.get()
+    if parent is None:
+        return _NULL
+    return _child(parent, name, annotations)
+
+
+@contextmanager
+def _child(parent: Span, name: str, annotations: dict):
+    child = Span(name, annotations)
+    parent.children.append(child)
+    token = _ACTIVE.set(child)
+    try:
+        yield child
+    finally:
+        child.close()
+        _ACTIVE.reset(token)
+
+
+def annotate(**kv) -> None:
+    """Attach key/values to the active span; no-op outside a trace."""
+    active = _ACTIVE.get()
+    if active is not None:
+        active.annotations.update(kv)
+
+
+class SlowQueryLog:
+    """Threshold-triggered ring buffer of finished traces.
+
+    ``record`` keeps a trace only when its root duration meets
+    ``threshold_ms``; the buffer holds the most recent ``capacity``
+    offenders (oldest evicted first) and :meth:`dump` returns them
+    newest-first as JSON-able dicts — the payload of
+    ``GET /debug/slow``.  All methods are lock-protected; ``record`` on
+    the fast (under-threshold) path is one comparison.
+    """
+
+    def __init__(self, threshold_ms: float = 250.0, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity >= 1 required")
+        self.threshold_ms = float(threshold_ms)
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=self.capacity)
+        self._seen = 0
+        self._recorded = 0
+
+    def record(self, trace: Trace, **extra) -> bool:
+        """Consider one finished trace; returns True when kept.
+
+        ``extra`` (endpoint, status, …) is merged into the stored
+        record so a dump is self-describing.
+        """
+        duration = trace.duration
+        with self._lock:
+            self._seen += 1
+            if duration is None or duration * 1e3 < self.threshold_ms:
+                return False
+            entry = trace.to_dict()
+            entry.update(extra)
+            self._entries.append(entry)
+            self._recorded += 1
+            return True
+
+    def dump(self) -> dict:
+        """Snapshot: configuration, totals, and entries newest-first."""
+        with self._lock:
+            return {
+                "threshold_ms": self.threshold_ms,
+                "capacity": self.capacity,
+                "seen": self._seen,
+                "recorded": self._recorded,
+                "entries": list(reversed(self._entries)),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

@@ -18,6 +18,8 @@ weight.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +36,40 @@ __all__ = [
     "build_sharded_kr_graph",
     "HEURISTICS",
 ]
+
+
+class _StageClock:
+    """Wall-clock accounting for the preprocessing pipeline's stages.
+
+    Each ``with clock.stage("..."):`` block accumulates its elapsed
+    seconds into :attr:`stages` (what the result records as
+    ``stage_seconds``) and, when a metrics registry was handed to the
+    builder, observes the same duration into the
+    ``preprocess_stage_seconds{stage}`` histogram.  The registry is
+    duck-typed (anything with ``.histogram()``) so preprocessing keeps
+    zero hard dependency on :mod:`repro.obs`.
+    """
+
+    def __init__(self, registry=None) -> None:
+        self.stages: dict[str, float] = {}
+        self._hist = None
+        if registry is not None:
+            self._hist = registry.histogram(
+                "preprocess_stage_seconds",
+                "wall-clock seconds per (k,rho)-preprocessing stage",
+                ("stage",),
+            )
+
+    @contextmanager
+    def stage(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - t0
+            self.stages[name] = self.stages.get(name, 0.0) + elapsed
+            if self._hist is not None:
+                self._hist.labels(name).observe(elapsed)
 
 
 @dataclass
@@ -74,6 +110,10 @@ class PreprocessResult:
         the input graph and of the (reordered) graph preprocessing ran
         on; ``nan`` when never measured (hand-built records, pre-v3
         artifacts).
+    stage_seconds: wall-clock seconds per pipeline stage of this build
+        (``reorder`` / ``ball_shortcuts`` / ``merge`` / ``calibrate``) —
+        the telemetry a capacity planner reads; empty for hand-built
+        records and artifact rehydrations (loading is not building).
     """
 
     graph: CSRGraph
@@ -90,6 +130,7 @@ class PreprocessResult:
     inv_perm: np.ndarray | None = field(default=None, repr=False)
     locality_before: float = float("nan")
     locality_after: float = float("nan")
+    stage_seconds: dict = field(default_factory=dict, repr=False)
 
     @property
     def edge_factor(self) -> float:
@@ -148,6 +189,7 @@ def build_kr_graph(
     calibration_budget: float = 1.0,
     reorder: str = "natural",
     reorder_seed: int = 0,
+    registry=None,
 ) -> PreprocessResult:
     """Preprocess ``graph`` into a (k,ρ)-graph; see module docstring.
 
@@ -181,6 +223,14 @@ def build_kr_graph(
     ids at the query boundary, so callers never see internal numbering
     — the reordering is invisible except for speed.  ``source_hash``
     stays the hash of the *input* graph for the same reason.
+
+    Every build times its stages into ``PreprocessResult.stage_seconds``
+    (``reorder``, ``ball_shortcuts``, ``merge``, ``calibrate`` — the
+    fused batched backend runs ball construction and §4.2 selection as
+    one stage, so they are timed as one).  ``registry`` optionally
+    mirrors the same durations into a
+    :class:`repro.obs.metrics.MetricsRegistry` as the
+    ``preprocess_stage_seconds{stage}`` histogram.
     """
     if heuristic not in HEURISTICS:
         raise ValueError(f"unknown heuristic {heuristic!r}; try {sorted(HEURISTICS)}")
@@ -194,50 +244,55 @@ def build_kr_graph(
     from ..graphs.reorder import compute_ordering, inverse_permutation, mean_neighbor_gap
     from ..graphs.transform import permute_vertices
 
+    clock = _StageClock(registry)
     input_graph = graph
-    locality_before = mean_neighbor_gap(graph)
-    perm = inv_perm = None
-    if reorder != "natural":
-        perm = compute_ordering(graph, reorder, seed=reorder_seed)
-        inv_perm = inverse_permutation(perm)
-        graph = permute_vertices(graph, perm)
-    locality_after = (
-        mean_neighbor_gap(graph) if perm is not None else locality_before
-    )
-    sources = np.arange(graph.n, dtype=np.int64)
-    if graph.n == 0:
-        # degenerate but legal (an empty shard of a partitioned graph):
-        # there is nothing to search and nothing to shortcut
-        blocks = []
-        radii = np.empty(0, dtype=np.float64)
-        src = dst = np.empty(0, dtype=np.int64)
-        w = np.empty(0, dtype=np.float64)
-    else:
-        blocks = parallel_map(
-            _shortcuts_for_chunk,
-            sources,
-            n_jobs=n_jobs,
-            fn_args=(graph,),
-            fn_kwargs={
-                "k": k,
-                "rho": rho,
-                "heuristic": heuristic,
-                "include_ties": include_ties,
-                "backend": backend,
-            },
+    with clock.stage("reorder"):
+        locality_before = mean_neighbor_gap(graph)
+        perm = inv_perm = None
+        if reorder != "natural":
+            perm = compute_ordering(graph, reorder, seed=reorder_seed)
+            inv_perm = inverse_permutation(perm)
+            graph = permute_vertices(graph, perm)
+        locality_after = (
+            mean_neighbor_gap(graph) if perm is not None else locality_before
         )
-        radii = np.concatenate([b[0] for b in blocks])
-        src = np.concatenate([b[1] for b in blocks])
-        dst = np.concatenate([b[2] for b in blocks])
-        w = np.concatenate([b[3] for b in blocks])
-    aug = add_shortcuts(graph, src, dst, w)
+    sources = np.arange(graph.n, dtype=np.int64)
+    with clock.stage("ball_shortcuts"):
+        if graph.n == 0:
+            # degenerate but legal (an empty shard of a partitioned graph):
+            # there is nothing to search and nothing to shortcut
+            blocks = []
+            radii = np.empty(0, dtype=np.float64)
+            src = dst = np.empty(0, dtype=np.int64)
+            w = np.empty(0, dtype=np.float64)
+        else:
+            blocks = parallel_map(
+                _shortcuts_for_chunk,
+                sources,
+                n_jobs=n_jobs,
+                fn_args=(graph,),
+                fn_kwargs={
+                    "k": k,
+                    "rho": rho,
+                    "heuristic": heuristic,
+                    "include_ties": include_ties,
+                    "backend": backend,
+                },
+            )
+            radii = np.concatenate([b[0] for b in blocks])
+            src = np.concatenate([b[1] for b in blocks])
+            dst = np.concatenate([b[2] for b in blocks])
+            w = np.concatenate([b[3] for b in blocks])
+    with clock.stage("merge"):
+        aug = add_shortcuts(graph, src, dst, w)
     preferred = ""
     if calibrate_engine and aug.n:
         # lazy import: preprocessing must not depend on the engine layer
         # unless calibration is requested.
         from ..engine.autoselect import pick_engine
 
-        preferred = pick_engine(aug, radii, budget=calibration_budget)
+        with clock.stage("calibrate"):
+            preferred = pick_engine(aug, radii, budget=calibration_budget)
     return PreprocessResult(
         graph=aug,
         radii=radii,
@@ -253,6 +308,7 @@ def build_kr_graph(
         inv_perm=inv_perm,
         locality_before=locality_before,
         locality_after=locality_after,
+        stage_seconds=clock.stages,
     )
 
 
@@ -292,6 +348,9 @@ class ShardedPreprocessResult:
     k, rho, heuristic: the per-shard preprocessing configuration.
     source_hash: content hash of the *input* graph, as for
         :class:`PreprocessResult`.
+    stage_seconds: wall-clock seconds per pipeline stage of this build
+        (``partition`` / ``shard_preprocess`` / ``overlay``); empty for
+        hand-built records and artifact rehydrations.
     """
 
     shards: list[PreprocessResult]
@@ -307,6 +366,7 @@ class ShardedPreprocessResult:
     rho: int
     heuristic: str
     source_hash: str = ""
+    stage_seconds: dict = field(default_factory=dict, repr=False)
 
     @property
     def n_shards(self) -> int:
@@ -367,6 +427,7 @@ def build_sharded_kr_graph(
     backend: str = "batched",
     calibrate_engine: bool = False,
     calibration_budget: float = 1.0,
+    registry=None,
 ) -> ShardedPreprocessResult:
     """Partition → per-shard (k,ρ)-preprocessing → boundary overlay.
 
@@ -397,10 +458,17 @@ def build_sharded_kr_graph(
     of a dense graph into many tiny shards can make the overlay the
     dominant artifact — ``edge_cut`` and ``balance`` on the result are
     the metrics to watch.
+
+    Stages are timed into ``stage_seconds`` (``partition`` /
+    ``shard_preprocess`` / ``overlay``) and, when ``registry`` is given,
+    into its ``preprocess_stage_seconds{stage}`` histogram, exactly as
+    in :func:`build_kr_graph`.
     """
     from ..graphs.partition import compute_partition
 
-    part = compute_partition(graph, partition, n_shards, seed=partition_seed)
+    clock = _StageClock(registry)
+    with clock.stage("partition"):
+        part = compute_partition(graph, partition, n_shards, seed=partition_seed)
     kwargs = {
         "k": k,
         "rho": rho,
@@ -410,17 +478,19 @@ def build_sharded_kr_graph(
         "calibrate_engine": calibrate_engine,
         "calibration_budget": calibration_budget,
     }
-    blocks = parallel_map_shared(
-        _preprocess_shard_chunk,
-        (graph, part.labels, kwargs),
-        np.arange(n_shards, dtype=np.int64),
-        n_jobs=n_jobs,
-    )
-    shards = [pre for block in blocks for pre in block]
+    with clock.stage("shard_preprocess"):
+        blocks = parallel_map_shared(
+            _preprocess_shard_chunk,
+            (graph, part.labels, kwargs),
+            np.arange(n_shards, dtype=np.int64),
+            n_jobs=n_jobs,
+        )
+        shards = [pre for block in blocks for pre in block]
     shard_vertices = [part.members(s) for s in range(n_shards)]
-    overlay_graph, overlay_vertices = _build_overlay(
-        graph, part.labels, shards, shard_vertices, n_jobs=n_jobs
-    )
+    with clock.stage("overlay"):
+        overlay_graph, overlay_vertices = _build_overlay(
+            graph, part.labels, shards, shard_vertices, n_jobs=n_jobs
+        )
     return ShardedPreprocessResult(
         shards=shards,
         shard_vertices=shard_vertices,
@@ -435,6 +505,7 @@ def build_sharded_kr_graph(
         rho=rho,
         heuristic=heuristic,
         source_hash=graph.content_hash(),
+        stage_seconds=clock.stages,
     )
 
 

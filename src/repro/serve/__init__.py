@@ -29,7 +29,11 @@ becomes a production serving story in cooperating parts:
   answers (see ``examples/sharded_service.py``).
 * :mod:`~repro.serve.http` — :class:`RoutingHTTPServer`, a
   stdlib-only threaded JSON front end over any query surface (see
-  ``examples/http_routing_service.py``).
+  ``examples/http_routing_service.py``), with ``GET /metrics``
+  (Prometheus text over :mod:`repro.obs`), per-request ``X-Request-Id``
+  tracing, and a ``GET /debug/slow`` slow-query log.
+* :mod:`~repro.serve.obs_bridge` — scrape-time collectors that put the
+  planner/router counters on ``/metrics`` with zero hot-path cost.
 """
 
 from .artifacts import (
@@ -61,7 +65,7 @@ from .planner import (
 from .router import ShardRouter
 from .service import RoutingService
 from .shm import DistanceMatrix, solve_many_shm
-from .surface import QuerySurface
+from .surface import QuerySurface, json_finite
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -83,6 +87,7 @@ __all__ = [
     "RoutingService",
     "ShardRouter",
     "SingleSource",
+    "json_finite",
     "load_artifact",
     "load_sharded_artifact",
     "load_solver",

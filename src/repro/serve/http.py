@@ -23,6 +23,13 @@ Endpoints
                              resolved ``engine``, shard count, per-shard
                              vertex/boundary counts, and (single-graph)
                              the ``engines`` registry with descriptions
+``GET /metrics``             Prometheus text exposition of the server's
+                             registry (request latency histograms by
+                             endpoint, planner cache counters, engine
+                             step/relaxation histograms, shard-stitch
+                             counters — :mod:`repro.obs`)
+``GET /debug/slow``          the slow-query log: span trees of recent
+                             requests over the ``slow_ms`` threshold
 ``GET /distances/{s}``       full distance row from ``s`` (``null`` = unreachable)
 ``GET /route/{s}/{t}``       distance and (when tracked) path ``s → t``
 ``GET /nearest/{s}/{k}``     the ``k`` closest reachable vertices to ``s``
@@ -35,6 +42,16 @@ JSON body ``{"error": <type>, "message": <detail>}``; unexpected
 server-side failures (a typed :class:`~repro.serve.artifacts.ArtifactError`,
 an engine blow-up) map to **5xx** with the same shape.  ``Infinity`` is
 not valid JSON, so unreachable distances serialize as ``null``.
+
+Observability: every response — error paths included — carries an
+``X-Request-Id`` header (the client's, sanitized, when it sent one;
+minted otherwise), which is also the id of the request's span tree in
+``GET /debug/slow``.  Each request is counted into
+``http_requests_total{endpoint,status}`` and timed into
+``http_request_seconds{endpoint}`` on the server's registry, and the
+surface is instrumented at construction when it supports it
+(``RoutingService.instrument`` / ``ShardRouter.instrument``), so one
+scrape shows the whole stack.
 
 Usage::
 
@@ -60,11 +77,16 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
 import numpy as np
 
+from ..obs.expo import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..obs.expo import render as render_metrics
+from ..obs.metrics import get_default_registry
+from ..obs.trace import SlowQueryLog, new_request_id, trace_request
 from .planner import KNearest, Nearest, PointToPoint, Route, SingleSource
 from .surface import QuerySurface
 
@@ -75,6 +97,53 @@ __all__ = ["RoutingHTTPServer", "serve"]
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
 _INT_RE = re.compile(r"[+-]?\d+\Z")
+
+#: the endpoint label values request metrics may carry.  Labels must be
+#: bounded — a scanner probing random paths must not mint one time
+#: series per path — so anything unrecognized becomes ``"unknown"``.
+_ENDPOINTS = frozenset(
+    {"root", "healthz", "stats", "metrics", "debug", "distances",
+     "route", "nearest", "batch"}
+)
+
+#: characters allowed in an echoed request id (visible ASCII only — a
+#: client-supplied header is echoed back verbatim, and CR/LF would be a
+#: response-splitting hole).
+_REQUEST_ID_STRIP = re.compile(r"[^\x21-\x7e]")
+
+
+def _endpoint_label(method: str, path: str) -> str:
+    """The bounded ``endpoint`` label of a request path.
+
+    Derived from the first path segment *before* routing, so error
+    responses (404s, planner rejections) are attributed to the endpoint
+    the client was aiming at.
+    """
+    parts = [p for p in urlparse(path).path.split("/") if p]
+    if not parts:
+        return "root"
+    head = parts[0]
+    return head if head in _ENDPOINTS else "unknown"
+
+
+def _request_id(raw: str | None) -> str:
+    """Accept a client's ``X-Request-Id`` (sanitized) or mint one."""
+    if raw:
+        cleaned = _REQUEST_ID_STRIP.sub("", raw)[:128]
+        if cleaned:
+            return cleaned
+    return new_request_id()
+
+
+class _RawResponse:
+    """A pre-encoded response body (bypasses the JSON layer) — how
+    ``GET /metrics`` returns Prometheus text from a JSON server."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body: bytes, content_type: str) -> None:
+        self.body = body
+        self.content_type = content_type
 
 
 class _HTTPError(Exception):
@@ -193,32 +262,52 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
     def _respond(self, method: str) -> None:
         self._body_read = False
-        try:
-            payload = self._route_request(method)
-            status = 200
-        except _HTTPError as exc:
-            names = {404: "NotFound", 411: "LengthRequired", 413: "PayloadTooLarge"}
-            status, payload = exc.status, {
-                "error": names.get(exc.status, "BadRequest"),
-                "message": str(exc),
-            }
-        except (ValueError, TypeError) as exc:
-            # the planner's validation layer: out-of-range vertices,
-            # bools-as-ids, negative k, malformed query records
-            status, payload = 400, {
-                "error": type(exc).__name__,
-                "message": str(exc),
-            }
-        except Exception as exc:  # typed server-side failures → 5xx
-            status, payload = 500, {
-                "error": type(exc).__name__,
-                "message": str(exc),
-            }
-        body = json.dumps(payload).encode()
+        endpoint = _endpoint_label(method, self.path)
+        request_id = _request_id(self.headers.get("X-Request-Id"))
+        t0 = time.perf_counter()
+        # the root span every instrumented layer underneath (planner,
+        # router, solver) attaches its children to
+        with trace_request(f"{method} {endpoint}", request_id) as trace:
+            try:
+                payload = self._route_request(method)
+                status = 200
+            except _HTTPError as exc:
+                names = {
+                    404: "NotFound", 411: "LengthRequired", 413: "PayloadTooLarge"
+                }
+                status, payload = exc.status, {
+                    "error": names.get(exc.status, "BadRequest"),
+                    "message": str(exc),
+                }
+            except (ValueError, TypeError) as exc:
+                # the planner's validation layer: out-of-range vertices,
+                # bools-as-ids, negative k, malformed query records
+                status, payload = 400, {
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                }
+            except Exception as exc:  # typed server-side failures → 5xx
+                status, payload = 500, {
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                }
+        self.server.observe_request(
+            endpoint=endpoint,
+            status=status,
+            seconds=time.perf_counter() - t0,
+            trace=trace,
+            method=method,
+        )
+        if isinstance(payload, _RawResponse):
+            body, content_type = payload.body, payload.content_type
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Request-Id", request_id)
             if self._undrained_body():
                 # this request carried a body we never (or never
                 # correctly) drained — an error path refused it early, a
@@ -262,6 +351,8 @@ class _Handler(BaseHTTPRequestHandler):
                 "endpoints": [
                     "GET /healthz",
                     "GET /stats",
+                    "GET /metrics",
+                    "GET /debug/slow",
                     "GET /distances/{s}",
                     "GET /route/{s}/{t}",
                     "GET /nearest/{s}/{k}",
@@ -272,6 +363,13 @@ class _Handler(BaseHTTPRequestHandler):
             return service.healthz()
         if parts == ["stats"]:
             return service.stats()
+        if parts == ["metrics"]:
+            return _RawResponse(
+                render_metrics(self.server.registry).encode(),
+                METRICS_CONTENT_TYPE,
+            )
+        if parts == ["debug", "slow"]:
+            return self.server.slow_log.dump()
         if parts[0] == "distances" and len(parts) == 2:
             source = _parse_int(parts[1], "source")
             return _distances_payload(source, service.distances(source))
@@ -354,6 +452,9 @@ class RoutingHTTPServer(ThreadingHTTPServer):
         port: int = 0,
         verbose: bool = False,
         request_timeout: float = 10.0,
+        registry=None,
+        slow_ms: float = 250.0,
+        slow_capacity: int = 128,
     ) -> None:
         if not isinstance(service, QuerySurface):
             raise TypeError(
@@ -368,7 +469,43 @@ class RoutingHTTPServer(ThreadingHTTPServer):
         #: keep-alive connection can pin a handler thread — and
         #: therefore how long :meth:`close` can block draining it.
         self.request_timeout = request_timeout
+        #: the metrics registry ``GET /metrics`` renders (the
+        #: process-global default unless one is injected — tests inject
+        #: a fresh one to assert in isolation).
+        self.registry = registry if registry is not None else get_default_registry()
+        #: threshold-triggered ring buffer behind ``GET /debug/slow``.
+        self.slow_log = SlowQueryLog(threshold_ms=slow_ms, capacity=slow_capacity)
+        self._requests_total = self.registry.counter(
+            "http_requests_total",
+            "HTTP requests by endpoint and status",
+            ("endpoint", "status"),
+        )
+        self._request_seconds = self.registry.histogram(
+            "http_request_seconds",
+            "request latency by endpoint (routing + answer, excl. socket IO)",
+            ("endpoint",),
+        )
+        # Instrumentation is duck-typed, NOT part of QuerySurface: a
+        # minimal surface implementation without instrument() must keep
+        # passing the isinstance gate above and serve untelemetered.
+        instrument = getattr(service, "instrument", None)
+        if callable(instrument):
+            instrument(self.registry)
         self._thread: threading.Thread | None = None
+
+    def observe_request(
+        self, *, endpoint: str, status: int, seconds: float, trace, method: str
+    ) -> None:
+        """One finished request: fold into metrics and the slow log.
+
+        Label children are resolved per call via the family dict (O(1));
+        the slow log's under-threshold path is one comparison.
+        """
+        self._requests_total.labels(endpoint, status).inc()
+        self._request_seconds.labels(endpoint).observe(seconds)
+        self.slow_log.record(
+            trace, method=method, endpoint=endpoint, status=int(status)
+        )
 
     # ------------------------------------------------------------------ #
     @property
@@ -414,6 +551,9 @@ def serve(
     port: int = 0,
     verbose: bool = False,
     request_timeout: float = 10.0,
+    registry=None,
+    slow_ms: float = 250.0,
+    slow_capacity: int = 128,
 ) -> RoutingHTTPServer:
     """Convenience: construct a :class:`RoutingHTTPServer` and start it."""
     return RoutingHTTPServer(
@@ -422,4 +562,7 @@ def serve(
         port=port,
         verbose=verbose,
         request_timeout=request_timeout,
+        registry=registry,
+        slow_ms=slow_ms,
+        slow_capacity=slow_capacity,
     ).start()

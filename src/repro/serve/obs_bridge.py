@@ -1,0 +1,126 @@
+"""Scrape-time bridge from serving counters to metric families.
+
+The planner and the shard router already keep exact counters of their
+own (striped LRU hits/misses, stitched-row lookups, single-flight
+waits) for ``GET /stats``.  Putting those numbers on ``GET /metrics``
+must cost the hot path *nothing*, so instead of double-counting at
+every probe, ``RoutingService.instrument`` / ``ShardRouter.instrument``
+register a weakly-held **collector** with the registry; at scrape time
+the collector snapshots ``stats()`` and this module shapes the snapshot
+into Prometheus families.  One scrape therefore always agrees with a
+simultaneous ``GET /stats`` — they read the same counters.
+
+Series identity: every family carries a ``service`` label (a
+process-unique instance tag minted by :func:`next_instance_label`, so
+two surfaces sharing the process-global registry never collide) and a
+``shard`` label (``"0"`` for the single-graph service — it *is* the
+one-shard special case).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from ..obs.metrics import MetricFamily, Sample
+
+__all__ = [
+    "next_instance_label",
+    "planner_cache_families",
+    "stitched_cache_families",
+]
+
+_INSTANCE_SEQ = itertools.count()
+_INSTANCE_LOCK = threading.Lock()
+
+
+def next_instance_label(prefix: str) -> str:
+    """A process-unique ``service`` label value, e.g. ``"service-0"``,
+    ``"router-1"`` — minted once per :meth:`instrument` call."""
+    with _INSTANCE_LOCK:
+        return f"{prefix}-{next(_INSTANCE_SEQ)}"
+
+
+def planner_cache_families(
+    entries: list[tuple[tuple[tuple[str, str], ...], dict]],
+) -> list[MetricFamily]:
+    """Planner-counter families from ``(labels, planner.stats())`` pairs.
+
+    ``labels`` is the base label tuple (``service`` + ``shard``); cache
+    lookups split into ``outcome="hit"`` / ``"miss"`` series whose sum
+    is the lookup total, matching the planner's own
+    ``hits + misses == lookups`` invariant.
+    """
+    lookups = MetricFamily(
+        "planner_cache_lookups_total",
+        "counter",
+        "source-row cache probes by outcome (hit + miss = all lookups)",
+    )
+    evictions = MetricFamily(
+        "planner_cache_evictions_total", "counter", "LRU rows evicted"
+    )
+    rows = MetricFamily(
+        "planner_cached_rows", "gauge", "source rows currently cached"
+    )
+    solves = MetricFamily(
+        "planner_solves_total", "counter", "cache-missing sources solved"
+    )
+    batches = MetricFamily(
+        "planner_batches_total", "counter", "coalesced solve_many fan-outs"
+    )
+    coalesced = MetricFamily(
+        "planner_coalesced_total",
+        "counter",
+        "batch queries answered from another query's row in the same batch",
+    )
+    waits = MetricFamily(
+        "planner_single_flight_waits_total",
+        "counter",
+        "concurrent misses that waited on another thread's solve",
+    )
+    inflight = MetricFamily(
+        "planner_inflight_solves", "gauge", "sources being solved right now"
+    )
+    for base, st in entries:
+        lookups.samples.append(
+            Sample("", base + (("outcome", "hit"),), float(st["hits"]))
+        )
+        lookups.samples.append(
+            Sample("", base + (("outcome", "miss"),), float(st["misses"]))
+        )
+        evictions.samples.append(Sample("", base, float(st["evictions"])))
+        rows.samples.append(Sample("", base, float(st["cached_rows"])))
+        solves.samples.append(Sample("", base, float(st["solves"])))
+        batches.samples.append(Sample("", base, float(st["batches"])))
+        coalesced.samples.append(Sample("", base, float(st["coalesced"])))
+        waits.samples.append(Sample("", base, float(st["single_flight_waits"])))
+        inflight.samples.append(Sample("", base, float(st["inflight"])))
+    return [lookups, evictions, rows, solves, batches, coalesced, waits, inflight]
+
+
+def stitched_cache_families(
+    base: tuple[tuple[str, str], ...], stitched: dict
+) -> list[MetricFamily]:
+    """The shard router's stitched full-row LRU as metric families."""
+    lookups = MetricFamily(
+        "router_stitched_lookups_total",
+        "counter",
+        "stitched full-row cache probes by outcome",
+    )
+    lookups.samples.append(
+        Sample("", base + (("outcome", "hit"),), float(stitched["hits"]))
+    )
+    lookups.samples.append(
+        Sample("", base + (("outcome", "miss"),), float(stitched["misses"]))
+    )
+    evictions = MetricFamily(
+        "router_stitched_evictions_total",
+        "counter",
+        "stitched rows evicted from the router LRU",
+    )
+    evictions.samples.append(Sample("", base, float(stitched["evictions"])))
+    rows = MetricFamily(
+        "router_stitched_rows", "gauge", "stitched rows currently cached"
+    )
+    rows.samples.append(Sample("", base, float(stitched["cached_rows"])))
+    return [lookups, evictions, rows]

@@ -59,6 +59,7 @@ import numpy as np
 from ..core.result import parent_path
 from ..core.solver import PreprocessedSSSP
 from ..engine.registry import get_engine
+from ..obs.trace import annotate, span
 
 __all__ = [
     "SingleSource",
@@ -426,12 +427,13 @@ class QueryPlanner:
                 pending.pop(i)
             if pending:
                 missing = [s for s, _ in pending]
-                results = self._solver.solve_many(
-                    missing,
-                    engine=self._engine,
-                    track_parents=self._track_parents,
-                    n_jobs=self._n_jobs,
-                )
+                with span("planner.solve_missing", sources=len(missing)):
+                    results = self._solver.solve_many(
+                        missing,
+                        engine=self._engine,
+                        track_parents=self._track_parents,
+                        n_jobs=self._n_jobs,
+                    )
                 with self._stats_lock:
                     self._batches += 1
                     self._solves += len(missing)
@@ -519,11 +521,13 @@ class QueryPlanner:
         normalized = [normalize_query(q) for q in queries]
         for q in normalized:
             self._validate(q)
-        rows = self._fetch_rows(q.source for q in normalized)
-        distinct = len({int(q.source) for q in normalized})
-        with self._stats_lock:
-            self._coalesced += len(normalized) - distinct
-        return [self._answer(q, rows) for q in normalized]
+        with span("planner.execute", queries=len(normalized), engine=self._engine):
+            rows = self._fetch_rows(q.source for q in normalized)
+            distinct = len({int(q.source) for q in normalized})
+            annotate(distinct_sources=distinct)
+            with self._stats_lock:
+                self._coalesced += len(normalized) - distinct
+            return [self._answer(q, rows) for q in normalized]
 
     def distances(self, source: int) -> np.ndarray:
         """Full distance row from ``source`` (read-only; cached)."""

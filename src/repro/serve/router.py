@@ -58,11 +58,17 @@ from ..core.dijkstra import dijkstra
 from ..core.solver import PreprocessedSSSP
 from ..graphs.build import from_arc_arrays
 from ..graphs.csr import CSRGraph
+from ..obs.trace import span
 from ..preprocess.pipeline import ShardedPreprocessResult, build_sharded_kr_graph
 from .artifacts import (
     SHARDED_ARTIFACT_VERSION,
     load_sharded_artifact,
     save_sharded_artifact,
+)
+from .obs_bridge import (
+    next_instance_label,
+    planner_cache_families,
+    stitched_cache_families,
 )
 from .planner import (
     KNearest,
@@ -75,6 +81,7 @@ from .planner import (
     nearest_from_row,
     normalize_query,
 )
+from .surface import json_finite
 
 __all__ = ["ShardRouter"]
 
@@ -206,6 +213,8 @@ class ShardRouter:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._obs_registry = None
+        self._obs_label = ""
 
     # ------------------------------------------------------------------ #
     # Construction / persistence
@@ -270,7 +279,8 @@ class ShardRouter:
     def _stitch(self, source: int) -> _Stitched:
         shard_a = int(self._labels[source])
         planner_a = self._planners[shard_a]
-        row_a = planner_a.distances(int(self._local[source]))
+        with span("router.source_row", shard=shard_a):
+            row_a = planner_a.distances(int(self._local[source]))
         dist = np.full(self._n, np.inf)
         dist[self._shard_vertices[shard_a]] = row_a
         ov_dist = np.full(self._n_ov, np.inf)
@@ -279,7 +289,8 @@ class ShardRouter:
         seed_dist = row_a[self._boundary_local[shard_a]]
         finite = np.isfinite(seed_dist)
         if self._n_ov and finite.any():
-            res = self._virtual_solve(seeds_ov[finite], seed_dist[finite])
+            with span("router.overlay_solve", seeds=int(finite.sum())):
+                res = self._virtual_solve(seeds_ov[finite], seed_dist[finite])
             ov_dist = res.dist[: self._n_ov]
             ov_parent = res.parent
             for shard_c in range(self._sharded.n_shards):
@@ -292,11 +303,16 @@ class ShardRouter:
                     continue
                 planner_c = self._planners[shard_c]
                 verts = self._shard_vertices[shard_c]
-                best = dist[verts]
-                for local_b, db in zip(self._boundary_local[shard_c][ok], d_b[ok]):
-                    row_c = planner_c.distances(int(local_b))
-                    np.minimum(best, db + row_c, out=best)
-                dist[verts] = best
+                with span(
+                    "router.fold_shard", shard=shard_c, boundary=int(ok.sum())
+                ):
+                    best = dist[verts]
+                    for local_b, db in zip(
+                        self._boundary_local[shard_c][ok], d_b[ok]
+                    ):
+                        row_c = planner_c.distances(int(local_b))
+                        np.minimum(best, db + row_c, out=best)
+                    dist[verts] = best
         return _Stitched(dist, ov_dist, ov_parent)
 
     def _stitched(self, source: int) -> _Stitched:
@@ -309,7 +325,8 @@ class ShardRouter:
                 self._hits += 1
                 return entry
             self._misses += 1
-        entry = self._stitch(source)
+        with span("router.stitch", source=source):
+            entry = self._stitch(source)
         if self._capacity > 0:
             with self._cache_lock:
                 self._cache[source] = entry
@@ -475,6 +492,79 @@ class ShardRouter:
             self._stitched(s)
 
     # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def instrument(self, registry=None) -> str:
+        """Attach the router to a metrics registry; returns its
+        ``service`` label value.
+
+        The sharded mirror of :meth:`RoutingService.instrument
+        <repro.serve.service.RoutingService.instrument>`: one
+        :class:`~repro.obs.metrics.EngineTelemetry` observer shared by
+        every shard's solver (engine histograms aggregate across shards
+        — the ``engine`` label already distinguishes what matters), and
+        one weakly-held scrape-time collector emitting ``planner_*``
+        families per shard (``shard`` label = shard id) plus the
+        router's own ``router_stitched_*`` LRU families.  Idempotent per
+        registry; ``None`` = the process-global default.
+        """
+        from ..obs.metrics import EngineTelemetry, get_default_registry
+
+        if registry is None:
+            registry = get_default_registry()
+        if self._obs_registry is registry:
+            return self._obs_label
+        self._obs_registry = registry
+        self._obs_label = next_instance_label("router")
+        telemetry = EngineTelemetry(registry)
+        for solver in self._solvers:
+            if solver is not None:
+                solver.set_observer(telemetry)
+        registry.register_collector(self._collect_metrics)
+        return self._obs_label
+
+    def _collect_metrics(self):
+        """Scrape-time collector: per-shard planner counters, the
+        stitched-row LRU, and the query total."""
+        from ..obs.metrics import MetricFamily, Sample
+
+        svc = ("service", self._obs_label)
+        entries = [
+            ((svc, ("shard", str(s))), planner.stats())
+            for s, planner in enumerate(self._planners)
+            if planner is not None
+        ]
+        fams = planner_cache_families(entries)
+        with self._cache_lock:
+            stitched = {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "cached_rows": len(self._cache),
+            }
+        fams.extend(stitched_cache_families((svc,), stitched))
+        queries = MetricFamily(
+            "service_queries_answered_total",
+            "counter",
+            "SSSP queries answered (the amortization denominator)",
+        )
+        queries.samples.append(
+            Sample(
+                "",
+                (svc,),
+                float(
+                    sum(
+                        solver.queries_answered
+                        for solver in self._solvers
+                        if solver is not None
+                    )
+                ),
+            )
+        )
+        fams.append(queries)
+        return fams
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
@@ -521,7 +611,17 @@ class ShardRouter:
         the ``stitched`` block is the router's own full-row LRU; and the
         satellite topology — artifact version, shard count, per-shard
         vertex/boundary counts — rides along for ``GET /stats``.
+
+        Parity with :meth:`RoutingService.stats
+        <repro.serve.service.RoutingService.stats>`: the same
+        ``engines`` registry listing, and a ``per_shard`` table giving
+        every shard's full planner counter snapshot plus its
+        preprocessing provenance (``preferred_engine``, ``reorder``,
+        sanitized ``locality``) — the aggregate totals above stay, the
+        table is where a per-shard imbalance shows up.
         """
+        from ..engine.registry import available_engines, get_engine
+
         agg = {
             key: 0
             for key in (
@@ -539,13 +639,33 @@ class ShardRouter:
             )
         }
         engines = set()
-        for planner in self._planners:
+        per_shard = []
+        for s, planner in enumerate(self._planners):
             if planner is None:
                 continue
             pstats = planner.stats()
             engines.add(pstats["engine"])
             for key in agg:
                 agg[key] += pstats[key]
+            pre = self._sharded.shards[s]
+            per_shard.append(
+                {
+                    "shard": s,
+                    "vertices": int(len(self._shard_vertices[s])),
+                    "boundary": int(len(self._boundary_ov[s])),
+                    **pstats,
+                    "preferred_engine": getattr(pre, "preferred_engine", ""),
+                    "reorder": getattr(pre, "reorder", "natural"),
+                    "locality": {
+                        "before": json_finite(
+                            getattr(pre, "locality_before", float("nan"))
+                        ),
+                        "after": json_finite(
+                            getattr(pre, "locality_after", float("nan"))
+                        ),
+                    },
+                }
+            )
         with self._cache_lock:
             stitched = {
                 "capacity": self._capacity,
@@ -575,6 +695,11 @@ class ShardRouter:
             "balance": self._sharded.balance,
             "artifact_version": SHARDED_ARTIFACT_VERSION,
             "stitched": stitched,
+            "engines": {
+                name: get_engine(name).description
+                for name in available_engines()
+            },
+            "per_shard": per_shard,
             "topology": self.topology(),
         }
 

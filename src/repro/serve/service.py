@@ -31,8 +31,10 @@ import numpy as np
 from ..core.solver import PreprocessedSSSP
 from ..graphs.csr import CSRGraph
 from .artifacts import ARTIFACT_VERSION, load_artifact, save_artifact
+from .obs_bridge import next_instance_label, planner_cache_families
 from .planner import Nearest, QueryPlanner, Route
 from .shm import DistanceMatrix, solve_many_shm
+from .surface import json_finite
 
 __all__ = ["RoutingService"]
 
@@ -105,6 +107,8 @@ class RoutingService:
             n_jobs=query_jobs,
             stripes=cache_stripes,
         )
+        self._obs_registry = None
+        self._obs_label = ""
 
     # ------------------------------------------------------------------ #
     # Construction / persistence
@@ -203,6 +207,61 @@ class RoutingService:
         )
 
     # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def instrument(self, registry=None) -> str:
+        """Attach this service to a metrics registry; returns its
+        ``service`` label value.
+
+        Two things happen, neither touching the query hot path:
+
+        * an :class:`~repro.obs.metrics.EngineTelemetry` observer is
+          installed on the solver, so every solve folds its
+          step/substep/relaxation counts into the per-engine histograms;
+        * a scrape-time collector (held by weak reference — a dropped
+          service silently leaves the scrape) is registered that shapes
+          :meth:`QueryPlanner.stats` into ``planner_*`` families under a
+          process-unique ``service`` label and ``shard="0"``.
+
+        ``registry=None`` uses the process-global default.  Idempotent
+        per registry; instrumenting a second registry moves the service
+        (one observer, one label).  The HTTP front end calls this
+        automatically for any surface that has it.
+        """
+        from ..obs.metrics import EngineTelemetry, get_default_registry
+
+        if registry is None:
+            registry = get_default_registry()
+        if self._obs_registry is registry:
+            return self._obs_label
+        self._obs_registry = registry
+        self._obs_label = next_instance_label("service")
+        self._solver.set_observer(EngineTelemetry(registry))
+        registry.register_collector(self._collect_metrics)
+        return self._obs_label
+
+    def _collect_metrics(self):
+        """Scrape-time collector: planner counters + query totals."""
+        from ..obs.metrics import MetricFamily, Sample
+
+        base = (("service", self._obs_label), ("shard", "0"))
+        fams = planner_cache_families([(base, self._planner.stats())])
+        queries = MetricFamily(
+            "service_queries_answered_total",
+            "counter",
+            "SSSP queries answered (the amortization denominator)",
+        )
+        queries.samples.append(
+            Sample(
+                "",
+                (("service", self._obs_label),),
+                float(self._solver.queries_answered),
+            )
+        )
+        fams.append(queries)
+        return fams
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     @property
@@ -233,13 +292,6 @@ class RoutingService:
         from ..engine.registry import available_engines, get_engine
 
         pre = self._solver.preprocessing
-
-        def _measured(value) -> float | None:
-            # pre-v3 artifacts carry no locality measurement (nan) —
-            # emit null, not NaN, which is invalid JSON at GET /stats
-            value = float(value)
-            return value if np.isfinite(value) else None
-
         return {
             **self._planner.stats(),
             "queries_answered": self._solver.queries_answered,
@@ -252,8 +304,8 @@ class RoutingService:
             "preferred_engine": getattr(pre, "preferred_engine", ""),
             "reorder": getattr(pre, "reorder", "natural"),
             "locality": {
-                "before": _measured(getattr(pre, "locality_before", float("nan"))),
-                "after": _measured(getattr(pre, "locality_after", float("nan"))),
+                "before": json_finite(getattr(pre, "locality_before", float("nan"))),
+                "after": json_finite(getattr(pre, "locality_after", float("nan"))),
             },
             "engines": {
                 name: get_engine(name).description

@@ -20,13 +20,26 @@ from every worker thread.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from .planner import Nearest, Route
 
-__all__ = ["QuerySurface"]
+__all__ = ["QuerySurface", "json_finite"]
+
+
+def json_finite(value) -> float | None:
+    """``float(value)``, or ``None`` when it is not finite.
+
+    ``stats()`` payloads are served verbatim as JSON, and ``NaN`` /
+    ``Infinity`` are not JSON — every surface implementation sanitizes
+    unmeasured diagnostics (pre-v3 artifacts carry ``nan`` locality)
+    through this one helper so they agree on ``null``.
+    """
+    value = float(value)
+    return value if math.isfinite(value) else None
 
 
 @runtime_checkable

@@ -1,0 +1,225 @@
+"""Request tracing: span trees, ambient propagation, the slow log.
+
+The contract under test: :func:`span` is a shared no-op outside a
+trace (instrumented hot paths cost nothing for un-traced callers),
+builds a correctly nested tree inside one, propagates through the
+planner / router / solver layers with zero signature plumbing, and
+never leaks between threads.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    SlowQueryLog,
+    Trace,
+    annotate,
+    current_span,
+    current_trace,
+    new_request_id,
+    span,
+    trace_request,
+)
+
+
+class TestSpanMechanics:
+    def test_no_trace_is_shared_noop(self):
+        assert current_span() is None
+        assert current_trace() is None
+        cm1, cm2 = span("a"), span("b", key=1)
+        assert cm1 is cm2  # one shared object, no allocation
+        with cm1:
+            assert current_span() is None
+        annotate(ignored=True)  # no-op, must not raise
+
+    def test_nesting_builds_a_tree(self):
+        with trace_request("GET distances", "req-1") as trace:
+            assert trace.request_id == "req-1"
+            assert current_trace() is trace
+            assert current_span() is trace.root
+            with span("outer", layer="planner"):
+                with span("inner-1"):
+                    annotate(rows=3)
+                with span("inner-2"):
+                    pass
+            with span("sibling"):
+                pass
+        root = trace.root
+        assert [c.name for c in root.children] == ["outer", "sibling"]
+        outer = root.children[0]
+        assert [c.name for c in outer.children] == ["inner-1", "inner-2"]
+        assert outer.annotations == {"layer": "planner"}
+        assert outer.children[0].annotations == {"rows": 3}
+        # every span closed with a real monotonic duration
+        for s in root.walk():
+            assert s.duration is not None and s.duration >= 0
+        assert trace.duration == root.duration
+        # and the context is clean again
+        assert current_span() is None and current_trace() is None
+
+    def test_exception_still_closes_spans(self):
+        with pytest.raises(RuntimeError):
+            with trace_request("boom") as trace:
+                with span("will-fail"):
+                    raise RuntimeError("x")
+        assert trace.root.duration is not None
+        assert trace.root.children[0].duration is not None
+        assert current_span() is None
+
+    def test_to_dict_is_jsonable(self):
+        import json
+
+        with trace_request("GET route") as trace:
+            with span("child", shard=2):
+                pass
+        doc = trace.to_dict()
+        json.dumps(doc)  # must not raise
+        assert doc["request_id"] == trace.request_id
+        assert doc["trace"]["name"] == "GET route"
+        child = doc["trace"]["children"][0]
+        assert child["annotations"] == {"shard": 2}
+        assert child["duration_ms"] >= 0
+
+    def test_request_ids_unique(self):
+        ids = {new_request_id() for _ in range(200)}
+        assert len(ids) == 200
+
+    def test_threads_do_not_share_spans(self):
+        """Each thread carries its own context: a trace opened here is
+        invisible to a worker thread, and vice versa."""
+        seen = {}
+
+        def worker() -> None:
+            seen["span"] = current_span()
+            with trace_request("worker-trace") as t:
+                with span("worker-child"):
+                    pass
+            seen["worker_children"] = [c.name for c in t.root.children]
+
+        with trace_request("main-trace") as trace:
+            with span("main-child"):
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+        assert seen["span"] is None  # no leak into the worker
+        assert seen["worker_children"] == ["worker-child"]
+        assert [c.name for c in trace.root.children] == ["main-child"]
+
+
+class TestLayerPropagation:
+    @pytest.fixture(scope="class")
+    def planner(self):
+        from repro.core.solver import PreprocessedSSSP
+        from repro.serve import QueryPlanner
+        from tests.helpers import random_connected_graph
+
+        g = random_connected_graph(40, 90, seed=5)
+        return QueryPlanner(
+            PreprocessedSSSP(g, k=1, rho=4, heuristic="full"), capacity=16
+        )
+
+    def test_planner_spans(self, planner):
+        """A cache-miss execute grows planner.execute →
+        planner.solve_missing → solver.solve_many under the root."""
+        from repro.serve import SingleSource
+
+        with trace_request("GET distances") as trace:
+            planner.execute([SingleSource(0), SingleSource(1)])
+        names = [s.name for s in trace.root.walk()]
+        assert "planner.execute" in names
+        assert "planner.solve_missing" in names
+        assert "solver.solve_many" in names
+        execute = next(
+            s for s in trace.root.walk() if s.name == "planner.execute"
+        )
+        assert execute.annotations["queries"] == 2
+        assert execute.annotations["distinct_sources"] == 2
+        solve = next(
+            s for s in trace.root.walk() if s.name == "planner.solve_missing"
+        )
+        assert solve.annotations["sources"] == 2
+
+    def test_planner_cache_hit_skips_solve_span(self, planner):
+        from repro.serve import SingleSource
+
+        planner.execute([SingleSource(3)])  # warm outside any trace
+        with trace_request("GET distances") as trace:
+            planner.execute([SingleSource(3)])
+        names = [s.name for s in trace.root.walk()]
+        assert "planner.execute" in names
+        assert "planner.solve_missing" not in names  # pure cache hit
+
+    def test_router_spans(self):
+        """A cold sharded query walks router.stitch →
+        router.source_row / router.overlay_solve / router.fold_shard."""
+        from repro.serve import ShardRouter
+        from tests.helpers import random_connected_graph
+
+        g = random_connected_graph(48, 110, seed=13, weight_high=30)
+        router = ShardRouter(g, n_shards=3, k=1, rho=6, heuristic="full")
+        with trace_request("GET distances") as trace:
+            router.distances(7)
+        by_name: dict[str, list] = {}
+        for s in trace.root.walk():
+            by_name.setdefault(s.name, []).append(s)
+        assert "router.stitch" in by_name
+        stitch = by_name["router.stitch"][0]
+        child_names = {c.name for c in stitch.children}
+        assert "router.source_row" in child_names
+        assert "router.overlay_solve" in child_names
+        assert "router.fold_shard" in child_names
+        # every shard folded exactly once
+        assert len(by_name["router.fold_shard"]) == 3
+
+        # warm: the stitched row is cached, no stitch span this time
+        with trace_request("GET distances") as warm:
+            router.distances(7)
+        assert all(s.name != "router.stitch" for s in warm.root.walk())
+
+
+class TestSlowQueryLog:
+    @staticmethod
+    def _finished_trace(name="GET x") -> Trace:
+        with trace_request(name) as trace:
+            pass
+        return trace
+
+    def test_threshold_filters(self):
+        log = SlowQueryLog(threshold_ms=1e6, capacity=4)
+        assert log.record(self._finished_trace()) is False
+        everything = SlowQueryLog(threshold_ms=0.0, capacity=4)
+        assert everything.record(self._finished_trace()) is True
+        doc = everything.dump()
+        assert doc["seen"] == 1 and doc["recorded"] == 1
+        assert log.dump()["seen"] == 1 and log.dump()["recorded"] == 0
+
+    def test_ring_buffer_newest_first(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=2)
+        for i in range(4):
+            log.record(self._finished_trace(f"req-{i}"), idx=i)
+        doc = log.dump()
+        assert doc["recorded"] == 4
+        assert len(doc["entries"]) == 2  # oldest evicted
+        assert [e["idx"] for e in doc["entries"]] == [3, 2]  # newest first
+        assert doc["entries"][0]["trace"]["name"] == "req-3"
+
+    def test_extra_fields_merged(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record(self._finished_trace(), endpoint="distances", status=200)
+        entry = log.dump()["entries"][0]
+        assert entry["endpoint"] == "distances"
+        assert entry["status"] == 200
+        assert "request_id" in entry
+
+    def test_clear_keeps_totals(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record(self._finished_trace())
+        log.clear()
+        doc = log.dump()
+        assert doc["entries"] == []
+        assert doc["seen"] == 1  # totals are lifetime, not buffer, state
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
