@@ -187,6 +187,27 @@ class Histogram:
         with self._lock:
             return list(self._counts), self._sum, self._count
 
+    def quantile(self, q: float) -> float | None:
+        """Bucket-resolution quantile estimate (upper bucket bound).
+
+        The standard log-bucket estimate: the smallest bound whose
+        cumulative count reaches ``q * count``.  Observations above the
+        last finite bound report that bound (a conservative floor).
+        ``None`` while the histogram is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        counts, _total, count = self.snapshot()
+        if count == 0:
+            return None
+        rank = max(1, math.ceil(q * count))
+        acc = 0
+        for bound, c in zip(self.bounds, counts):
+            acc += c
+            if acc >= rank:
+                return bound
+        return self.bounds[-1] if self.bounds else None
+
     @property
     def count(self) -> int:
         with self._lock:

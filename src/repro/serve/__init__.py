@@ -27,6 +27,14 @@ becomes a production serving story in cooperating parts:
   implementation of the same surface: one planner per shard, exact
   cross-shard stitching through the boundary overlay, bit-identical
   answers (see ``examples/sharded_service.py``).
+* :mod:`~repro.serve.backends` — :class:`ShardBackend`, the
+  transport seam under the router: :class:`LocalBackend` wraps an
+  in-process planner, :class:`RemoteBackend` speaks HTTP to a shard
+  server on another box (pooled connections, deadlines, bounded
+  retries), both bit-identical to the stitch layer above.
+* :mod:`~repro.serve.cluster` — :class:`ShardCluster`, a one-call
+  bootstrap of N shard servers plus a remote-stitching front end
+  (see ``examples/remote_shard_cluster.py``).
 * :mod:`~repro.serve.http` — :class:`RoutingHTTPServer`, a
   stdlib-only threaded JSON front end over any query surface (see
   ``examples/http_routing_service.py``), with ``GET /metrics``
@@ -45,12 +53,22 @@ from .artifacts import (
     ArtifactError,
     ArtifactGraphMismatchError,
     ArtifactVersionError,
+    ShardTopology,
     load_artifact,
+    load_shard_topology,
     load_sharded_artifact,
     load_solver,
     save_artifact,
     save_sharded_artifact,
+    stamp_endpoints,
 )
+from .backends import (
+    LocalBackend,
+    RemoteBackend,
+    ShardBackend,
+    ShardUnavailableError,
+)
+from .cluster import ShardCluster
 from .http import RoutingHTTPServer, serve
 from .planner import (
     KNearest,
@@ -78,17 +96,24 @@ __all__ = [
     "ArtifactVersionError",
     "DistanceMatrix",
     "KNearest",
+    "LocalBackend",
     "Nearest",
     "PointToPoint",
     "QueryPlanner",
     "QuerySurface",
+    "RemoteBackend",
     "Route",
     "RoutingHTTPServer",
     "RoutingService",
+    "ShardBackend",
+    "ShardCluster",
     "ShardRouter",
+    "ShardTopology",
+    "ShardUnavailableError",
     "SingleSource",
     "json_finite",
     "load_artifact",
+    "load_shard_topology",
     "load_sharded_artifact",
     "load_solver",
     "nearest_from_row",
@@ -96,5 +121,6 @@ __all__ = [
     "save_artifact",
     "save_sharded_artifact",
     "serve",
+    "stamp_endpoints",
     "solve_many_shm",
 ]

@@ -40,7 +40,9 @@ from __future__ import annotations
 import hashlib
 import json
 import zipfile
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -57,11 +59,14 @@ __all__ = [
     "ArtifactCorruptError",
     "ArtifactVersionError",
     "ArtifactGraphMismatchError",
+    "ShardTopology",
     "save_artifact",
     "load_artifact",
     "load_solver",
     "save_sharded_artifact",
     "load_sharded_artifact",
+    "load_shard_topology",
+    "stamp_endpoints",
 ]
 
 #: magic string identifying a bundle as ours (first field checked on load).
@@ -490,7 +495,12 @@ def _manifest_hash(manifest: dict) -> str:
     return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
 
 
-def save_sharded_artifact(path: str | Path, sharded: ShardedPreprocessResult) -> Path:
+def save_sharded_artifact(
+    path: str | Path,
+    sharded: ShardedPreprocessResult,
+    *,
+    endpoints: Sequence[str | None] | None = None,
+) -> Path:
     """Persist a :class:`ShardedPreprocessResult` as a bundle directory.
 
     Layout::
@@ -508,9 +518,16 @@ def save_sharded_artifact(path: str | Path, sharded: ShardedPreprocessResult) ->
     ``shard_vertices`` is not stored: the labels array reproduces it
     exactly (``np.flatnonzero(labels == s)`` is the sorted-ascending
     :func:`~repro.graphs.build.induced_subgraph` convention the shards
-    were built with).  Returns the bundle directory path.
+    were built with).  ``endpoints`` (optional, one ``"http://host:port"``
+    per shard, ``None`` for empty shards) is stamped into the manifest
+    as deployment hints, so :meth:`ShardRouter.remote
+    <repro.serve.router.ShardRouter.remote>` can find the shard servers
+    from the bundle alone; a bundle without hints loads everywhere
+    (:func:`stamp_endpoints` adds them to an existing bundle in place).
+    Returns the bundle directory path.
     """
     path = Path(path)
+    endpoints = _check_endpoints(endpoints, sharded.n_shards)
     path.mkdir(parents=True, exist_ok=True)
     members: dict[str, str] = {}
     for s, pre in enumerate(sharded.shards):
@@ -550,6 +567,49 @@ def save_sharded_artifact(path: str | Path, sharded: ShardedPreprocessResult) ->
         "source_hash": str(sharded.source_hash),
         "members": members,
     }
+    if endpoints is not None:
+        manifest["endpoints"] = list(endpoints)
+    manifest["manifest_hash"] = _manifest_hash(manifest)
+    (path / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
+    return path
+
+
+def _check_endpoints(
+    endpoints: Sequence[str | None] | None, n_shards: int
+) -> list[str | None] | None:
+    """Validate per-shard endpoint hints (one entry per shard)."""
+    if endpoints is None:
+        return None
+    endpoints = list(endpoints)
+    if len(endpoints) != n_shards:
+        raise ValueError(
+            f"expected {n_shards} endpoint hints (one per shard, None for "
+            f"empty shards), got {len(endpoints)}"
+        )
+    for ep in endpoints:
+        if ep is not None and not isinstance(ep, str):
+            raise TypeError(f"endpoint hints must be str or None, got {ep!r}")
+    return endpoints
+
+
+def stamp_endpoints(
+    path: str | Path, endpoints: Sequence[str | None] | None
+) -> Path:
+    """Rewrite an existing bundle's manifest with new endpoint hints.
+
+    The deployment step of a multi-box rollout: the bundle is built
+    (and rsynced) once, then each environment stamps where *its* shard
+    servers listen.  Only the manifest changes — member files and their
+    hashes are untouched — and the manifest's own digest is recomputed
+    so the bundle still verifies.  ``endpoints=None`` removes the hints.
+    """
+    path = Path(path)
+    manifest = _read_sharded_manifest(path)
+    endpoints = _check_endpoints(endpoints, int(manifest["n_shards"]))
+    manifest.pop("endpoints", None)
+    manifest.pop("manifest_hash", None)
+    if endpoints is not None:
+        manifest["endpoints"] = endpoints
     manifest["manifest_hash"] = _manifest_hash(manifest)
     (path / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2) + "\n")
     return path
@@ -571,24 +631,10 @@ def _load_npz_member(path: Path, fields: tuple[str, ...]) -> dict[str, np.ndarra
         ) from exc
 
 
-def load_sharded_artifact(
-    path: str | Path,
-    *,
-    expect_graph: CSRGraph | None = None,
-    mmap: bool = False,
-) -> ShardedPreprocessResult:
-    """Restore a bundle written by :func:`save_sharded_artifact`.
-
-    Integrity is verified end to end before anything is trusted: the
-    manifest's own digest, then every member file's blake2b hash against
-    the manifest (so corruption of *any* member — a shard, the overlay,
-    the topology — raises :class:`ArtifactCorruptError`), then each
-    shard artifact's internal payload checksum via :func:`load_artifact`.
-    ``expect_graph`` pins the bundle to the *input* graph's content hash
-    (:class:`ArtifactGraphMismatchError` on mismatch); ``mmap=True``
-    keeps every shard's augmented CSR memory-mapped off its member file.
-    """
-    path = Path(path)
+def _read_sharded_manifest(path: Path) -> dict:
+    """Read and structurally verify a bundle's manifest (format,
+    version, required fields, member listing, its own digest, and the
+    optional endpoint hints) — member *files* are not touched here."""
     manifest_path = path / _MANIFEST_NAME
     if not manifest_path.exists():
         raise FileNotFoundError(f"no sharded artifact manifest at {manifest_path}")
@@ -633,38 +679,68 @@ def load_sharded_artifact(
             f"{manifest_path} failed its manifest checksum — the member "
             "list or metadata was altered after the bundle was written"
         )
-    if expect_graph is not None:
-        expected = expect_graph.content_hash()
-        if manifest["source_hash"] != expected:
-            raise ArtifactGraphMismatchError(
-                f"{path} was preprocessed from a different graph "
-                f"(bundle source hash {manifest['source_hash'] or '<unrecorded>'}, "
-                f"serving graph hash {expected})"
-            )
-    members = manifest["members"]
     n_shards = int(manifest["n_shards"])
-    shard_names = [f"shard_{s:04d}.npz" for s in range(n_shards)]
-    expected_members = set(shard_names) | {"overlay.npz", "topology.npz"}
-    if set(members) != expected_members:
+    expected_members = {f"shard_{s:04d}.npz" for s in range(n_shards)} | {
+        "overlay.npz",
+        "topology.npz",
+    }
+    if set(manifest["members"]) != expected_members:
         raise ArtifactCorruptError(
-            f"{manifest_path} lists members {sorted(members)}, expected "
-            f"{sorted(expected_members)}"
+            f"{manifest_path} lists members {sorted(manifest['members'])}, "
+            f"expected {sorted(expected_members)}"
         )
-    for name, digest in members.items():
+    endpoints = manifest.get("endpoints")
+    if endpoints is not None and (
+        not isinstance(endpoints, list)
+        or len(endpoints) != n_shards
+        or any(ep is not None and not isinstance(ep, str) for ep in endpoints)
+    ):
+        raise ArtifactCorruptError(
+            f"{manifest_path} holds endpoint hints inconsistent with its "
+            f"{n_shards} shards"
+        )
+    return manifest
+
+
+def _check_source_graph(
+    path: Path, manifest: dict, expect_graph: CSRGraph | None
+) -> None:
+    if expect_graph is None:
+        return
+    expected = expect_graph.content_hash()
+    if manifest["source_hash"] != expected:
+        raise ArtifactGraphMismatchError(
+            f"{path} was preprocessed from a different graph "
+            f"(bundle source hash {manifest['source_hash'] or '<unrecorded>'}, "
+            f"serving graph hash {expected})"
+        )
+
+
+def _verify_members(path: Path, manifest: dict, names) -> None:
+    """Existence + blake2b check of the named member files."""
+    members = manifest["members"]
+    for name in names:
         member = path / name
         if not member.exists():
             raise ArtifactCorruptError(f"{path} is missing member {name}")
-        if _file_hash(member) != digest:
+        if _file_hash(member) != members[name]:
             raise ArtifactCorruptError(
                 f"bundle member {member} failed its checksum — the file "
                 "was altered after the bundle was written"
             )
+
+
+def _load_overlay_topology(
+    path: Path, manifest: dict
+) -> tuple[np.ndarray, np.ndarray, CSRGraph]:
+    """Load + validate the labels / overlay members of a bundle."""
+    n = int(manifest["n"])
+    n_shards = int(manifest["n_shards"])
     topo = _load_npz_member(path / "topology.npz", ("labels", "overlay_vertices"))
     labels = np.ascontiguousarray(topo["labels"], dtype=np.int64)
     overlay_vertices = np.ascontiguousarray(
         topo["overlay_vertices"], dtype=np.int64
     )
-    n = int(manifest["n"])
     if labels.shape != (n,) or (n and (labels.min() < 0 or labels.max() >= n_shards)):
         raise ArtifactCorruptError(
             f"{path} holds shard labels inconsistent with its manifest"
@@ -691,6 +767,35 @@ def load_sharded_artifact(
             f"{path} holds inconsistent overlay CSR arrays"
         )
     overlay_graph = CSRGraph(indptr, indices, weights, validate=False)
+    return labels, overlay_vertices, overlay_graph
+
+
+def load_sharded_artifact(
+    path: str | Path,
+    *,
+    expect_graph: CSRGraph | None = None,
+    mmap: bool = False,
+) -> ShardedPreprocessResult:
+    """Restore a bundle written by :func:`save_sharded_artifact`.
+
+    Integrity is verified end to end before anything is trusted: the
+    manifest's own digest, then every member file's blake2b hash against
+    the manifest (so corruption of *any* member — a shard, the overlay,
+    the topology — raises :class:`ArtifactCorruptError`), then each
+    shard artifact's internal payload checksum via :func:`load_artifact`.
+    ``expect_graph`` pins the bundle to the *input* graph's content hash
+    (:class:`ArtifactGraphMismatchError` on mismatch); ``mmap=True``
+    keeps every shard's augmented CSR memory-mapped off its member file.
+    """
+    path = Path(path)
+    manifest = _read_sharded_manifest(path)
+    _check_source_graph(path, manifest, expect_graph)
+    n_shards = int(manifest["n_shards"])
+    shard_names = [f"shard_{s:04d}.npz" for s in range(n_shards)]
+    _verify_members(path, manifest, manifest["members"])
+    labels, overlay_vertices, overlay_graph = _load_overlay_topology(
+        path, manifest
+    )
     shards = []
     shard_vertices = []
     for s, name in enumerate(shard_names):
@@ -717,4 +822,100 @@ def load_sharded_artifact(
         rho=int(manifest["rho"]),
         heuristic=str(manifest["heuristic"]),
         source_hash=str(manifest["source_hash"]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Shard topology — the router-side view of a bundle, no shard payloads
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardTopology:
+    """Everything a *front-end* box needs from a sharded bundle.
+
+    The stitch layer routes on labels and the boundary overlay; the
+    per-shard (k,ρ)-payloads live on the shard boxes.  This is the
+    bundle minus those payloads — what :func:`load_shard_topology`
+    reads (shard ``.npz`` members need not even exist locally) and what
+    :meth:`ShardRouter.remote <repro.serve.router.ShardRouter.remote>`
+    is constructed from.
+    """
+
+    n: int
+    n_shards: int
+    labels: np.ndarray
+    overlay_graph: CSRGraph
+    overlay_vertices: np.ndarray
+    partition_method: str
+    partition_seed: int
+    edge_cut: int
+    balance: float
+    k: int
+    rho: int
+    heuristic: str
+    source_hash: str
+    #: per-shard ``"http://host:port"`` hints from the manifest
+    #: (``None`` entries for empty shards; ``None`` when unstamped).
+    endpoints: tuple[str | None, ...] | None = None
+
+    def shard_vertices(self) -> list[np.ndarray]:
+        """Per-shard sorted original-vertex ids (from the labels)."""
+        return [
+            np.flatnonzero(self.labels == s) for s in range(self.n_shards)
+        ]
+
+    @classmethod
+    def from_sharded(cls, sharded: ShardedPreprocessResult) -> "ShardTopology":
+        """The topology view of an in-memory sharded preprocessing."""
+        return cls(
+            n=int(sharded.n),
+            n_shards=int(sharded.n_shards),
+            labels=sharded.labels,
+            overlay_graph=sharded.overlay_graph,
+            overlay_vertices=sharded.overlay_vertices,
+            partition_method=str(sharded.partition_method),
+            partition_seed=int(sharded.partition_seed),
+            edge_cut=int(sharded.edge_cut),
+            balance=float(sharded.balance),
+            k=int(sharded.k),
+            rho=int(sharded.rho),
+            heuristic=str(sharded.heuristic),
+            source_hash=str(sharded.source_hash),
+        )
+
+
+def load_shard_topology(
+    path: str | Path, *, expect_graph: CSRGraph | None = None
+) -> ShardTopology:
+    """Load only the routing view of a sharded bundle.
+
+    Verifies the manifest digest and the overlay/topology member hashes
+    — but does **not** require the per-shard ``.npz`` payloads to exist
+    locally, because on a multi-box deployment they don't: the front
+    end holds the manifest + overlay, the shard boxes hold their own
+    payload members.  Endpoint hints stamped into the manifest
+    (:func:`stamp_endpoints`) come along.
+    """
+    path = Path(path)
+    manifest = _read_sharded_manifest(path)
+    _check_source_graph(path, manifest, expect_graph)
+    _verify_members(path, manifest, ("overlay.npz", "topology.npz"))
+    labels, overlay_vertices, overlay_graph = _load_overlay_topology(
+        path, manifest
+    )
+    endpoints = manifest.get("endpoints")
+    return ShardTopology(
+        n=int(manifest["n"]),
+        n_shards=int(manifest["n_shards"]),
+        labels=labels,
+        overlay_graph=overlay_graph,
+        overlay_vertices=overlay_vertices,
+        partition_method=str(manifest["partition_method"]),
+        partition_seed=int(manifest["partition_seed"]),
+        edge_cut=int(manifest["edge_cut"]),
+        balance=float(manifest["balance"]),
+        k=int(manifest["k"]),
+        rho=int(manifest["rho"]),
+        heuristic=str(manifest["heuristic"]),
+        source_hash=str(manifest["source_hash"]),
+        endpoints=None if endpoints is None else tuple(endpoints),
     )

@@ -34,14 +34,30 @@ Endpoints
 ``GET /route/{s}/{t}``       distance and (when tracked) path ``s → t``
 ``GET /nearest/{s}/{k}``     the ``k`` closest reachable vertices to ``s``
 ``POST /batch``              mixed query list, answered as one coalesced batch
+``GET /internal/ready``      cheap readiness probe for cluster bootstrap
+``GET /internal/row/{s}``    one distance row as a compact binary frame
+``GET /internal/rows/{csv}`` up to ``MAX_ROWS_PER_FETCH`` rows, one frame
 ===========================  ====================================================
+
+The ``/internal/*`` surface is the shard-to-router wire: rows travel as
+raw little-endian float64 frames (:func:`repro.serve.backends.encode_rows`
+— no JSON float round-trip, so a front-end
+:class:`~repro.serve.backends.RemoteBackend` stitches bit-identical
+answers), and ``/internal/rows`` funnels a whole boundary batch into one
+coalesced ``service.batch`` call.
 
 Error contract: request problems (malformed paths, non-integer ids,
 out-of-range vertices, negative ``k``, bad JSON) map to **4xx** with a
 JSON body ``{"error": <type>, "message": <detail>}``; unexpected
 server-side failures (a typed :class:`~repro.serve.artifacts.ArtifactError`,
 an engine blow-up) map to **5xx** with the same shape.  ``Infinity`` is
-not valid JSON, so unreachable distances serialize as ``null``.
+not valid JSON, so unreachable distances serialize as ``null``.  A
+front-end router whose shard backend is down past its retry budget
+raises :class:`~repro.serve.backends.ShardUnavailableError`, which maps
+to **503** with the failing shard named —
+``{"error": "ShardUnavailable", "shard": 2, ...}`` — the typed
+degraded-mode contract (the request fails within the backend's
+deadline/retry budget; it never hangs).
 
 Observability: every response — error paths included — carries an
 ``X-Request-Id`` header (the client's, sanitized, when it sent one;
@@ -87,6 +103,12 @@ from ..obs.expo import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from ..obs.expo import render as render_metrics
 from ..obs.metrics import get_default_registry
 from ..obs.trace import SlowQueryLog, new_request_id, trace_request
+from .backends import (
+    MAX_ROWS_PER_FETCH,
+    ROWS_CONTENT_TYPE,
+    ShardUnavailableError,
+    encode_rows,
+)
 from .planner import KNearest, Nearest, PointToPoint, Route, SingleSource
 from .surface import QuerySurface
 
@@ -103,7 +125,7 @@ _INT_RE = re.compile(r"[+-]?\d+\Z")
 #: series per path — so anything unrecognized becomes ``"unknown"``.
 _ENDPOINTS = frozenset(
     {"root", "healthz", "stats", "metrics", "debug", "distances",
-     "route", "nearest", "batch"}
+     "route", "nearest", "batch", "internal"}
 )
 
 #: characters allowed in an echoed request id (visible ASCII only — a
@@ -238,6 +260,10 @@ def _parse_batch_query(item, index: int):
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-routing/1.0"
+    # Small responses over keep-alive connections otherwise sit out
+    # Nagle + delayed-ACK (~40ms per exchange on loopback) — fatal for
+    # the per-row internal fetches the remote stitch path makes.
+    disable_nagle_algorithm = True
 
     def setup(self) -> None:
         # Bound every socket read (idle keep-alive waits included) by
@@ -284,6 +310,15 @@ class _Handler(BaseHTTPRequestHandler):
                 # bools-as-ids, negative k, malformed query records
                 status, payload = 400, {
                     "error": type(exc).__name__,
+                    "message": str(exc),
+                }
+            except ShardUnavailableError as exc:
+                # the degraded-mode contract: a shard down past its
+                # retry budget names itself in a typed 503
+                status, payload = 503, {
+                    "error": "ShardUnavailable",
+                    "shard": exc.shard,
+                    "endpoint": exc.endpoint,
                     "message": str(exc),
                 }
             except Exception as exc:  # typed server-side failures → 5xx
@@ -357,6 +392,9 @@ class _Handler(BaseHTTPRequestHandler):
                     "GET /route/{s}/{t}",
                     "GET /nearest/{s}/{k}",
                     "POST /batch",
+                    "GET /internal/ready",
+                    "GET /internal/row/{s}",
+                    "GET /internal/rows/{csv}",
                 ],
             }
         if parts == ["healthz"]:
@@ -381,6 +419,36 @@ class _Handler(BaseHTTPRequestHandler):
             source = _parse_int(parts[1], "source")
             k = _parse_int(parts[2], "k")
             return _nearest_payload(service.nearest(source, k), k)
+        if parts[0] == "internal":
+            return self._internal(service, parts)
+        raise _HTTPError(404, f"no GET endpoint at {self.path!r}")
+
+    def _internal(self, service: QuerySurface, parts: list[str]):
+        """The shard-to-router wire: readiness + binary row frames."""
+        if parts == ["internal", "ready"]:
+            health = service.healthz()
+            return {"ready": health.get("status") == "ok", **health}
+        if len(parts) == 3 and parts[1] == "row":
+            source = _parse_int(parts[2], "source")
+            return _RawResponse(
+                encode_rows([service.distances(source)]), ROWS_CONTENT_TYPE
+            )
+        if len(parts) == 3 and parts[1] == "rows":
+            tokens = [t for t in parts[2].split(",") if t]
+            if not tokens:
+                raise _HTTPError(
+                    400, "rows requires a comma-separated source list"
+                )
+            if len(tokens) > MAX_ROWS_PER_FETCH:
+                raise _HTTPError(
+                    400,
+                    f"at most {MAX_ROWS_PER_FETCH} rows per fetch, "
+                    f"got {len(tokens)}",
+                )
+            sources = [_parse_int(t, "source") for t in tokens]
+            # one coalesced batch: duplicate sources share one solve
+            answers = service.batch([SingleSource(s) for s in sources])
+            return _RawResponse(encode_rows(answers), ROWS_CONTENT_TYPE)
         raise _HTTPError(404, f"no GET endpoint at {self.path!r}")
 
     def _batch(self, service: QuerySurface):

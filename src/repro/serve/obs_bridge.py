@@ -25,6 +25,7 @@ import threading
 from ..obs.metrics import MetricFamily, Sample
 
 __all__ = [
+    "backend_families",
     "next_instance_label",
     "planner_cache_families",
     "stitched_cache_families",
@@ -124,3 +125,58 @@ def stitched_cache_families(
     )
     rows.samples.append(Sample("", base, float(stitched["cached_rows"])))
     return [lookups, evictions, rows]
+
+
+def backend_families(
+    entries: list[tuple[tuple[tuple[str, str], ...], object]],
+) -> list[MetricFamily]:
+    """Per-shard-backend health/latency families.
+
+    ``entries`` pairs a base label tuple (``service`` + ``shard`` +
+    ``kind``) with a backend exposing ``backend_stats()`` and
+    ``fetch_snapshot()`` (:class:`~repro.serve.backends._BaseBackend`).
+    The row-fetch histogram renders with cumulative ``le`` buckets like
+    any registered histogram, so the scrape parser treats it
+    identically.
+    """
+    from ..obs.metrics import _fmt_bound
+
+    healthy = MetricFamily(
+        "shard_backend_healthy",
+        "gauge",
+        "1 while the backend's last request cycle succeeded",
+    )
+    consecutive = MetricFamily(
+        "shard_backend_consecutive_failures",
+        "gauge",
+        "request cycles failed in a row (0 = healthy)",
+    )
+    failures = MetricFamily(
+        "shard_backend_failures_total",
+        "counter",
+        "failed request attempts (retries counted individually)",
+    )
+    fetch = MetricFamily(
+        "shard_backend_row_fetch_seconds",
+        "histogram",
+        "row-fetch latency per backend (batched fetches count once)",
+    )
+    for base, backend in entries:
+        st = backend.backend_stats()
+        healthy.samples.append(Sample("", base, 1.0 if st["healthy"] else 0.0))
+        consecutive.samples.append(
+            Sample("", base, float(st["consecutive_failures"]))
+        )
+        failures.samples.append(Sample("", base, float(st["failures_total"])))
+        bounds, counts, total, count = backend.fetch_snapshot()
+        acc = 0
+        for bound, c in zip(bounds, counts):
+            acc += c
+            fetch.samples.append(
+                Sample("_bucket", base + (("le", _fmt_bound(bound)),), acc)
+            )
+        acc += counts[-1]
+        fetch.samples.append(Sample("_bucket", base + (("le", "+Inf"),), acc))
+        fetch.samples.append(Sample("_sum", base, total))
+        fetch.samples.append(Sample("_count", base, count))
+    return [healthy, consecutive, failures, fetch]

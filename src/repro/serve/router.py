@@ -1,16 +1,16 @@
-"""`ShardRouter` — exact cross-shard query serving.
+"""`ShardRouter` — exact cross-shard query serving over shard backends.
 
 The sharded counterpart of :class:`~repro.serve.service.RoutingService`:
-one :class:`~repro.serve.planner.QueryPlanner` per shard plus the
-boundary overlay of :func:`~repro.preprocess.build_sharded_kr_graph`,
-behind the same :class:`~repro.serve.surface.QuerySurface` — so the
-HTTP front end (or any embedder typed against the surface) cannot tell
-the difference, and neither can clients: answers are **bit-identical**
-to the unsharded service on integer-weighted graphs.
+a pure **stitching core** (virtual-source overlay Dijkstra + per-shard
+fold — no I/O of its own) over one :class:`~repro.serve.backends.ShardBackend`
+per shard, behind the same :class:`~repro.serve.surface.QuerySurface` —
+so the HTTP front end (or any embedder typed against the surface)
+cannot tell the difference, and neither can clients: answers are
+**bit-identical** to the unsharded service on integer-weighted graphs.
 
 How a query from source ``s`` (shard ``A``) is answered exactly:
 
-1. ``rowA`` — shard ``A``'s planner solves ``s`` on its own augmented
+1. ``rowA`` — shard ``A``'s backend solves ``s`` on its own augmented
    (k,ρ)-graph.  For every vertex of ``A`` reached without leaving the
    shard, this is already the true distance (an induced subgraph keeps
    every arc among its vertices).
@@ -22,12 +22,12 @@ How a query from source ``s`` (shard ``A``) is answered exactly:
    for *every* boundary vertex of every shard: any shortest path
    decomposes into maximal intra-shard segments joined by cut edges,
    and each piece is an overlay arc (or the virtual seed).
-3. **Stitch** — for each shard ``C`` and each of its boundary vertices
-   ``b``, fold ``ov_dist[b] + d_C(b, ·)`` into the full row with a
-   min-scatter, using shard ``C``'s planner row from ``b`` (these
-   boundary rows are the hot working set the per-shard LRU caches
-   across queries).  Folding ``C = A`` too covers re-entrant paths that
-   leave the source shard and come back.
+3. **Stitch** — for each shard ``C``, fetch its finite boundary rows in
+   one batched ``backend.rows(...)`` call and fold
+   ``ov_dist[b] + d_C(b, ·)`` into the full row with a min-scatter
+   (these boundary rows are the hot working set each shard's LRU
+   caches across queries).  Folding ``C = A`` too covers re-entrant
+   paths that leave the source shard and come back.
 
 Every candidate distance is a float sum of input weights; on integer
 weights (< 2⁵³) such sums are exact, the candidate set contains the
@@ -38,11 +38,22 @@ chain → target-shard path, with composite hops whose weights are exact
 input-graph distances (the same contract as
 :class:`~repro.serve.planner.Route` on the augmented graph).
 
-Concurrency: per-shard planners are thread-safe, and the router's own
+Where the rows come *from* is the backend's business:
+:class:`~repro.serve.backends.LocalBackend` (per-shard planners in
+process — the classic single-box router, built by the constructor) or
+:class:`~repro.serve.backends.RemoteBackend` (shard servers across the
+wire — built by :meth:`ShardRouter.remote`).  Remote rows travel as
+raw float64 frames, so remote stitching preserves the bit-identity
+contract; a shard down past its retry budget surfaces as a typed
+:class:`~repro.serve.backends.ShardUnavailableError` (→ HTTP 503
+naming the shard) instead of a hang.
+
+Concurrency: backends are thread-safe, and the router's own
 stitched-row LRU is lock-protected (probe/insert only — never held
 across a solve).  Two threads missing the same source may both stitch,
 but the expensive per-shard solves underneath are deduplicated by each
-planner's single-flight table, and both stitched rows are identical.
+local planner's single-flight table (or the remote shard's), and both
+stitched rows are identical.
 """
 
 from __future__ import annotations
@@ -62,10 +73,19 @@ from ..obs.trace import span
 from ..preprocess.pipeline import ShardedPreprocessResult, build_sharded_kr_graph
 from .artifacts import (
     SHARDED_ARTIFACT_VERSION,
+    ShardTopology,
+    load_shard_topology,
     load_sharded_artifact,
     save_sharded_artifact,
 )
+from .backends import (
+    LocalBackend,
+    RemoteBackend,
+    ShardBackend,
+    ShardUnavailableError,
+)
 from .obs_bridge import (
+    backend_families,
     next_instance_label,
     planner_cache_families,
     stitched_cache_families,
@@ -84,6 +104,22 @@ from .planner import (
 from .surface import json_finite
 
 __all__ = ["ShardRouter"]
+
+#: planner counter keys summed across shards for the aggregate stats
+#: block (remote shards report the same keys from their own planners).
+_AGG_KEYS = (
+    "capacity",
+    "cached_rows",
+    "hits",
+    "misses",
+    "lookups",
+    "evictions",
+    "coalesced",
+    "batches",
+    "solves",
+    "single_flight_waits",
+    "inflight",
+)
 
 
 class _Stitched:
@@ -114,18 +150,24 @@ class ShardRouter:
         when ``sharded`` is given).
     sharded: an existing :class:`ShardedPreprocessResult` to serve
         (e.g. from :func:`repro.serve.artifacts.load_sharded_artifact`).
+    topology, backends: the transport-agnostic construction — a
+        :class:`~repro.serve.artifacts.ShardTopology` plus one
+        :class:`~repro.serve.backends.ShardBackend` (or ``None`` for an
+        empty shard) per shard.  Mutually exclusive with
+        ``graph``/``sharded``; :meth:`remote` is the usual way in.
     n_shards, partition, partition_seed: forwarded to
         :func:`~repro.preprocess.build_sharded_kr_graph` on a cold
         start (``n_shards`` is required then).
     k, rho, heuristic, preprocess_jobs: per-shard preprocessing knobs.
-    engine: engine selector for every per-shard planner.
+    engine: engine selector for every local per-shard planner.
     cache_capacity: LRU size for the router's stitched full rows *and*
-        each shard planner's row cache (the planners' hot entries are
-        the boundary rows stitching re-reads on every query).
-    cache_stripes: lock stripes per shard planner.
+        each local shard planner's row cache (the planners' hot entries
+        are the boundary rows stitching re-reads on every query).
+    cache_stripes: lock stripes per local shard planner.
     track_parents: record predecessors so :meth:`route` returns stitched
         paths.
-    query_jobs: worker processes for each planner's coalesced solves.
+    query_jobs: worker processes for each local planner's coalesced
+        solves.
     """
 
     def __init__(
@@ -133,6 +175,8 @@ class ShardRouter:
         graph: CSRGraph | None = None,
         *,
         sharded: ShardedPreprocessResult | None = None,
+        topology: ShardTopology | None = None,
+        backends: Sequence[ShardBackend | None] | None = None,
         n_shards: int | None = None,
         partition: str = "contiguous",
         partition_seed: int = 0,
@@ -146,43 +190,56 @@ class ShardRouter:
         preprocess_jobs: int = 1,
         query_jobs: int = 1,
     ) -> None:
-        if sharded is None:
-            if graph is None:
-                raise ValueError("provide either a graph or a sharded result")
-            if n_shards is None:
-                raise ValueError("n_shards is required for a cold start")
-            sharded = build_sharded_kr_graph(
-                graph,
-                k,
-                rho,
-                n_shards=n_shards,
-                partition=partition,
-                partition_seed=partition_seed,
-                heuristic=heuristic,
-                n_jobs=preprocess_jobs,
-            )
+        if backends is not None:
+            if topology is None:
+                raise ValueError("backends require a topology")
+            if graph is not None or sharded is not None:
+                raise ValueError(
+                    "pass either graph/sharded (local shards) or "
+                    "topology+backends, not both"
+                )
+        else:
+            if sharded is None:
+                if graph is None:
+                    raise ValueError("provide either a graph or a sharded result")
+                if n_shards is None:
+                    raise ValueError("n_shards is required for a cold start")
+                sharded = build_sharded_kr_graph(
+                    graph,
+                    k,
+                    rho,
+                    n_shards=n_shards,
+                    partition=partition,
+                    partition_seed=partition_seed,
+                    heuristic=heuristic,
+                    n_jobs=preprocess_jobs,
+                )
+            topology = ShardTopology.from_sharded(sharded)
         self._sharded = sharded
-        self._labels = sharded.labels
-        self._n = sharded.n
-        self._shard_vertices = sharded.shard_vertices
+        self._topo = topology
+        self._labels = topology.labels
+        self._n = topology.n
+        self._shard_vertices = (
+            sharded.shard_vertices
+            if sharded is not None
+            else topology.shard_vertices()
+        )
         self._track_parents = track_parents
         # local[v] = shard-local id of original vertex v
         self._local = np.full(self._n, -1, dtype=np.int64)
-        for verts in sharded.shard_vertices:
+        for verts in self._shard_vertices:
             self._local[verts] = np.arange(len(verts), dtype=np.int64)
-        # one solver + planner per non-empty shard (an empty shard can
-        # never own a query vertex, so it gets no planner)
-        self._solvers: list[PreprocessedSSSP | None] = []
-        self._planners: list[QueryPlanner | None] = []
-        for s, pre in enumerate(sharded.shards):
-            if len(sharded.shard_vertices[s]) == 0:
-                self._solvers.append(None)
-                self._planners.append(None)
-                continue
-            solver = PreprocessedSSSP.from_preprocessed(pre)
-            self._solvers.append(solver)
-            self._planners.append(
-                QueryPlanner(
+        if backends is None:
+            # one solver + planner per non-empty shard, wrapped in a
+            # LocalBackend (an empty shard can never own a query vertex,
+            # so it gets no backend)
+            backends = []
+            for s, pre in enumerate(sharded.shards):
+                if len(self._shard_vertices[s]) == 0:
+                    backends.append(None)
+                    continue
+                solver = PreprocessedSSSP.from_preprocessed(pre)
+                planner = QueryPlanner(
                     solver,
                     engine=engine,
                     capacity=cache_capacity,
@@ -190,19 +247,37 @@ class ShardRouter:
                     n_jobs=query_jobs,
                     stripes=cache_stripes,
                 )
-            )
+                backends.append(LocalBackend(s, planner, solver))
+        else:
+            backends = list(backends)
+            if len(backends) != topology.n_shards:
+                raise ValueError(
+                    f"expected {topology.n_shards} backends (None for "
+                    f"empty shards), got {len(backends)}"
+                )
+            for s, backend in enumerate(backends):
+                if backend is None and len(self._shard_vertices[s]):
+                    raise ValueError(
+                        f"shard {s} holds {len(self._shard_vertices[s])} "
+                        "vertices but has no backend"
+                    )
+        self._backends: list[ShardBackend | None] = backends
+        # local-mode views (None entries for remote or empty shards):
+        # instrument() and the scrape collector reach planners directly
+        self._solvers = [getattr(b, "solver", None) for b in backends]
+        self._planners = [getattr(b, "planner", None) for b in backends]
         # overlay bookkeeping: boundary vertices per shard, in both
         # overlay-local and shard-local ids (ascending original id)
-        ovv = sharded.overlay_vertices
+        ovv = topology.overlay_vertices
         self._ov_vertices = ovv
-        self._overlay = sharded.overlay_graph
+        self._overlay = topology.overlay_graph
         self._n_ov = len(ovv)
         self._ov_tails = np.repeat(
             np.arange(self._n_ov, dtype=np.int64), self._overlay.degrees()
         )
         self._boundary_ov = [
             np.flatnonzero(self._labels[ovv] == s) if self._n_ov else ovv
-            for s in range(sharded.n_shards)
+            for s in range(topology.n_shards)
         ]
         self._boundary_local = [self._local[ovv[b]] for b in self._boundary_ov]
         # stitched full-row LRU (single lock: held for probe/insert only)
@@ -239,6 +314,8 @@ class ShardRouter:
         baked = {
             "graph",
             "sharded",
+            "topology",
+            "backends",
             "n_shards",
             "partition",
             "partition_seed",
@@ -257,12 +334,110 @@ class ShardRouter:
         sharded = load_sharded_artifact(path, expect_graph=expect_graph, mmap=mmap)
         return cls(sharded=sharded, **kwargs)
 
+    @classmethod
+    def remote(
+        cls,
+        bundle: str | Path | ShardTopology,
+        endpoints: Sequence[str | None] | None = None,
+        *,
+        expect_graph: CSRGraph | None = None,
+        timeout: float = 5.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        pool_size: int = 4,
+        cache_capacity: int = 256,
+        track_parents: bool = True,
+    ) -> "ShardRouter":
+        """A front-end router over shard servers across the wire.
+
+        ``bundle`` is a sharded bundle directory (only its manifest,
+        overlay and topology members need to exist locally — the
+        per-shard payloads live on the shard boxes) or an
+        already-loaded :class:`~repro.serve.artifacts.ShardTopology`.
+        ``endpoints`` lists one ``"http://host:port"`` per shard
+        (``None`` for empty shards); omit it to use the hints stamped
+        into the bundle manifest
+        (:func:`~repro.serve.artifacts.stamp_endpoints`).
+
+        ``timeout`` / ``retries`` / ``backoff`` are each
+        :class:`~repro.serve.backends.RemoteBackend`'s deadline and
+        bounded-retry budget; past it, queries touching that shard
+        raise :class:`~repro.serve.backends.ShardUnavailableError`
+        (→ 503 from the HTTP front end).  Row responses are checked
+        against the topology's per-shard vertex counts, so a miswired
+        endpoint fails loudly instead of stitching another shard's
+        distances.
+        """
+        if isinstance(bundle, ShardTopology):
+            topo = bundle
+        else:
+            topo = load_shard_topology(bundle, expect_graph=expect_graph)
+        if endpoints is None:
+            endpoints = topo.endpoints
+            if endpoints is None:
+                raise ValueError(
+                    "no endpoints given and none stamped in the bundle "
+                    "manifest (see stamp_endpoints)"
+                )
+        endpoints = list(endpoints)
+        if len(endpoints) != topo.n_shards:
+            raise ValueError(
+                f"expected {topo.n_shards} endpoints (None for empty "
+                f"shards), got {len(endpoints)}"
+            )
+        counts = np.bincount(topo.labels, minlength=topo.n_shards)
+        backends: list[ShardBackend | None] = []
+        for s, ep in enumerate(endpoints):
+            if ep is None:
+                backends.append(None)
+                continue
+            backends.append(
+                RemoteBackend(
+                    ep,
+                    shard=s,
+                    timeout=timeout,
+                    retries=retries,
+                    backoff=backoff,
+                    pool_size=pool_size,
+                    expect_n=int(counts[s]),
+                )
+            )
+        return cls(
+            topology=topo,
+            backends=backends,
+            cache_capacity=cache_capacity,
+            track_parents=track_parents,
+        )
+
     def save_artifact(self, path: str | Path) -> Path:
         """Persist the sharded preprocessing as a bundle directory."""
+        if self._sharded is None:
+            raise RuntimeError(
+                "a remote router holds only the bundle topology, not the "
+                "per-shard payloads — save the bundle where it was built"
+            )
         return save_sharded_artifact(path, self._sharded)
 
+    def close(self) -> None:
+        """Close every backend (idempotent).
+
+        Releases remote connection pools and interrupts any in-flight
+        retry backoff, so a request sleeping toward a dead shard fails
+        fast instead of finishing its budget.  Local backends are
+        unaffected; the router remains usable for local shards only.
+        """
+        for backend in self._backends:
+            if backend is not None:
+                backend.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
-    # Stitching core
+    # Stitching core (pure fold over backend rows — no I/O of its own)
     # ------------------------------------------------------------------ #
     def _virtual_solve(self, seeds_ov: np.ndarray, seed_dist: np.ndarray):
         """One Dijkstra from a virtual source appended to the overlay,
@@ -278,9 +453,9 @@ class ShardRouter:
 
     def _stitch(self, source: int) -> _Stitched:
         shard_a = int(self._labels[source])
-        planner_a = self._planners[shard_a]
+        backend_a = self._backends[shard_a]
         with span("router.source_row", shard=shard_a):
-            row_a = planner_a.distances(int(self._local[source]))
+            row_a = backend_a.source_row(int(self._local[source]))
         dist = np.full(self._n, np.inf)
         dist[self._shard_vertices[shard_a]] = row_a
         ov_dist = np.full(self._n_ov, np.inf)
@@ -293,7 +468,7 @@ class ShardRouter:
                 res = self._virtual_solve(seeds_ov[finite], seed_dist[finite])
             ov_dist = res.dist[: self._n_ov]
             ov_parent = res.parent
-            for shard_c in range(self._sharded.n_shards):
+            for shard_c in range(self._topo.n_shards):
                 b_ov = self._boundary_ov[shard_c]
                 if len(b_ov) == 0:
                     continue
@@ -301,16 +476,16 @@ class ShardRouter:
                 ok = np.isfinite(d_b)
                 if not ok.any():
                     continue
-                planner_c = self._planners[shard_c]
+                backend_c = self._backends[shard_c]
                 verts = self._shard_vertices[shard_c]
                 with span(
                     "router.fold_shard", shard=shard_c, boundary=int(ok.sum())
                 ):
+                    rows_c = backend_c.rows(
+                        [int(b) for b in self._boundary_local[shard_c][ok]]
+                    )
                     best = dist[verts]
-                    for local_b, db in zip(
-                        self._boundary_local[shard_c][ok], d_b[ok]
-                    ):
-                        row_c = planner_c.distances(int(local_b))
+                    for row_c, db in zip(rows_c, d_b[ok]):
                         np.minimum(best, db + row_c, out=best)
                     dist[verts] = best
         return _Stitched(dist, ov_dist, ov_parent)
@@ -354,7 +529,7 @@ class ShardRouter:
         if shard_b == shard_a:
             # prefer the pure intra-shard path when it realizes the
             # exact stitched distance (it usually does)
-            direct = self._planners[shard_a].route(
+            direct = self._backends[shard_a].route(
                 int(self._local[source]), local_t
             )
             if direct.path is not None and direct.distance == distance:
@@ -362,17 +537,20 @@ class ShardRouter:
         if st.ov_parent is None:
             return None
         # entry point: the first boundary vertex of the target shard
-        # (ascending original id — deterministic) on an optimal path
+        # (ascending original id — deterministic) on an optimal path;
+        # the finite candidate rows come back in one batched fetch
+        candidates = [
+            (int(b_ov), int(local_b))
+            for b_ov, local_b in zip(
+                self._boundary_ov[shard_b], self._boundary_local[shard_b]
+            )
+            if np.isfinite(st.ov_dist[b_ov])
+        ]
+        rows_b = self._backends[shard_b].rows([lb for _, lb in candidates])
         entry = -1
-        for b_ov, local_b in zip(
-            self._boundary_ov[shard_b], self._boundary_local[shard_b]
-        ):
-            d_b = st.ov_dist[b_ov]
-            if not np.isfinite(d_b):
-                continue
-            row_b = self._planners[shard_b].distances(int(local_b))
-            if d_b + row_b[local_t] == distance:
-                entry = int(b_ov)
+        for (b_ov, _local_b), row_b in zip(candidates, rows_b):
+            if st.ov_dist[b_ov] + row_b[local_t] == distance:
+                entry = b_ov
                 break
         if entry < 0:
             # only reachable on non-exactly-representable weights, where
@@ -386,7 +564,7 @@ class ShardRouter:
             at = int(st.ov_parent[at])
         chain.reverse()
         first = chain[0]  # boundary vertex of shard A the path exits at
-        seg_a = self._planners[shard_a].route(
+        seg_a = self._backends[shard_a].route(
             int(self._local[source]), int(self._local[self._ov_vertices[first]])
         )
         if seg_a.path is None:
@@ -396,7 +574,7 @@ class ShardRouter:
         # distance arcs) — their endpoints are the stitch points
         for b_ov in chain[1:]:
             path.append(int(self._ov_vertices[b_ov]))
-        seg_b = self._planners[shard_b].route(
+        seg_b = self._backends[shard_b].route(
             int(self._local[self._ov_vertices[entry]]), local_t
         )
         if seg_b.path is None:
@@ -462,7 +640,7 @@ class ShardRouter:
 
     def batch(self, queries: Sequence) -> list:
         """Mixed batch, answered in input order.  Queries sharing a
-        source share one stitched row (router LRU + per-shard planner
+        source share one stitched row (router LRU + per-shard backend
         caches underneath)."""
         normalized = [normalize_query(q) for q in queries]
         for q in normalized:
@@ -501,12 +679,15 @@ class ShardRouter:
         The sharded mirror of :meth:`RoutingService.instrument
         <repro.serve.service.RoutingService.instrument>`: one
         :class:`~repro.obs.metrics.EngineTelemetry` observer shared by
-        every shard's solver (engine histograms aggregate across shards
-        — the ``engine`` label already distinguishes what matters), and
-        one weakly-held scrape-time collector emitting ``planner_*``
-        families per shard (``shard`` label = shard id) plus the
-        router's own ``router_stitched_*`` LRU families.  Idempotent per
-        registry; ``None`` = the process-global default.
+        every local shard's solver (engine histograms aggregate across
+        shards — the ``engine`` label already distinguishes what
+        matters), and one weakly-held scrape-time collector emitting
+        ``planner_*`` families per local shard (``shard`` label = shard
+        id), the router's own ``router_stitched_*`` LRU families, and
+        per-backend ``shard_backend_*`` health/latency families (remote
+        shards included — their planner counters live on their *own*
+        server's scrape).  Idempotent per registry; ``None`` = the
+        process-global default.
         """
         from ..obs.metrics import EngineTelemetry, get_default_registry
 
@@ -525,7 +706,8 @@ class ShardRouter:
 
     def _collect_metrics(self):
         """Scrape-time collector: per-shard planner counters, the
-        stitched-row LRU, and the query total."""
+        stitched-row LRU, per-backend health/latency, and the query
+        total."""
         from ..obs.metrics import MetricFamily, Sample
 
         svc = ("service", self._obs_label)
@@ -543,6 +725,15 @@ class ShardRouter:
                 "cached_rows": len(self._cache),
             }
         fams.extend(stitched_cache_families((svc,), stitched))
+        fams.extend(
+            backend_families(
+                [
+                    ((svc, ("shard", str(s)), ("kind", backend.kind)), backend)
+                    for s, backend in enumerate(self._backends)
+                    if backend is not None
+                ]
+            )
+        )
         queries = MetricFamily(
             "service_queries_answered_total",
             "counter",
@@ -568,14 +759,25 @@ class ShardRouter:
     # Introspection
     # ------------------------------------------------------------------ #
     @property
-    def sharded(self) -> ShardedPreprocessResult:
-        """The underlying sharded preprocessing."""
+    def sharded(self) -> ShardedPreprocessResult | None:
+        """The underlying sharded preprocessing (``None`` on a remote
+        router — the payloads live on the shard boxes)."""
         return self._sharded
+
+    @property
+    def topology_info(self) -> ShardTopology:
+        """The routing topology (labels, overlay, partition metadata)."""
+        return self._topo
+
+    @property
+    def backends(self) -> tuple[ShardBackend | None, ...]:
+        """Per-shard backends (``None`` entries for empty shards)."""
+        return tuple(self._backends)
 
     @property
     def n_shards(self) -> int:
         """Number of shards."""
-        return self._sharded.n_shards
+        return self._topo.n_shards
 
     def shard_of(self, vertex: int) -> int:
         """The shard a vertex lives in (input-graph ids)."""
@@ -584,7 +786,12 @@ class ShardRouter:
 
     def topology(self) -> dict:
         """Shard topology: per-shard vertex/boundary counts, resolved
-        engines, and the overlay size."""
+        engines, and the overlay size.
+
+        A remote shard's engine resolves on its own server, so it
+        reports ``None`` here; :meth:`stats` fills it in from the
+        shard's live ``/stats``.
+        """
         shards = []
         for s in range(self.n_shards):
             planner = self._planners[s]
@@ -607,8 +814,9 @@ class ShardRouter:
     def stats(self) -> dict:
         """Aggregated planner counters plus sharding topology.
 
-        Per-shard planner counters (hits, misses, solves, …) are summed;
-        the ``stitched`` block is the router's own full-row LRU; and the
+        Per-shard planner counters (hits, misses, solves, …) are summed
+        — remote shards report theirs over ``GET /stats`` — the
+        ``stitched`` block is the router's own full-row LRU; and the
         satellite topology — artifact version, shard count, per-shard
         vertex/boundary counts — rides along for ``GET /stats``.
 
@@ -619,41 +827,53 @@ class ShardRouter:
         preprocessing provenance (``preferred_engine``, ``reorder``,
         sanitized ``locality``) — the aggregate totals above stay, the
         table is where a per-shard imbalance shows up.
+
+        New with the backend seam: a ``backends`` table — one row per
+        shard backend with its kind, endpoint, health, consecutive
+        failures, and p50 row-fetch latency (ms) from the backend's own
+        histogram.  A shard whose server is unreachable appears in
+        ``per_shard`` as ``{"unavailable": true}`` instead of failing
+        the whole stats call.
         """
         from ..engine.registry import available_engines, get_engine
 
-        agg = {
-            key: 0
-            for key in (
-                "capacity",
-                "cached_rows",
-                "hits",
-                "misses",
-                "lookups",
-                "evictions",
-                "coalesced",
-                "batches",
-                "solves",
-                "single_flight_waits",
-                "inflight",
-            )
-        }
+        agg = {key: 0 for key in _AGG_KEYS}
         engines = set()
         per_shard = []
-        for s, planner in enumerate(self._planners):
-            if planner is None:
+        backends_table = []
+        queries = 0
+        topo = self.topology()
+        for s, backend in enumerate(self._backends):
+            if backend is None:
                 continue
-            pstats = planner.stats()
-            engines.add(pstats["engine"])
+            backends_table.append(backend.backend_stats())
+            try:
+                pstats = backend.stats()
+            except ShardUnavailableError as exc:
+                per_shard.append(
+                    {
+                        "shard": s,
+                        "vertices": int(len(self._shard_vertices[s])),
+                        "boundary": int(len(self._boundary_ov[s])),
+                        "unavailable": True,
+                        "error": str(exc),
+                    }
+                )
+                continue
+            if "engine" in pstats:
+                engines.add(pstats["engine"])
+                topo["shards"][s]["engine"] = pstats["engine"]
             for key in agg:
-                agg[key] += pstats[key]
-            pre = self._sharded.shards[s]
-            per_shard.append(
-                {
-                    "shard": s,
-                    "vertices": int(len(self._shard_vertices[s])),
-                    "boundary": int(len(self._boundary_ov[s])),
-                    **pstats,
+                agg[key] += pstats.get(key, 0)
+            solver = self._solvers[s]
+            queries += (
+                solver.queries_answered
+                if solver is not None
+                else int(pstats.get("queries_answered", 0))
+            )
+            if self._sharded is not None:
+                pre = self._sharded.shards[s]
+                provenance = {
                     "preferred_engine": getattr(pre, "preferred_engine", ""),
                     "reorder": getattr(pre, "reorder", "natural"),
                     "locality": {
@@ -665,7 +885,32 @@ class ShardRouter:
                         ),
                     },
                 }
-            )
+            else:
+                # a remote shard's provenance comes from its own stats
+                provenance = {
+                    "preferred_engine": pstats.get("preferred_engine", ""),
+                    "reorder": pstats.get("reorder", "natural"),
+                    "locality": pstats.get(
+                        "locality", {"before": None, "after": None}
+                    ),
+                }
+            entry = {
+                "shard": s,
+                "vertices": int(len(self._shard_vertices[s])),
+                "boundary": int(len(self._boundary_ov[s])),
+            }
+            if self._planners[s] is not None:
+                entry.update(pstats)
+            else:
+                entry.update(
+                    {
+                        key: pstats[key]
+                        for key in (*_AGG_KEYS, "engine", "queries_answered")
+                        if key in pstats
+                    }
+                )
+            entry.update(provenance)
+            per_shard.append(entry)
         with self._cache_lock:
             stitched = {
                 "capacity": self._capacity,
@@ -675,45 +920,57 @@ class ShardRouter:
                 "lookups": self._lookups,
                 "evictions": self._evictions,
             }
-        queries = sum(
-            solver.queries_answered
-            for solver in self._solvers
-            if solver is not None
-        )
         return {
             **agg,
             "engine": engines.pop() if len(engines) == 1 else "mixed",
             "queries_answered": queries,
             "n": self._n,
-            "k": self._sharded.k,
-            "rho": self._sharded.rho,
-            "heuristic": self._sharded.heuristic,
+            "k": self._topo.k,
+            "rho": self._topo.rho,
+            "heuristic": self._topo.heuristic,
             "shards": self.n_shards,
-            "partition": self._sharded.partition_method,
-            "partition_seed": self._sharded.partition_seed,
-            "edge_cut": self._sharded.edge_cut,
-            "balance": self._sharded.balance,
+            "partition": self._topo.partition_method,
+            "partition_seed": self._topo.partition_seed,
+            "edge_cut": self._topo.edge_cut,
+            "balance": self._topo.balance,
             "artifact_version": SHARDED_ARTIFACT_VERSION,
             "stitched": stitched,
+            "backends": backends_table,
             "engines": {
                 name: get_engine(name).description
                 for name in available_engines()
             },
             "per_shard": per_shard,
-            "topology": self.topology(),
+            "topology": topo,
         }
 
     def healthz(self) -> dict:
-        """Liveness payload with the shard topology summary."""
-        return {
+        """Liveness payload with the shard topology summary.
+
+        With remote backends, unhealthy shards (down past their retry
+        budget on the last request cycle) are named and the status
+        degrades — an all-local router keeps the classic three-field
+        payload.
+        """
+        payload = {
             "status": "ok",
             "shards": self.n_shards,
             "artifact_version": SHARDED_ARTIFACT_VERSION,
         }
+        remote = [b for b in self._backends if b is not None and b.kind == "remote"]
+        if remote:
+            unhealthy = [b.shard for b in remote if not b.healthy]
+            payload["backends"] = {
+                "remote": len(remote),
+                "unhealthy": unhealthy,
+            }
+            if unhealthy:
+                payload["status"] = "degraded"
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ShardRouter(n={self._n}, shards={self.n_shards}, "
-            f"partition={self._sharded.partition_method!r}, "
-            f"cut={self._sharded.edge_cut}, overlay={self._n_ov})"
+            f"partition={self._topo.partition_method!r}, "
+            f"cut={self._topo.edge_cut}, overlay={self._n_ov})"
         )

@@ -1,0 +1,203 @@
+"""Remote-shard parity and fault injection over a live ShardCluster.
+
+The acceptance bar of the transport seam: a front-end router whose
+backends fetch rows **over real HTTP sockets** must be bit-identical to
+the in-process ShardRouter over the same sharded preprocessing — for
+every registered engine, under both shipped partitioners.  Integer
+weights make float sums exact, so parity is ``np.array_equal``, not
+``allclose``.
+
+Fault injection pins the degraded-mode contract: killing a shard server
+mid-operation turns queries touching it into a *typed* failure naming
+the shard — ``ShardUnavailableError`` in process, a 503 JSON body over
+HTTP — within the configured deadline, never a hang.  A healthy-shard
+query keeps working: degradation is per-shard, not cluster-wide.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.engine.registry import available_engines, get_engine
+from repro.graphs.generators import grid_2d
+from repro.graphs.weights import random_integer_weights
+from repro.serve import ShardCluster, ShardRouter, ShardUnavailableError
+
+K, RHO = 2, 12
+N_SHARDS = 3
+PARTITIONERS = ("contiguous", "ldd")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_integer_weights(grid_2d(8, 11), low=1, high=30, seed=5)
+
+
+@pytest.fixture(scope="module")
+def sharded(graph):
+    from repro.preprocess import build_sharded_kr_graph
+
+    return {
+        part: build_sharded_kr_graph(
+            graph, K, RHO, n_shards=N_SHARDS, partition=part, heuristic="dp"
+        )
+        for part in PARTITIONERS
+    }
+
+
+class TestRemoteParity:
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_every_engine_bit_identical_over_the_wire(
+        self, engine, partition, graph, sharded
+    ):
+        if engine == "unweighted":
+            pytest.skip("unit-weight engine; covered by test_unweighted_engine")
+        track_parents = get_engine(engine).supports_parents
+        local = ShardRouter(
+            sharded=sharded[partition], engine=engine, track_parents=track_parents
+        )
+        with ShardCluster(
+            sharded[partition], engine=engine, track_parents=track_parents
+        ) as cluster:
+            remote = cluster.router
+            rng = np.random.default_rng(hash((engine, partition)) % 2**32)
+            for s in map(int, rng.choice(graph.n, size=3, replace=False)):
+                a, b = local.distances(s), remote.distances(s)
+                assert a.tobytes() == b.tobytes()  # bit-identical
+            for s, t in [(0, graph.n - 1), (3, graph.n // 2)]:
+                a, b = local.route(s, t), remote.route(s, t)
+                assert a.distance == b.distance
+                assert a.path == b.path
+            a, b = local.nearest(1, 6), remote.nearest(1, 6)
+            assert np.array_equal(a.vertices, b.vertices)
+            assert np.array_equal(a.distances, b.distances)
+
+    @pytest.mark.parametrize("partition", PARTITIONERS)
+    def test_unweighted_engine(self, partition):
+        from repro.preprocess import build_sharded_kr_graph
+
+        g = grid_2d(7, 9)
+        sh = build_sharded_kr_graph(
+            g, 1, 2, n_shards=N_SHARDS, partition=partition, heuristic="full"
+        )
+        local = ShardRouter(sharded=sh, engine="unweighted", track_parents=False)
+        with ShardCluster(
+            sh, engine="unweighted", track_parents=False
+        ) as cluster:
+            for s in (0, 30, g.n - 1):
+                assert np.array_equal(
+                    local.distances(s), cluster.router.distances(s)
+                )
+
+    def test_http_front_end_round_trip(self, graph, sharded):
+        """The full three-hop path: client JSON -> front end -> binary
+        row fetches -> stitched JSON answer."""
+        local = ShardRouter(sharded=sharded["ldd"])
+        with ShardCluster(sharded["ldd"]) as cluster:
+            with urllib.request.urlopen(
+                f"{cluster.url}/distances/5", timeout=10
+            ) as resp:
+                doc = json.loads(resp.read())
+            want = local.distances(5)
+            got = np.array(
+                [np.inf if d is None else d for d in doc["distances"]]
+            )
+            assert np.array_equal(got, want)
+            st = json.loads(
+                urllib.request.urlopen(f"{cluster.url}/stats", timeout=10).read()
+            )
+            assert len(st["backends"]) == N_SHARDS
+            assert all(row["kind"] == "remote" for row in st["backends"])
+            assert st["shards"] == N_SHARDS
+
+
+class TestFaultInjection:
+    @pytest.fixture()
+    def cluster(self, sharded):
+        with ShardCluster(
+            sharded["contiguous"], timeout=1.0, retries=1, backoff=0.02
+        ) as c:
+            yield c
+
+    def _shard_of(self, cluster, shard):
+        """Some vertex owned by ``shard``."""
+        return int(np.flatnonzero(cluster.router.topology_info.labels == shard)[0])
+
+    def test_killed_shard_yields_typed_503_within_deadline(self, cluster):
+        victim = 1
+        cluster.shard_servers[victim].close()
+        source = self._shard_of(cluster, 0)  # stitching still needs shard 1
+        t0 = time.perf_counter()
+        try:
+            with urllib.request.urlopen(
+                f"{cluster.url}/distances/{source}", timeout=30
+            ) as resp:
+                pytest.fail(f"expected 503, got 200: {resp.read()[:100]!r}")
+        except urllib.error.HTTPError as exc:
+            elapsed = time.perf_counter() - t0
+            doc = json.loads(exc.read())
+            assert exc.code == 503
+            assert doc["error"] == "ShardUnavailable"
+            assert doc["shard"] == victim
+            assert doc["endpoint"] == cluster.shard_urls[victim]
+            # deadline + retry budget, with slack — never a hang
+            assert elapsed < 15.0
+
+    def test_killed_shard_raises_in_process(self, cluster):
+        victim = 2
+        cluster.shard_servers[victim].close()
+        source = self._shard_of(cluster, 0)
+        with pytest.raises(ShardUnavailableError) as exc:
+            cluster.router.distances(source)
+        assert exc.value.shard == victim
+        health = cluster.router.healthz()
+        assert health["status"] == "degraded"
+        assert victim in health["backends"]["unhealthy"]
+        st = cluster.router.stats()
+        row = st["backends"][victim]
+        assert row["healthy"] is False and row["consecutive_failures"] >= 1
+        assert st["per_shard"][victim]["unavailable"] is True
+
+    def test_cached_stitches_survive_a_dead_shard(self, cluster):
+        """Rows stitched before the failure keep serving from the
+        router's LRU — a dead shard degrades *new* work only."""
+        source = self._shard_of(cluster, 0)
+        before = cluster.router.distances(source)
+        cluster.shard_servers[1].close()
+        after = cluster.router.distances(source)
+        assert np.array_equal(before, after)
+
+    def test_slow_shard_bounded_by_deadline(self, sharded):
+        """A shard that stalls past the deadline surfaces as typed
+        unavailability in bounded time, not a pinned thread."""
+        with ShardCluster(
+            sharded["contiguous"], timeout=0.4, retries=0, backoff=0.01
+        ) as cluster:
+            victim = 1
+            backend = cluster.router.backends[victim]
+            service = cluster.shard_servers[victim].service
+
+            original = service.batch
+
+            def stalled(queries):
+                time.sleep(2.0)  # well past the 0.4s deadline
+                return original(queries)
+
+            service.batch = stalled
+            try:
+                source = self._shard_of(cluster, 0)
+                t0 = time.perf_counter()
+                with pytest.raises(ShardUnavailableError) as exc:
+                    cluster.router.distances(source)
+                elapsed = time.perf_counter() - t0
+                assert exc.value.shard == victim
+                assert "timed out" in exc.value.reason
+                assert elapsed < 1.8  # ~timeout, never the shard's stall
+                assert not backend.healthy
+            finally:
+                service.batch = original

@@ -244,6 +244,22 @@ class TestRouterSurface:
         health = router.healthz()
         assert health["status"] == "ok" and health["shards"] == N_SHARDS
 
+    def test_stats_backends_table_local_mode(self, pair):
+        """The backend seam is visible even fully in process: one
+        'local' row per shard, healthy, zero failures."""
+        _g, router = pair
+        router.distances(0)  # at least one fetch recorded somewhere
+        table = router.stats()["backends"]
+        assert len(table) == N_SHARDS
+        for s, row in enumerate(table):
+            assert row["shard"] == s
+            assert row["kind"] == "local"
+            assert row["endpoint"] is None
+            assert row["healthy"] is True
+            assert row["consecutive_failures"] == 0
+            assert row["failures_total"] == 0
+        assert sum(row["row_fetches"] for row in table) >= 1
+
     def test_read_only_rows(self, pair):
         _g, router = pair
         row = router.distances(0)

@@ -72,6 +72,14 @@ def test_sharded_service(capsys):
     assert "warm start from bundle" in out
 
 
+def test_remote_shard_cluster(capsys):
+    load_example("remote_shard_cluster").main(n=300, n_shards=3, rho=10)
+    out = capsys.readouterr().out
+    assert "bit-identical to in-process" in out
+    assert "503 ShardUnavailable" in out
+    assert "degraded, not down" in out
+
+
 def test_reordering(capsys):
     load_example("reordering").main(n=250, rho=10)
     out = capsys.readouterr().out
@@ -89,6 +97,7 @@ def test_reordering(capsys):
         "parallel_preprocessing",
         "routing_service",
         "sharded_service",
+        "remote_shard_cluster",
         "reordering",
     ],
 )
